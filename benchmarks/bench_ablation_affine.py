@@ -1,0 +1,10 @@
+"""A-AFFINE: the counts-plus-affine sweep method vs full timing simulation."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import AffineVersusTiming
+
+
+def test_ablation_affine(benchmark, traces, emit):
+    report = run_experiment(benchmark, AffineVersusTiming(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

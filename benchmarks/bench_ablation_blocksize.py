@@ -1,0 +1,10 @@
+"""A-BLOCK: the L2 block-size design choice."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import BlockSizeAblation
+
+
+def test_ablation_blocksize(benchmark, traces, emit):
+    report = run_experiment(benchmark, BlockSizeAblation(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

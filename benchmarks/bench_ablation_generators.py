@@ -1,0 +1,10 @@
+"""A-GEN: stack-distance vs Zipf/IRM trace generators."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import GeneratorAblation
+
+
+def test_ablation_generators(benchmark, traces, emit):
+    report = run_experiment(benchmark, GeneratorAblation(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""A-INCL: the L1 cost of enforcing multi-level inclusion."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import InclusionAblation
+
+
+def test_ablation_inclusion(benchmark, traces, emit):
+    report = run_experiment(benchmark, InclusionAblation(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""A-PREF: sequential prefetching schemes in the L2."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import PrefetchAblation
+
+
+def test_ablation_prefetch(benchmark, traces, emit):
+    report = run_experiment(benchmark, PrefetchAblation(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""A-WBUF: write-buffer depth sensitivity (paper footnote 2)."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import WriteBufferAblation
+
+
+def test_ablation_writebuffer(benchmark, traces, emit):
+    report = run_experiment(benchmark, WriteBufferAblation(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

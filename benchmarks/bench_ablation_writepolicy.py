@@ -1,0 +1,10 @@
+"""A-WPOL: write-back vs write-through first-level caches."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import WritePolicyAblation
+
+
+def test_ablation_writepolicy(benchmark, traces, emit):
+    report = run_experiment(benchmark, WritePolicyAblation(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

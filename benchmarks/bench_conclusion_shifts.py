@@ -1,0 +1,11 @@
+"""E-CONC: section 6's quantified shifts (seven binary orders; 0.24-0.33
+powers of two per L1 doubling)."""
+
+from conftest import run_experiment
+from repro.experiments.equations import ConclusionShifts
+
+
+def test_conclusion_shifts(benchmark, traces, emit):
+    report = run_experiment(benchmark, ConclusionShifts(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

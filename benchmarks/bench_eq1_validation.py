@@ -1,0 +1,10 @@
+"""E-EQ1: Equation 1 versus the timing simulator."""
+
+from conftest import run_experiment
+from repro.experiments.equations import EquationOneValidation
+
+
+def test_eq1_validation(benchmark, traces, emit):
+    report = run_experiment(benchmark, EquationOneValidation(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

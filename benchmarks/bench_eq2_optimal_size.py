@@ -1,0 +1,10 @@
+"""E-EQ2: optimal L2 size growth as the L1 improves (Equation 2)."""
+
+from conftest import run_experiment
+from repro.experiments.equations import OptimalSizeShift
+
+
+def test_eq2_optimal_size(benchmark, traces, emit):
+    report = run_experiment(benchmark, OptimalSizeShift(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""E-EQ3: break-even time scaling with L1 size (Equation 3's 1.45x)."""
+
+from conftest import run_experiment
+from repro.experiments.equations import BreakevenL1Scaling
+
+
+def test_eq3_l1_scaling(benchmark, traces, emit):
+    report = run_experiment(benchmark, BreakevenL1Scaling(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""E-3L: three-level hierarchies (section 6's outlook)."""
+
+from conftest import run_experiment
+from repro.experiments.extensions import ThreeLevelHierarchy
+
+
+def test_three_level(benchmark, traces, emit):
+    report = run_experiment(benchmark, ThreeLevelHierarchy(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""F3-1: Figure 3-1 -- L2 local/global/solo miss ratios, 4 KB L1."""
+
+from conftest import run_experiment
+from repro.experiments.fig3 import fig3_1
+
+
+def test_fig3_1(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig3_1(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""F3-2: Figure 3-2 -- L2 miss ratio triad with a 32 KB L1."""
+
+from conftest import run_experiment
+from repro.experiments.fig3 import fig3_2
+
+
+def test_fig3_2(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig3_2(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

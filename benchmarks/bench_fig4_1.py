@@ -1,0 +1,10 @@
+"""F4-1: Figure 4-1 -- relative execution time vs L2 size and cycle time."""
+
+from conftest import run_experiment
+from repro.experiments.fig4 import fig4_1
+
+
+def test_fig4_1(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig4_1(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

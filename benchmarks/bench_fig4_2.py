@@ -1,0 +1,10 @@
+"""F4-2: Figure 4-2 -- lines of constant performance, 4 KB L1."""
+
+from conftest import run_experiment
+from repro.experiments.fig4 import fig4_2
+
+
+def test_fig4_2(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig4_2(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

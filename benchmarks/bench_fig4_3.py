@@ -1,0 +1,11 @@
+"""F4-3: Figure 4-3 -- constant performance with a 32 KB L1; the slope
+structure sits ~1.74x to the right of the 4 KB plane (paper's measurement)."""
+
+from conftest import run_experiment
+from repro.experiments.fig4 import fig4_3
+
+
+def test_fig4_3(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig4_3(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""F4-4: Figure 4-4 -- 2x slower memory shifts the slope regions ~2x."""
+
+from conftest import run_experiment
+from repro.experiments.fig4 import fig4_4
+
+
+def test_fig4_4(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig4_4(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,10 @@
+"""F5-1: Figure 5-1 -- break-even times for 2-way L2 associativity."""
+
+from conftest import run_experiment
+from repro.experiments.fig5 import fig5_1
+
+
+def test_fig5_1(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig5_1(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

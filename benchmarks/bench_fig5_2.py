@@ -1,0 +1,10 @@
+"""F5-2: Figure 5-2 -- break-even times for 4-way L2 associativity."""
+
+from conftest import run_experiment
+from repro.experiments.fig5 import fig5_2
+
+
+def test_fig5_2(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig5_2(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

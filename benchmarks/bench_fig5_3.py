@@ -1,0 +1,11 @@
+"""F5-3: Figure 5-3 -- break-even times for 8-way L2 associativity
+(the paper's 10-20 ns budget over most of the plane)."""
+
+from conftest import run_experiment
+from repro.experiments.fig5 import fig5_3
+
+
+def test_fig5_3(benchmark, traces, emit):
+    report = run_experiment(benchmark, fig5_3(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

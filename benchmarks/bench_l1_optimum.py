@@ -1,0 +1,10 @@
+"""E-L1OPT: the optimal L1 size versus L2 speed (section 6)."""
+
+from conftest import run_experiment
+from repro.experiments.equations import OptimalL1VersusL2Speed
+
+
+def test_l1_optimum(benchmark, traces, emit):
+    report = run_experiment(benchmark, OptimalL1VersusL2Speed(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

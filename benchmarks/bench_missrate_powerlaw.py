@@ -1,0 +1,10 @@
+"""E-R5: the solo miss ratio's 0.69-per-doubling power law."""
+
+from conftest import run_experiment
+from repro.experiments.equations import MissRatePowerLaw
+
+
+def test_missrate_powerlaw(benchmark, traces, emit):
+    report = run_experiment(benchmark, MissRatePowerLaw(), traces)
+    emit(report)
+    assert report.all_checks_pass, report.render()

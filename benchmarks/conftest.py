@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artefact (DESIGN.md section 5) on the
+standard synthetic trace suite and prints the reproduced rows/series.
+Scale knobs: REPRO_RECORDS (default 250000), REPRO_TRACES (default 4, max
+8), REPRO_FULL=1 for the paper's full 4KB-4MB size axis.
+
+Reports are written to ``results/`` and echoed to the real stdout so they
+survive pytest's capture (the reproduced tables are the point of the run).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.workloads import paper_trace_suite
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """The standard trace suite, generated once per benchmark session."""
+    return paper_trace_suite()
+
+
+@pytest.fixture
+def emit():
+    """Print a report past pytest's capture and persist it to results/."""
+
+    def _emit(report):
+        text = report.render()
+        print(f"\n{text}\n", file=sys.__stdout__, flush=True)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{report.experiment_id}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_experiment(benchmark, experiment, traces):
+    """Run ``experiment`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(
+        lambda: experiment.run(traces), rounds=1, iterations=1
+    )

@@ -1,0 +1,81 @@
+"""Design-space exploration: pick the best L2 under a technology model.
+
+This is the paper's design question made concrete: given how your SRAM's
+cycle time grows with size and associativity, which second-level cache
+maximises performance?  The script sweeps the (size x cycle time) plane,
+prints lines of constant performance with their slopes, and runs the
+hierarchy optimiser -- once for the base 4 KB L1 and once for a 16 KB L1 to
+show the optimal point moving toward larger-and-slower as the upstream
+cache improves.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.core import execution_time_grid, lines_of_constant_performance, slope_field
+from repro.core.optimizer import HierarchyOptimizer, TechnologyModel
+from repro.experiments import base_machine, build_trace
+from repro.experiments.render import format_size
+from repro.units import KB
+
+
+def main() -> None:
+    traces = [
+        build_trace("explore", index=i, records=120_000, kernel=i == 0)
+        for i in range(2)
+    ]
+    sizes = [16 * KB * 2**i for i in range(6)]  # 16KB .. 512KB
+    cycle_times = [1.0, 2.0, 3.0, 5.0, 8.0]
+
+    config = base_machine()
+    grid = execution_time_grid(traces, config, sizes, cycle_times, level=2)
+
+    print("relative execution time over the (L2 size, cycle time) plane:")
+    header = "         " + "".join(f"{format_size(s):>9}" for s in sizes)
+    print(header)
+    for j, cycle in enumerate(cycle_times):
+        row = "".join(f"{grid.relative[i, j]:9.3f}" for i in range(len(sizes)))
+        print(f"  c={int(cycle):2d}   {row}")
+
+    lines = lines_of_constant_performance(grid, levels=[1.2, 1.5, 2.0])
+    print("\nlines of constant performance (L2 cycle time in CPU cycles):")
+    for level in lines.levels:
+        cells = [
+            "    -" if not np.isfinite(c) else f"{c:5.2f}" for c in lines.line(level)
+        ]
+        print(f"  {level:.1f}x: {'  '.join(cells)}")
+
+    field = slope_field(grid)
+    print("\niso-performance slopes at c=3 (CPU cycles per size doubling):")
+    for i in range(len(sizes) - 1):
+        print(
+            f"  {format_size(sizes[i])} -> {format_size(sizes[i + 1])}: "
+            f"{field[i, cycle_times.index(3.0)]:.2f}"
+        )
+
+    # The optimiser under an implementation technology: 25ns base SRAM,
+    # +4ns per size doubling, +11ns per associativity doubling (the TTL
+    # mux of the paper's section 5).
+    technology = TechnologyModel(
+        base_size=16 * KB, base_ns=25.0, ns_per_doubling=4.0,
+        ns_per_way_doubling=11.0,
+    )
+    print("\nhierarchy optimisation under the technology model:")
+    for l1_size in (4 * KB, 16 * KB):
+        optimizer = HierarchyOptimizer(
+            base_machine(l1_size=l1_size), technology, traces
+        )
+        best = optimizer.optimize(sizes, set_sizes=(1, 2, 4, 8)).best
+        print(
+            f"  L1 {format_size(l1_size):>5}: best L2 = "
+            f"{format_size(best.l2_size)} {best.l2_associativity}-way @ "
+            f"{best.l2_cycle_cpu_cycles:.0f} CPU cycles "
+            f"({best.total_cycles:.0f} total cycles)"
+        )
+    print("\nA better L1 moves the optimum toward larger (and slower) L2 --")
+    print("the paper's headline result.")
+
+
+if __name__ == "__main__":
+    main()

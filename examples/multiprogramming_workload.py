@@ -1,0 +1,97 @@
+"""Build a custom multiprogramming workload and study context-switch cost.
+
+Demonstrates the trace substrate directly: per-process synthetic workloads
+with different personalities, a multiprogramming scheduler with kernel
+bursts, Dinero-format export for use with external simulators, and a small
+study of how the context-switch interval disturbs the L1 miss ratio (the
+effect behind the paper's global-vs-solo convergence behaviour).
+
+Run with:  python examples/multiprogramming_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments import base_machine
+from repro.sim import simulate_miss_ratios
+from repro.trace import (
+    InstructionStreamGenerator,
+    MultiprogramScheduler,
+    ProcessSpec,
+    StackDistanceGenerator,
+    SyntheticWorkload,
+    TraceStatistics,
+    read_dinero,
+    write_dinero,
+)
+
+
+def make_process(index: int, personality: str) -> ProcessSpec:
+    """Processes with different locality personalities."""
+    base = (index + 1) << 44
+    if personality == "loopy":
+        instructions = InstructionStreamGenerator(
+            function_count=128, function_words=64, zipf_alpha=2.0,
+            mean_run_length=32.0, address_base=base, seed=index,
+        )
+        data = StackDistanceGenerator(address_base=base + (1 << 32), seed=index + 50)
+    else:  # "streaming": large footprint, weak reuse
+        instructions = InstructionStreamGenerator(
+            function_count=8192, function_words=64, zipf_alpha=1.1,
+            address_base=base, seed=index,
+        )
+        data = StackDistanceGenerator(
+            address_base=base + (1 << 32), new_block_fraction=0.05,
+            seed=index + 50,
+        )
+    return ProcessSpec(
+        name=f"{personality}{index}",
+        workload=SyntheticWorkload(data=data, instructions=instructions, seed=index),
+    )
+
+
+def main() -> None:
+    processes = [
+        make_process(0, "loopy"),
+        make_process(1, "streaming"),
+        make_process(2, "loopy"),
+    ]
+
+    print("context-switch interval vs L1 global miss ratio:")
+    config = base_machine()
+    for interval in (2_000, 10_000, 50_000):
+        scheduler = MultiprogramScheduler(
+            [make_process(i, "loopy") for i in range(3)],
+            switch_interval=interval,
+            seed=7,
+        )
+        trace = scheduler.trace(120_000, name=f"q{interval}", warmup=20_000)
+        result = simulate_miss_ratios(trace, config)
+        print(
+            f"  quantum {interval:>6} refs: "
+            f"L1 miss {result.global_read_miss_ratio(1):.4f}, "
+            f"L2 global {result.global_read_miss_ratio(2):.4f}"
+        )
+    print("shorter quanta disturb the caches more -- the multiprogramming")
+    print("effect that perturbs small L2s away from their solo miss ratio.\n")
+
+    # Mixed-personality trace with statistics and Dinero round trip.
+    scheduler = MultiprogramScheduler(processes, switch_interval=10_000, seed=1)
+    trace = scheduler.trace(60_000, name="mixed")
+    stats = TraceStatistics.measure(trace)
+    print(f"mixed workload: {stats.records} records, "
+          f"{stats.unique_blocks} distinct 16B blocks "
+          f"({stats.footprint_bytes // 1024} KB footprint)")
+    print(f"  data refs per ifetch: {stats.data_ref_per_ifetch:.2f}, "
+          f"load fraction: {stats.data_read_fraction:.2f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "mixed.din"
+        write_dinero(trace, path)
+        size_kb = path.stat().st_size // 1024
+        loaded = read_dinero(path)
+        print(f"  Dinero export: {size_kb} KB, {len(loaded)} records round-tripped")
+
+
+if __name__ == "__main__":
+    main()

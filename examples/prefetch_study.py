@@ -1,0 +1,62 @@
+"""Prefetching study: sequential prefetch schemes in a two-level hierarchy.
+
+The paper's simulator models prefetching (section 2) although the published
+figures keep it off.  This example turns it on: it compares demand fetching
+with the classic sequential schemes (prefetch-on-miss, tagged, always) at
+both cache levels, and shows why prefetch *placement* matters -- the L2 has
+bandwidth to spare for speculation, while the tiny L1 gets polluted.
+
+Run with:  python examples/prefetch_study.py
+"""
+
+from repro.experiments import base_machine, build_trace
+from repro.sim import simulate_miss_ratios
+
+
+def study(level_name: str, level_index: int, traces) -> None:
+    print(f"\nsequential prefetching in the {level_name}:")
+    print(f"  {'scheme':>8} {'L1 miss':>8} {'L2 miss':>8} "
+          f"{'issued':>7} {'accuracy':>9} {'mem reads':>10}")
+    for scheme in ("none", "on-miss", "tagged", "always"):
+        config = base_machine(l2_size=64 * 1024).with_level(
+            level_index, prefetch=scheme, prefetch_distance=1
+        )
+        l1_miss = l2_miss = reads = issued = useful = memory = 0
+        for trace in traces:
+            result = simulate_miss_ratios(trace, config)
+            l1_miss += result.level_stats[0].read_misses
+            l2_miss += result.level_stats[1].read_misses
+            reads += result.cpu_reads
+            stats = result.level_stats[level_index]
+            issued += stats.prefetches_issued
+            useful += stats.useful_prefetches
+            memory += result.memory_reads
+        accuracy = useful / issued if issued else 0.0
+        print(
+            f"  {scheme:>8} {l1_miss / reads:8.4f} {l2_miss / reads:8.4f} "
+            f"{issued:7d} {accuracy:8.0%} {memory:10d}"
+        )
+
+
+def main() -> None:
+    traces = [
+        build_trace("pf", index=i, records=120_000, kernel=i == 0)
+        for i in range(2)
+    ]
+    study("L2 (64KB, 32B blocks)", 1, traces)
+    study("L1 (split 4KB, 16B blocks)", 0, traces)
+    print(
+        "\nReadings: tagged prefetch approaches always-prefetch\n"
+        "effectiveness with noticeably less speculative traffic at either\n"
+        "level.  L1 prefetching attacks the miss *count* directly (the\n"
+        "sequential instruction stream rewards next-block fetch), while L2\n"
+        "prefetching leaves the L1 miss ratio alone and instead converts\n"
+        "L2 misses -- i.e. it shrinks the paper's L1 miss *penalty*.  Note\n"
+        "the bandwidth bill in the memory-reads column: speculation is\n"
+        "paid for in exactly the currency (memory operations) that the\n"
+        "paper's miss penalty is made of."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: simulate the paper's base machine on a synthetic workload.
+
+Builds the ISCA'89 base two-level system (section 2), runs a small
+multiprogramming trace through both the miss-ratio and the timing
+simulators, and prints the quantities the paper's analysis revolves
+around: the local/global/solo miss-ratio triad, CPI, and the Equation 1
+decomposition.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analytical import model_from_functional
+from repro.core import measure_triad
+from repro.experiments import base_machine, build_trace
+from repro.sim import simulate_execution_time, simulate_miss_ratios
+
+
+def main() -> None:
+    # A 150k-record multiprogramming trace (three processes plus kernel
+    # bursts, like the paper's ATUM captures).
+    trace = build_trace("demo", index=0, records=150_000, kernel=True)
+    print(f"workload: {trace}")
+
+    config = base_machine()  # 4KB split L1 + 512KB L2, 10ns CPU
+    print(f"machine: L1={config.levels[0].size_bytes // 1024}KB split, "
+          f"L2={config.levels[1].size_bytes // 1024}KB @ "
+          f"{config.levels[1].cycle_cpu_cycles:g} CPU cycles")
+
+    # Functional simulation: miss ratios.
+    result = simulate_miss_ratios(trace, config)
+    print("\nmiss ratios (reads = loads + instruction fetches):")
+    print(f"  L1 global: {result.global_read_miss_ratio(1):.4f}")
+    print(f"  L2 local:  {result.local_read_miss_ratio(2):.4f}")
+    print(f"  L2 global: {result.global_read_miss_ratio(2):.4f}")
+    print(f"  reads reaching L2: {result.traffic_ratio(2) * 100:.1f}% of CPU reads")
+
+    # The section 3 triad needs the solo (L1-removed) run as well.
+    triad = measure_triad([trace], config, level=2)
+    print(f"  L2 solo:   {triad.solo:.4f}  "
+          f"(global deviates {triad.global_solo_gap * 100:.1f}%)")
+
+    # Timing simulation: execution time and its decomposition.
+    timing = simulate_execution_time(trace, config)
+    print("\nexecution time:")
+    print(f"  CPI: {timing.cycles_per_instruction:.3f}")
+    print(f"  read stalls:  {timing.read_stall_ns / timing.total_ns * 100:.1f}%")
+    print(f"  write stalls: {timing.write_stall_ns / timing.total_ns * 100:.1f}%")
+
+    # Equation 1 from the measured counts.
+    model = model_from_functional(result, config)
+    print("\nEquation 1 decomposition (CPU cycles per read):")
+    print(f"  n_L1 = {model.n_l1_cycles:.1f}")
+    print(f"  M_L1 * n_L2 = {model.global_miss[0]:.4f} * "
+          f"{model.miss_costs[0]:.0f} = "
+          f"{model.global_miss[0] * model.miss_costs[0]:.3f}")
+    print(f"  M_L2 * n_MM = {model.global_miss[1]:.4f} * "
+          f"{model.miss_costs[1]:.0f} = "
+          f"{model.global_miss[1] * model.miss_costs[1]:.3f}")
+    print(f"  read CPI from Equation 1: {model.read_cpi:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Three-level hierarchies: the paper's section 6 outlook, explored.
+
+The simulators accept arbitrary depth, so we can ask the paper's questions
+one level down: does an L3's global miss ratio track its solo ratio?  How
+does a three-level system compare with spending the same silicon on a
+bigger L2?  This is the "characteristics of future multi-level cache
+hierarchies" the conclusions predict.
+
+Run with:  python examples/three_level.py
+"""
+
+from repro.core import measure_triad
+from repro.experiments import base_machine, build_trace
+from repro.experiments.render import format_size
+from repro.sim import TimingSimulator
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.units import KB
+
+
+def with_l3(base: SystemConfig, l3_size: int, l3_cycle: float) -> SystemConfig:
+    levels = base.levels + (
+        LevelConfig(size_bytes=l3_size, block_bytes=32,
+                    cycle_cpu_cycles=l3_cycle, write_hit_cycles=2),
+    )
+    return SystemConfig(
+        levels=levels, cpu=base.cpu, memory=base.memory,
+        bus_width_words=base.bus_width_words,
+        write_buffer_entries=base.write_buffer_entries,
+        backplane_cycle_ns=base.backplane_cycle_ns,
+    )
+
+
+def main() -> None:
+    traces = [
+        build_trace("l3demo", index=i, records=120_000, kernel=i == 0)
+        for i in range(2)
+    ]
+
+    two_level = base_machine(l2_size=16 * KB)
+    print("reference: two-level machine with a 16KB L2")
+    base_cycles = sum(
+        TimingSimulator(two_level).run(t).total_cycles for t in traces
+    )
+
+    print(f"\n{'L3 size':>8} {'L3 cyc':>7} {'vs 2-level':>11} "
+          f"{'L3 local':>9} {'L3 global':>10} {'L3 solo':>8}")
+    for l3_size, l3_cycle in [
+        (128 * KB, 5.0),
+        (256 * KB, 6.0),
+        (512 * KB, 7.0),
+    ]:
+        config = with_l3(two_level, l3_size, l3_cycle)
+        cycles = sum(
+            TimingSimulator(config).run(t).total_cycles for t in traces
+        )
+        triad = measure_triad(traces, config, level=3)
+        print(
+            f"{format_size(l3_size):>8} {l3_cycle:>7.0f} "
+            f"{cycles / base_cycles:>10.3f}x "
+            f"{triad.local:>9.4f} {triad.global_:>10.4f} {triad.solo:>8.4f}"
+        )
+
+    print("\nReadings:")
+    print(" * the L3 global miss ratio sits close to its solo ratio once the")
+    print("   L3 is much larger than L2 -- the paper's layer independence,")
+    print("   one level further down;")
+    print(" * the L3 local miss ratio is enormous (L1+L2 filter nearly all")
+    print("   references), so per Equation 2 the optimal L3 trades cycle")
+    print("   time for size and associativity even more aggressively than")
+    print("   an L2 does.")
+
+
+if __name__ == "__main__":
+    main()

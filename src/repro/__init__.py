@@ -1,0 +1,43 @@
+"""repro: a reproduction of Przybylski, Horowitz & Hennessy,
+"Characteristics of Performance-Optimal Multi-Level Cache Hierarchies"
+(ISCA 1989).
+
+The package is layered bottom-up (see DESIGN.md):
+
+* :mod:`repro.trace` -- synthetic multiprogramming address traces with
+  paper-calibrated locality, plus Dinero I/O and profiling.
+* :mod:`repro.cache` -- set-associative caches, replacement and write
+  policies, inter-level write buffers.
+* :mod:`repro.memory` -- DRAM and bus timing models.
+* :mod:`repro.sim` -- functional (miss-ratio) and nanosecond-resolution
+  timing simulators over configurable hierarchies.
+* :mod:`repro.analytical` -- the paper's Equations 1-3 and the power-law
+  miss-rate model.
+* :mod:`repro.core` -- the paper's contribution: the local/global/solo
+  metric triad, speed-size design-space sweeps, lines of constant
+  performance, associativity break-even maps, hierarchy optimisation.
+* :mod:`repro.experiments` -- one runnable experiment per paper figure,
+  table or quantified claim, with the ``mlcache`` CLI.
+
+Quick taste::
+
+    from repro.experiments import base_machine, build_trace
+    from repro.sim import simulate_miss_ratios
+
+    trace = build_trace("demo", index=0, records=100_000, kernel=True)
+    result = simulate_miss_ratios(trace, base_machine())
+    print(result.global_read_miss_ratio(2))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "trace",
+    "cache",
+    "memory",
+    "sim",
+    "analytical",
+    "core",
+    "experiments",
+    "units",
+]

@@ -1,0 +1,57 @@
+"""Analytical models from the paper.
+
+* :mod:`repro.analytical.execution_time` -- Equation 1: total cycle count
+  as a function of global miss ratios and per-level costs.
+* :mod:`repro.analytical.missrate` -- the power-law miss-rate model
+  (solo miss ratio falls by a constant factor per size doubling; ~0.69 for
+  the paper's traces) with least-squares fitting.
+* :mod:`repro.analytical.tradeoff` -- Equation 2: the speed-size balance at
+  the performance-optimal point and the optimal-size solver.
+* :mod:`repro.analytical.associativity` -- Equation 3: incremental and
+  cumulative break-even implementation times for set associativity.
+"""
+
+from repro.analytical.execution_time import (
+    ExecutionTimeModel,
+    memory_penalty_cycles,
+    model_from_functional,
+)
+from repro.analytical.missrate import PowerLawMissModel, fit_power_law
+from repro.analytical.tradeoff import (
+    LinearCycleModel,
+    LogLinearCycleModel,
+    breakeven_slope_cycles_per_doubling,
+    optimal_l2_size,
+    optimal_size_shift_per_l1_doubling,
+)
+from repro.analytical.associativity import (
+    cumulative_breakeven_ns,
+    incremental_breakeven_ns,
+    l1_scaling_factor,
+)
+from repro.analytical.setassoc import (
+    associativity_curve,
+    miss_probability_by_distance,
+    miss_ratio_spread,
+    predicted_miss_ratio,
+)
+
+__all__ = [
+    "ExecutionTimeModel",
+    "model_from_functional",
+    "memory_penalty_cycles",
+    "PowerLawMissModel",
+    "fit_power_law",
+    "LinearCycleModel",
+    "LogLinearCycleModel",
+    "breakeven_slope_cycles_per_doubling",
+    "optimal_l2_size",
+    "optimal_size_shift_per_l1_doubling",
+    "incremental_breakeven_ns",
+    "cumulative_breakeven_ns",
+    "l1_scaling_factor",
+    "predicted_miss_ratio",
+    "miss_probability_by_distance",
+    "associativity_curve",
+    "miss_ratio_spread",
+]

@@ -1,0 +1,73 @@
+"""Equation 3: break-even implementation times for set associativity.
+
+Increasing a downstream cache's set size lowers its miss ratio but
+typically lengthens its cycle time (the extra multiplexor in the hit path).
+The *break-even implementation time* is the cycle-time degradation at which
+the two effects cancel.  For a cache inside a multi-level hierarchy the
+paper derives (Equation 3)::
+
+    Delta-t_be = Delta-M_global * t_MMread / M_L1
+
+The ``1 / M_L1`` factor is what makes associativity attractive downstream:
+with a 4 KB L1 (global miss ratio ~0.1) the single-level break-even times
+are multiplied by ~10, and each doubling of the L1 multiplies them by
+another ~1.45 (the inverse of the ~0.69 miss-ratio doubling factor).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def incremental_breakeven_ns(
+    delta_global_miss: float,
+    memory_penalty_ns: float,
+    l1_global_miss: float,
+) -> float:
+    """Equation 3: allowed cycle-time degradation for one associativity
+    doubling.
+
+    ``delta_global_miss`` is the global miss-ratio improvement from the
+    doubling (e.g. direct-mapped minus 2-way); ``memory_penalty_ns`` the
+    mean main-memory fetch time; ``l1_global_miss`` the upstream cache's
+    global read miss ratio.
+    """
+    if delta_global_miss < 0:
+        # Associativity made things worse; no time budget at all.
+        return 0.0
+    if memory_penalty_ns <= 0:
+        raise ValueError("memory_penalty_ns must be positive")
+    if not 0.0 < l1_global_miss <= 1.0:
+        raise ValueError("l1_global_miss must be in (0, 1]")
+    return delta_global_miss * memory_penalty_ns / l1_global_miss
+
+
+def cumulative_breakeven_ns(
+    global_miss_by_set_size: Sequence[float],
+    memory_penalty_ns: float,
+    l1_global_miss: float,
+) -> float:
+    """Break-even time for going direct-mapped to the deepest set size.
+
+    ``global_miss_by_set_size`` lists the global miss ratio at each set
+    size along the doubling chain (1, 2, 4, ... way); the cumulative
+    break-even time is Equation 3 applied to the total improvement, which
+    equals the sum of the incremental times.
+    """
+    if len(global_miss_by_set_size) < 2:
+        raise ValueError("need at least two set sizes")
+    total_delta = global_miss_by_set_size[0] - global_miss_by_set_size[-1]
+    return incremental_breakeven_ns(total_delta, memory_penalty_ns, l1_global_miss)
+
+
+def l1_scaling_factor(l1_miss_doubling_factor: float = 0.69) -> float:
+    """How much every L2 break-even time grows per L1 size doubling.
+
+    Doubling the L1 multiplies its global miss ratio by
+    ``l1_miss_doubling_factor`` (~0.69 for the paper's traces); Equation 3
+    divides by that miss ratio, so the break-even times are multiplied by
+    its inverse -- the paper's 1.45.
+    """
+    if not 0.0 < l1_miss_doubling_factor < 1.0:
+        raise ValueError("doubling factor must be in (0, 1)")
+    return 1.0 / l1_miss_doubling_factor

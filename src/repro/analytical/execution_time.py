@@ -1,0 +1,124 @@
+"""Equation 1: the execution-time model.
+
+For a two-level hierarchy with negligible write effects the paper writes
+the total cycle count as::
+
+    N_total = N_read * (n_L1 + M_L1 * n_L2 + M_L2 * n_MMread)
+            + N_store * t_L1write
+
+where ``n_L1`` is the CPU cycles per L1 read, ``M_L1``/``M_L2`` the *global*
+read miss ratios, ``n_L2`` the CPU-cycle cost of an L1 miss that hits in L2,
+``n_MMread`` the CPU-cycle cost of an L2 miss, and ``t_L1write`` the mean
+write-and-write-stall cycles per store.
+
+The model generalises to any depth: each level contributes its global miss
+ratio times the cost of fetching from the next level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.config import SystemConfig
+
+
+def memory_penalty_cycles(config: SystemConfig) -> float:
+    """Nominal CPU cycles to fetch the deepest cache's block from memory.
+
+    One backplane address cycle, the DRAM read, and the data transfer back
+    over the memory bus (the paper's nominal 270 ns / 27 cycles for the
+    base machine).  The DRAM recovery window is excluded: it is the
+    data-dependent part the timing simulator measures.
+    """
+    backplane = config.effective_backplane_ns
+    block_bytes = config.levels[-1].block_bytes
+    import math
+
+    data_cycles = math.ceil(
+        block_bytes / (config.bus_width_words * 4)
+    )
+    penalty_ns = backplane + config.memory.read_ns + data_cycles * backplane
+    return penalty_ns / config.cpu.cycle_ns
+
+
+@dataclass(frozen=True)
+class ExecutionTimeModel:
+    """Equation 1, generalised to N levels.
+
+    ``level_costs[i]`` is the CPU-cycle cost of a fetch served by level
+    ``i+1`` (so ``level_costs[0]`` is ``n_L2`` for a two-level system) and
+    ``global_miss[i]`` the global read miss ratio of level ``i+1``.  The
+    deepest entry of ``level_costs`` is the memory penalty ``n_MMread``.
+    """
+
+    #: CPU cycles per read at the first level (1 for the base machine).
+    n_l1_cycles: float
+    #: Global read miss ratio of each level, nearest first.
+    global_miss: Sequence[float]
+    #: Cost (CPU cycles) of a miss at each level: ``cost[i]`` is paid once
+    #: per level-(i+1) *incoming* miss, i.e. weighted by ``global_miss[i]``.
+    miss_costs: Sequence[float]
+    #: Mean write + write-stall CPU cycles per store.
+    l1_write_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.global_miss) != len(self.miss_costs):
+            raise ValueError(
+                "global_miss and miss_costs must have one entry per level"
+            )
+        if self.n_l1_cycles <= 0:
+            raise ValueError("n_l1_cycles must be positive")
+        for ratio in self.global_miss:
+            if not 0.0 <= ratio <= 1.0:
+                raise ValueError(f"miss ratio {ratio} outside [0, 1]")
+
+    @property
+    def read_cpi(self) -> float:
+        """Mean CPU cycles per read."""
+        total = self.n_l1_cycles
+        for ratio, cost in zip(self.global_miss, self.miss_costs):
+            total += ratio * cost
+        return total
+
+    def total_cycles(self, n_reads: int, n_stores: int = 0) -> float:
+        """Equation 1: total cycle count for a program."""
+        if n_reads < 0 or n_stores < 0:
+            raise ValueError("reference counts cannot be negative")
+        return n_reads * self.read_cpi + n_stores * self.l1_write_cycles
+
+    def total_time_ns(
+        self, n_reads: int, n_stores: int, cpu_cycle_ns: float
+    ) -> float:
+        return self.total_cycles(n_reads, n_stores) * cpu_cycle_ns
+
+
+def model_from_functional(
+    result,
+    config: SystemConfig,
+    l1_write_cycles: float = 0.0,
+) -> ExecutionTimeModel:
+    """Instantiate Equation 1 from measured event counts.
+
+    ``result`` is a :class:`~repro.sim.functional.FunctionalResult`; the
+    per-level miss costs come from the configuration's nominal latencies
+    (an L1 miss that hits at level *i* costs one level-*i* cycle; the
+    deepest misses pay the memory penalty).
+    """
+    global_miss: List[float] = []
+    miss_costs: List[float] = []
+    depth = config.depth
+    for level in range(1, depth + 1):
+        global_miss.append(result.global_read_miss_ratio(level))
+        if level < depth:
+            # Served by the next cache level: one of its cycles.
+            cost_ns = config.level_cycle_ns(level)
+            miss_costs.append(cost_ns / config.cpu.cycle_ns)
+        else:
+            miss_costs.append(memory_penalty_cycles(config))
+    return ExecutionTimeModel(
+        n_l1_cycles=max(1.0, config.levels[0].cycle_cpu_cycles),
+        global_miss=tuple(global_miss),
+        miss_costs=tuple(miss_costs),
+        l1_write_cycles=l1_write_cycles,
+    )

@@ -1,0 +1,108 @@
+"""The power-law miss-rate model.
+
+Figure 3-1 verifies, for the paper's traces, "the previously reported result
+that a doubling of the cache size decreases the solo miss rate by a constant
+factor", measured at about 0.69.  Equivalently the miss ratio is
+``m(C) = m0 * (C / C0) ** -alpha`` with ``alpha = -log2(0.69) ~ 0.54`` --
+"roughly proportional to one over the square-root of the cache size".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawMissModel:
+    """``miss(C) = reference_miss * (C / reference_size) ** -alpha``."""
+
+    reference_size: float
+    reference_miss: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.reference_size <= 0:
+            raise ValueError("reference_size must be positive")
+        if not 0.0 < self.reference_miss <= 1.0:
+            raise ValueError("reference_miss must be in (0, 1]")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    @property
+    def doubling_factor(self) -> float:
+        """Multiplier applied to the miss ratio per size doubling."""
+        return 2.0 ** -self.alpha
+
+    def miss_ratio(self, size: float) -> float:
+        """Predicted miss ratio at cache size ``size`` (same unit as the
+        reference size), clamped to 1."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        return min(1.0, self.reference_miss * (size / self.reference_size) ** -self.alpha)
+
+    def derivative(self, size: float) -> float:
+        """``d miss / d size`` at ``size`` (negative)."""
+        return -self.alpha * self.miss_ratio(size) / size
+
+    def size_for_miss(self, target_miss: float) -> float:
+        """Cache size at which the model predicts ``target_miss``."""
+        if not 0.0 < target_miss <= 1.0:
+            raise ValueError("target_miss must be in (0, 1]")
+        return self.reference_size * (target_miss / self.reference_miss) ** (
+            -1.0 / self.alpha
+        )
+
+    @classmethod
+    def from_doubling_factor(
+        cls, factor: float, reference_size: float, reference_miss: float
+    ) -> "PowerLawMissModel":
+        """Build a model from the per-doubling factor (0.69 in the paper)."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError("doubling factor must be in (0, 1)")
+        return cls(
+            reference_size=reference_size,
+            reference_miss=reference_miss,
+            alpha=-math.log2(factor),
+        )
+
+
+def fit_power_law(
+    sizes: Sequence[float], miss_ratios: Sequence[float]
+) -> Tuple[PowerLawMissModel, float]:
+    """Least-squares power-law fit in log-log space.
+
+    Returns ``(model, r_squared)``.  Points with zero miss ratio are
+    excluded (they sit on the compulsory plateau, outside the power-law
+    regime).  At least two usable points are required.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    miss_ratios = np.asarray(miss_ratios, dtype=np.float64)
+    if sizes.shape != miss_ratios.shape:
+        raise ValueError("sizes and miss_ratios must be parallel")
+    usable = (sizes > 0) & (miss_ratios > 0)
+    if usable.sum() < 2:
+        raise ValueError("need at least two non-zero points to fit")
+    log_size = np.log2(sizes[usable])
+    log_miss = np.log2(miss_ratios[usable])
+    slope, intercept = np.polyfit(log_size, log_miss, 1)
+    predicted = slope * log_size + intercept
+    residual = np.sum((log_miss - predicted) ** 2)
+    total = np.sum((log_miss - log_miss.mean()) ** 2)
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    reference_size = float(2.0 ** log_size[0])
+    reference_miss = float(2.0 ** (slope * log_size[0] + intercept))
+    alpha = -float(slope)
+    if alpha <= 0:
+        raise ValueError(
+            "fitted miss ratios do not decrease with size; no power law"
+        )
+    model = PowerLawMissModel(
+        reference_size=reference_size,
+        reference_miss=min(1.0, reference_miss),
+        alpha=alpha,
+    )
+    return model, float(r_squared)

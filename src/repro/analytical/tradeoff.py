@@ -1,0 +1,158 @@
+"""Equation 2: the speed-size balance at the performance-optimal point.
+
+Differentiating Equation 1 with respect to the L2 size and setting the
+result to zero balances the marginal cost of a slower L2 cycle against the
+marginal benefit of a lower L2 miss ratio::
+
+    (1 / t_MMread) * d t_L2 / d C  =  -(1 / M_L1) * d M_L2 / d C
+
+The ``1 / M_L1`` factor on the right is the multi-level signature: the L1
+cache filters references (fewer L2 hits pay the cycle time) without
+removing L2 misses (the miss-side benefit is unchanged), so the balance
+tips toward larger, slower second-level caches -- by about 10x for the base
+machine's 4 KB L1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analytical.missrate import PowerLawMissModel
+
+
+@dataclass(frozen=True)
+class LogLinearCycleModel:
+    """Cycle time as a function of cache size:
+    ``t(C) = base_ns + ns_per_doubling * log2(C / base_size)``.
+
+    The paper's speed-size discussion assumes "the marginal cycle time cost
+    of increasing the cache is independent of cache size", which is exactly
+    this model.
+    """
+
+    base_size: float
+    base_ns: float
+    ns_per_doubling: float
+
+    def __post_init__(self) -> None:
+        if self.base_size <= 0 or self.base_ns <= 0:
+            raise ValueError("base size and cycle time must be positive")
+        if self.ns_per_doubling < 0:
+            raise ValueError("ns_per_doubling cannot be negative")
+
+    def cycle_ns(self, size: float) -> float:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        return self.base_ns + self.ns_per_doubling * math.log2(size / self.base_size)
+
+
+@dataclass(frozen=True)
+class LinearCycleModel:
+    """Cycle time linear in cache size:
+    ``t(C) = base_ns + ns_per_byte * (C - base_size)``.
+
+    This is the paper's section 4 assumption -- "the marginal cycle time
+    cost of increasing the cache is independent of cache size" -- under
+    which the optimal size satisfies ``M(C*)/C*  proportional to  M_L1``,
+    so each L1 doubling multiplies the optimal L2 size by
+    ``f ** (-1 / (1 + alpha))`` (about 1.27, a third of a binary order, for
+    the paper's numbers).
+    """
+
+    base_size: float
+    base_ns: float
+    ns_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.base_size <= 0 or self.base_ns <= 0:
+            raise ValueError("base size and cycle time must be positive")
+        if self.ns_per_byte < 0:
+            raise ValueError("ns_per_byte cannot be negative")
+
+    def cycle_ns(self, size: float) -> float:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        return self.base_ns + self.ns_per_byte * (size - self.base_size)
+
+
+def optimal_size_shift_per_l1_doubling(
+    alpha: float,
+    l1_doubling_factor: float = 0.69,
+    marginal_cost: str = "linear",
+) -> float:
+    """Closed-form multiplier on the optimal L2 size per L1 size doubling.
+
+    Setting Equation 1's derivative to zero (Equation 2) with the power-law
+    miss model ``M(C) ~ C**-alpha``:
+
+    * ``marginal_cost="linear"`` (dt/dC constant, the paper's assumption):
+      ``M(C*)/C*`` is proportional to ``M_L1``, so the optimum scales as
+      ``M_L1 ** (-1/(1+alpha))`` -- each L1 doubling multiplies it by
+      ``f ** (-1/(1+alpha))``, ~2**0.35 ~ 1.27 for f=0.69, the paper's
+      "about a third of a binary order of magnitude".
+    * ``marginal_cost="per-doubling"`` (dt/d log2 C constant): the optimum
+      scales as ``M_L1 ** (-1/alpha)`` instead.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if not 0.0 < l1_doubling_factor < 1.0:
+        raise ValueError("l1_doubling_factor must be in (0, 1)")
+    if marginal_cost == "linear":
+        exponent = -1.0 / (1.0 + alpha)
+    elif marginal_cost == "per-doubling":
+        exponent = -1.0 / alpha
+    else:
+        raise ValueError("marginal_cost must be 'linear' or 'per-doubling'")
+    return l1_doubling_factor ** exponent
+
+
+def breakeven_slope_cycles_per_doubling(
+    miss_model: PowerLawMissModel,
+    size: float,
+    l1_global_miss: float,
+    memory_penalty_cycles: float,
+) -> float:
+    """Equation 2 in per-doubling form: the L2 cycle-time increase (in CPU
+    cycles) that exactly cancels the benefit of doubling the L2 size.
+
+    ``Delta-t = (M_L2(C) - M_L2(2C)) * n_MMread / M_L1``
+
+    This is the slope of the lines of constant performance in the
+    (log2 size, cycle time) design plane.
+    """
+    if not 0.0 < l1_global_miss <= 1.0:
+        raise ValueError("l1_global_miss must be in (0, 1]")
+    if memory_penalty_cycles <= 0:
+        raise ValueError("memory_penalty_cycles must be positive")
+    delta_miss = miss_model.miss_ratio(size) - miss_model.miss_ratio(2 * size)
+    return delta_miss * memory_penalty_cycles / l1_global_miss
+
+
+def optimal_l2_size(
+    miss_model: PowerLawMissModel,
+    cycle_model: LogLinearCycleModel,
+    l1_global_miss: float,
+    memory_penalty_ns: float,
+    candidate_sizes: Sequence[float],
+) -> float:
+    """The size minimising the mean L1-miss service time.
+
+    Minimises ``g(C) = M_L1 * t_L2(C) + M_L2(C) * t_MM`` over the candidate
+    sizes -- the only part of Equation 1 that depends on the L2
+    configuration.  (Sizes are discrete in practice, so the optimum is
+    found by evaluation rather than by the derivative.)
+    """
+    if not candidate_sizes:
+        raise ValueError("need at least one candidate size")
+    if not 0.0 < l1_global_miss <= 1.0:
+        raise ValueError("l1_global_miss must be in (0, 1]")
+
+    def cost(size: float) -> float:
+        return (
+            l1_global_miss * cycle_model.cycle_ns(size)
+            + miss_model.miss_ratio(size) * memory_penalty_ns
+        )
+
+    return min(candidate_sizes, key=cost)

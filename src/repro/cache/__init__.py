@@ -1,0 +1,45 @@
+"""Cache substrate: the building blocks of a cache hierarchy level.
+
+This package implements a single level of caching with the full parameter
+set the paper's simulator exposes (section 2): total size, set size
+(associativity), block size, fetch size, write strategy and write buffering.
+
+* :mod:`repro.cache.geometry` -- cache geometry (size/associativity/block
+  size) with address decomposition.
+* :mod:`repro.cache.replacement` -- LRU / FIFO / random replacement.
+* :mod:`repro.cache.policy` -- write strategies (write-back/write-through,
+  allocate/no-allocate) and fetch policy.
+* :mod:`repro.cache.cache` -- the cache itself (functional behaviour plus
+  hit/miss/traffic statistics).
+* :mod:`repro.cache.write_buffer` -- the timing model of the 4-entry write
+  buffers sitting between hierarchy levels.
+* :mod:`repro.cache.stats` -- per-cache counters and derived ratios.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement,
+)
+from repro.cache.policy import FetchPolicy, WritePolicy
+from repro.cache.cache import AccessOutcome, Cache
+from repro.cache.write_buffer import WriteBuffer
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheGeometry",
+    "ReplacementPolicy",
+    "LRUReplacement",
+    "FIFOReplacement",
+    "RandomReplacement",
+    "make_replacement",
+    "WritePolicy",
+    "FetchPolicy",
+    "Cache",
+    "AccessOutcome",
+    "WriteBuffer",
+    "CacheStats",
+]

@@ -1,0 +1,105 @@
+"""Cache geometry: size, set size, block size and address decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import check_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Physical organisation of one cache.
+
+    Follows Smith's terminology as the paper does: *set size* is the
+    associativity (number of blocks per set); a set size of 1 is a
+    direct-mapped cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity.
+    block_bytes:
+        Block (line) size.
+    associativity:
+        Blocks per set.  ``size_bytes / (block_bytes * associativity)``
+        must be a power-of-two number of sets.
+    """
+
+    size_bytes: int
+    block_bytes: int
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.size_bytes, "size_bytes")
+        check_power_of_two(self.block_bytes, "block_bytes")
+        check_power_of_two(self.associativity, "associativity")
+        if self.block_bytes > self.size_bytes:
+            raise ValueError(
+                f"block_bytes ({self.block_bytes}) cannot exceed size_bytes "
+                f"({self.size_bytes})"
+            )
+        if self.associativity * self.block_bytes > self.size_bytes:
+            raise ValueError(
+                f"associativity {self.associativity} with {self.block_bytes}-byte "
+                f"blocks does not fit in {self.size_bytes} bytes"
+            )
+
+    @property
+    def blocks(self) -> int:
+        """Total number of blocks in the cache."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self.blocks // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_int(self.block_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        return log2_int(self.sets)
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.associativity == 1
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.sets == 1
+
+    def block_address(self, address: int) -> int:
+        """Block-aligned identifier for ``address`` (address without offset)."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Set selected by ``address``."""
+        return (address >> self.offset_bits) & (self.sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Tag bits of ``address``."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def rebuild_address(self, tag: int, set_index: int) -> int:
+        """Inverse of (:meth:`tag`, :meth:`set_index`): a block-aligned byte
+        address.  Used to reconstruct victim addresses for write-backs."""
+        return ((tag << self.index_bits) | set_index) << self.offset_bits
+
+    def scaled(self, size_bytes: int = None, associativity: int = None) -> "CacheGeometry":
+        """A copy with some fields replaced -- convenient for design-space
+        sweeps that vary one parameter at a time."""
+        return CacheGeometry(
+            size_bytes=size_bytes if size_bytes is not None else self.size_bytes,
+            block_bytes=self.block_bytes,
+            associativity=associativity if associativity is not None else self.associativity,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.size_bytes % 1024 == 0:
+            size = f"{self.size_bytes // 1024}KB"
+        else:
+            size = f"{self.size_bytes}B"
+        return f"{size}/{self.block_bytes}B/{self.associativity}-way"

@@ -1,0 +1,115 @@
+"""Write and fetch policies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import check_power_of_two
+
+
+class WritePolicy(enum.Enum):
+    """Write strategy of a cache level.
+
+    The paper's base machine uses write-back caches at both levels with deep
+    write buffers, which is what makes write effects second-order (footnote
+    2); write-through is implemented for completeness and for the
+    write-strategy ablation.
+    """
+
+    #: Writes update the cache; dirty blocks go downstream on eviction.
+    WRITE_BACK = "write-back"
+    #: Writes propagate downstream immediately; blocks are never dirty.
+    WRITE_THROUGH = "write-through"
+
+    @classmethod
+    def parse(cls, value) -> "WritePolicy":
+        """Accept enum instances or their string values."""
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ValueError(
+            f"unknown write policy {value!r}; choose from "
+            f"{[m.value for m in cls]}"
+        )
+
+
+class PrefetchKind(enum.Enum):
+    """Hardware sequential-prefetch strategies (Smith's taxonomy).
+
+    The paper's simulator "must be able to model realistic systems,
+    including write buffering, prefetching, ..." (section 2); these are the
+    classic sequential schemes of its era.
+    """
+
+    #: Demand fetching only.
+    NONE = "none"
+    #: Prefetch the next block(s) on every demand miss.
+    ON_MISS = "on-miss"
+    #: Prefetch on a miss, and again on the first demand reference to a
+    #: block that arrived by prefetch (Gindele's tagged prefetch).
+    TAGGED = "tagged"
+    #: Prefetch the next block(s) on every demand reference.
+    ALWAYS = "always"
+
+    @classmethod
+    def parse(cls, value) -> "PrefetchKind":
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ValueError(
+            f"unknown prefetch kind {value!r}; choose from "
+            f"{[m.value for m in cls]}"
+        )
+
+
+@dataclass(frozen=True)
+class PrefetchPolicy:
+    """Sequential prefetching configuration.
+
+    ``distance`` is how many consecutive next blocks each trigger brings in.
+    """
+
+    kind: PrefetchKind = PrefetchKind.NONE
+    distance: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", PrefetchKind.parse(self.kind))
+        if self.distance < 1:
+            raise ValueError("prefetch distance must be at least 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.kind is not PrefetchKind.NONE
+
+    def candidates(self, block_address: int) -> range:
+        """Blocks to prefetch after a trigger on ``block_address``."""
+        return range(block_address + 1, block_address + 1 + self.distance)
+
+
+@dataclass(frozen=True)
+class FetchPolicy:
+    """What to bring into the cache on a miss.
+
+    ``fetch_blocks`` is the fetch size in blocks: the miss block's aligned
+    group of that many blocks is fetched (fetch size = block size when 1,
+    the paper's default).  ``write_allocate`` controls whether write misses
+    allocate a block; the paper's write-back caches allocate on write.
+    """
+
+    fetch_blocks: int = 1
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.fetch_blocks, "fetch_blocks")
+
+    def fetch_group(self, block_address: int) -> range:
+        """Block addresses fetched when ``block_address`` misses."""
+        if self.fetch_blocks == 1:
+            return range(block_address, block_address + 1)
+        start = block_address & ~(self.fetch_blocks - 1)
+        return range(start, start + self.fetch_blocks)

@@ -1,0 +1,101 @@
+"""Per-cache event counters and derived ratios.
+
+Counters distinguish demand traffic from prefetch traffic and reads from
+writes, because the paper defines its miss ratios over *reads only*
+(section 2): loads plus instruction fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Event counts for one cache."""
+
+    #: Read (load/ifetch) accesses presented to this cache.
+    reads: int = 0
+    #: Read accesses that missed.
+    read_misses: int = 0
+    #: Write (store) accesses presented to this cache.
+    writes: int = 0
+    #: Write accesses that missed.
+    write_misses: int = 0
+    #: Dirty blocks evicted (write-back traffic toward the next level).
+    writebacks: int = 0
+    #: Blocks fetched from the next level (demand + prefetch).
+    blocks_fetched: int = 0
+    #: Blocks fetched beyond the demand block (fetch size > block size).
+    prefetched_blocks: int = 0
+    #: Writes forwarded downstream immediately (write-through traffic).
+    writes_forwarded: int = 0
+    #: Prefetch reads presented to this cache by an upstream prefetcher.
+    prefetch_reads: int = 0
+    #: Prefetch reads that missed here.
+    prefetch_read_misses: int = 0
+    #: Prefetches this cache issued (blocks brought in speculatively).
+    prefetches_issued: int = 0
+    #: Prefetched blocks that later served a demand access.
+    useful_prefetches: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches that served a demand access."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.useful_prefetches / self.prefetches_issued
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def read_miss_ratio(self) -> float:
+        """Local read miss ratio: misses over reads *arriving at this cache*."""
+        if self.reads == 0:
+            return 0.0
+        return self.read_misses / self.reads
+
+    @property
+    def write_miss_ratio(self) -> float:
+        if self.writes == 0:
+            return 0.0
+        return self.write_misses / self.writes
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum (for aggregating across traces)."""
+        return CacheStats(
+            reads=self.reads + other.reads,
+            read_misses=self.read_misses + other.read_misses,
+            writes=self.writes + other.writes,
+            write_misses=self.write_misses + other.write_misses,
+            writebacks=self.writebacks + other.writebacks,
+            blocks_fetched=self.blocks_fetched + other.blocks_fetched,
+            prefetched_blocks=self.prefetched_blocks + other.prefetched_blocks,
+            writes_forwarded=self.writes_forwarded + other.writes_forwarded,
+            prefetch_reads=self.prefetch_reads + other.prefetch_reads,
+            prefetch_read_misses=self.prefetch_read_misses
+            + other.prefetch_read_misses,
+            prefetches_issued=self.prefetches_issued + other.prefetches_issued,
+            useful_prefetches=self.useful_prefetches + other.useful_prefetches,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (used at the warmup boundary)."""
+        self.reads = 0
+        self.read_misses = 0
+        self.writes = 0
+        self.write_misses = 0
+        self.writebacks = 0
+        self.blocks_fetched = 0
+        self.prefetched_blocks = 0
+        self.writes_forwarded = 0
+        self.prefetch_reads = 0
+        self.prefetch_read_misses = 0
+        self.prefetches_issued = 0
+        self.useful_prefetches = 0

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: multi-level design-space analysis.
+
+This package turns the substrates (traces, caches, simulators, analytical
+models) into the analyses the paper is built around:
+
+* :mod:`repro.core.metrics` -- the local/global/solo miss-ratio triad of
+  section 3 and the layer-independence analysis.
+* :mod:`repro.core.design_space` -- speed-size sweeps over (L2 size, L2
+  cycle time) grids; execution time via the counts-plus-affine method
+  validated against the timing simulator.
+* :mod:`repro.core.constant_performance` -- lines of constant performance,
+  their slopes, slope-region classification and shift measurement
+  (section 4, Figures 4-1 .. 4-4).
+* :mod:`repro.core.breakeven` -- set-associativity break-even
+  implementation-time maps (section 5, Figures 5-1 .. 5-3).
+* :mod:`repro.core.optimizer` -- searches for the performance-optimal
+  hierarchy under an implementation-technology model (section 6's design
+  guidance, made executable).
+"""
+
+from repro.core.metrics import MissRatioTriad, measure_triad, sweep_triads
+from repro.core.design_space import (
+    AffineTimeModel,
+    SpeedSizeGrid,
+    affine_model_for,
+    execution_time_grid,
+)
+from repro.core.constant_performance import (
+    ConstantPerformanceLines,
+    lines_of_constant_performance,
+    slope_field,
+    slope_region_boundary,
+)
+from repro.core.breakeven import BreakevenMap, breakeven_map
+from repro.core.optimizer import (
+    HierarchyOptimizer,
+    JointCandidate,
+    OptimizationResult,
+    TechnologyModel,
+    optimal_l1_sweep,
+    single_level_ceiling,
+)
+
+__all__ = [
+    "MissRatioTriad",
+    "measure_triad",
+    "sweep_triads",
+    "AffineTimeModel",
+    "affine_model_for",
+    "SpeedSizeGrid",
+    "execution_time_grid",
+    "ConstantPerformanceLines",
+    "lines_of_constant_performance",
+    "slope_field",
+    "slope_region_boundary",
+    "BreakevenMap",
+    "breakeven_map",
+    "HierarchyOptimizer",
+    "OptimizationResult",
+    "TechnologyModel",
+    "JointCandidate",
+    "optimal_l1_sweep",
+    "single_level_ceiling",
+]

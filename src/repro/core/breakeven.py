@@ -1,0 +1,110 @@
+"""Set-associativity break-even implementation-time maps (section 5).
+
+For each point of the (L2 size, L2 cycle time) design plane, the break-even
+implementation time of set size ``k`` is the cycle-time increase over the
+direct-mapped cache that exactly cancels the miss-ratio benefit: if the
+implementation of associativity costs more than this, it loses.
+
+With the affine time models ``T_1(c) = a_1 + b_1 c`` (direct-mapped) and
+``T_k(c) = a_k + b_k c`` (k-way), the cumulative break-even time at base
+cycle time ``c`` solves ``T_k(c + dt) = T_1(c)``::
+
+    dt = (a_1 - a_k + (b_1 - b_k) * c) / b_k
+
+which reduces to Equation 3 when only the memory-fetch counts differ.
+Incremental times (k versus k/2) use the same formula against the k/2
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.design_space import AffineTimeModel, execution_time_grid, SpeedSizeGrid
+from repro.sim.config import SystemConfig
+from repro.trace.record import Trace
+
+
+@dataclass
+class BreakevenMap:
+    """Break-even implementation times over the design plane.
+
+    ``nanoseconds[i, j]`` is the cumulative break-even time (ns) for
+    ``set_size``-way associativity at L2 size ``sizes[i]`` and base
+    direct-mapped cycle time ``cycle_times[j]`` (CPU cycles).
+    """
+
+    set_size: int
+    baseline_set_size: int
+    sizes: List[int]
+    cycle_times: List[float]
+    nanoseconds: np.ndarray
+
+    def at(self, size: int, cycle_time: float) -> float:
+        return float(
+            self.nanoseconds[
+                self.sizes.index(size), self.cycle_times.index(cycle_time)
+            ]
+        )
+
+    def region_at_least(self, budget_ns: float) -> np.ndarray:
+        """Boolean mask of the design plane where at least ``budget_ns`` is
+        available for the implementation of associativity (the paper's
+        shaded contour regions)."""
+        return self.nanoseconds >= budget_ns
+
+
+def _grid_for_set_size(
+    traces: Sequence[Trace],
+    config: SystemConfig,
+    sizes: Sequence[int],
+    cycle_times: Sequence[float],
+    set_size: int,
+    level: int,
+) -> SpeedSizeGrid:
+    associative = config.with_level(level - 1, associativity=set_size)
+    return execution_time_grid(traces, associative, sizes, cycle_times, level)
+
+
+def breakeven_map(
+    traces: Sequence[Trace],
+    config: SystemConfig,
+    sizes: Sequence[int],
+    cycle_times: Sequence[float],
+    set_size: int,
+    baseline_set_size: int = 1,
+    level: int = 2,
+) -> BreakevenMap:
+    """Compute the break-even map of ``set_size`` against
+    ``baseline_set_size`` over the design plane.
+
+    ``cycle_times`` are the *baseline* cache's cycle times in CPU cycles;
+    results are reported in nanoseconds like the paper's Figures 5-1..5-3.
+    """
+    if set_size <= baseline_set_size:
+        raise ValueError("set_size must exceed the baseline")
+    base_grid = _grid_for_set_size(
+        traces, config, sizes, cycle_times, baseline_set_size, level
+    )
+    assoc_grid = _grid_for_set_size(
+        traces, config, sizes, cycle_times, set_size, level
+    )
+    cpu_cycle_ns = config.cpu.cycle_ns
+    out = np.zeros((len(sizes), len(cycle_times)))
+    for i in range(len(sizes)):
+        base_model = base_grid.models[i]
+        assoc_model = assoc_grid.models[i]
+        for j, cycle in enumerate(cycle_times):
+            target = base_model.total_cycles(cycle)
+            equivalent = assoc_model.cycle_for_total(target)
+            out[i, j] = (equivalent - cycle) * cpu_cycle_ns
+    return BreakevenMap(
+        set_size=set_size,
+        baseline_set_size=baseline_set_size,
+        sizes=list(sizes),
+        cycle_times=list(cycle_times),
+        nanoseconds=out,
+    )

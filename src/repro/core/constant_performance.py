@@ -1,0 +1,202 @@
+"""Lines of constant performance and their slopes (section 4).
+
+Horizontal slices through the execution-time surface expose classes of
+machines with the same performance; mapped onto the (log2 L2 size, L2 cycle
+time) plane they form the paper's lines of constant performance
+(Figures 4-2, 4-3, 4-4).  Their *slope* -- CPU cycles of allowable cycle-time
+degradation per size doubling -- is the design currency: steep slopes mean
+size is cheap relative to speed.
+
+Because execution time is affine in the cycle time (see
+:mod:`repro.core.design_space`), each line is computed exactly by inverting
+the per-size affine model rather than by contouring a sampled grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import math
+
+import numpy as np
+
+from repro.core.design_space import SpeedSizeGrid
+
+
+@dataclass
+class ConstantPerformanceLines:
+    """A family of iso-performance lines over the design plane.
+
+    ``cycle_at[k, i]`` is the L2 cycle time (CPU cycles) at which size
+    ``sizes[i]`` delivers relative execution time ``levels[k]``; ``nan``
+    where the level is unreachable at that size within physical (positive)
+    cycle times.
+    """
+
+    sizes: List[int]
+    levels: List[float]
+    cycle_at: np.ndarray
+    #: The grid's best (minimum) total cycles, the normalisation reference.
+    reference_cycles: float
+
+    def line(self, level: float) -> np.ndarray:
+        return self.cycle_at[self.levels.index(level)]
+
+    def slopes(self, level: float) -> np.ndarray:
+        """Per-doubling slopes along one line: entry ``i`` is the cycle-time
+        change from ``sizes[i]`` to ``sizes[i+1]`` divided by the number of
+        doublings between them."""
+        cycles = self.line(level)
+        doublings = np.diff(np.log2(np.asarray(self.sizes, dtype=float)))
+        return np.diff(cycles) / doublings
+
+
+def lines_of_constant_performance(
+    grid: SpeedSizeGrid,
+    levels: Sequence[float],
+    reference_cycles: Optional[float] = None,
+) -> ConstantPerformanceLines:
+    """Compute iso-performance lines from a speed-size grid.
+
+    ``levels`` are relative execution times (1.1, 1.2, ... in the paper);
+    ``reference_cycles`` defaults to the grid's minimum, matching the
+    paper's normalisation to the best machine in the design space.
+    """
+    if not levels:
+        raise ValueError("need at least one performance level")
+    reference = grid.total_cycles.min() if reference_cycles is None else reference_cycles
+    if reference <= 0:
+        raise ValueError("reference cycle count must be positive")
+    cycle_at = np.full((len(levels), len(grid.sizes)), np.nan)
+    for k, level in enumerate(levels):
+        if level <= 0:
+            raise ValueError("performance levels must be positive")
+        target = level * reference
+        for i, model in enumerate(grid.models):
+            cycle = model.cycle_for_total(target)
+            if cycle > 0:
+                cycle_at[k, i] = cycle
+    return ConstantPerformanceLines(
+        sizes=list(grid.sizes),
+        levels=list(levels),
+        cycle_at=cycle_at,
+        reference_cycles=float(reference),
+    )
+
+
+def slope_field(grid: SpeedSizeGrid) -> np.ndarray:
+    """Iso-performance slope at each size step, independent of the level.
+
+    With affine models ``T_i(c) = a_i + b_i c``, the iso-line through
+    ``(s_i, c)`` meets size ``s_{i+1}`` at ``c' = (a_i + b_i c - a_{i+1}) /
+    b_{i+1}``; the slope ``(c' - c)`` varies (weakly) with ``c``, so the
+    field is evaluated at each grid cycle time: entry ``[i, j]`` is the
+    slope (CPU cycles per doubling) from ``sizes[i]`` to ``sizes[i+1]`` at
+    ``cycle_times[j]``.
+    """
+    sizes = np.asarray(grid.sizes, dtype=float)
+    doublings = np.diff(np.log2(sizes))
+    field = np.zeros((len(grid.sizes) - 1, len(grid.cycle_times)))
+    for i in range(len(grid.sizes) - 1)   :
+        here, there = grid.models[i], grid.models[i + 1]
+        for j, cycle in enumerate(grid.cycle_times):
+            total = here.total_cycles(cycle)
+            equivalent = there.cycle_for_total(total)
+            field[i, j] = (equivalent - cycle) / doublings[i]
+    return field
+
+
+def slope_region_boundary(
+    grid: SpeedSizeGrid,
+    threshold: float,
+    cycle_time: float,
+) -> Optional[float]:
+    """The L2 size at which the iso-performance slope falls below
+    ``threshold`` CPU cycles per doubling, at the given base cycle time.
+
+    This locates the boundaries of the paper's shaded tradeoff regions
+    (0.75 / 1.5 / 3 cycles per doubling); log-interpolated between grid
+    sizes.  Returns ``None`` when the slope never falls below the
+    threshold inside the grid (the region extends beyond it), or the
+    smallest size when it is already below at the left edge.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    field = slope_field(grid)
+    j = grid.cycle_times.index(cycle_time)
+    slopes = field[:, j]
+    sizes = np.asarray(grid.sizes, dtype=float)
+    midpoints = np.sqrt(sizes[:-1] * sizes[1:])  # geometric mid of each step
+    if slopes[0] < threshold:
+        return float(sizes[0])
+    for i in range(1, len(slopes)):
+        if slopes[i] < threshold:
+            # Interpolate in (log size, slope) between midpoints i-1 and i.
+            x0, x1 = math.log2(midpoints[i - 1]), math.log2(midpoints[i])
+            y0, y1 = slopes[i - 1], slopes[i]
+            x = x0 + (threshold - y0) * (x1 - x0) / (y1 - y0)
+            return float(2**x)
+    return None
+
+
+def iso_line_shift(
+    lines_a: ConstantPerformanceLines,
+    lines_b: ConstantPerformanceLines,
+) -> Optional[float]:
+    """Mean horizontal displacement between matching iso-performance lines.
+
+    For every performance level present in both families and every point of
+    the reference family's lines, find the size at which the other family's
+    line reaches the *same cycle time* (interpolating in log2 size) and
+    average the log-size displacement.  This is how the paper compares
+    Figures 4-2 and 4-3: each family is normalised to its own best machine,
+    and the 32 KB-L1 lines sit ~1.74x to the right of the 4 KB-L1 lines.
+
+    Returns the geometric-mean size ratio (b relative to a), or ``None``
+    when the families never overlap in cycle time.
+    """
+    shared = [level for level in lines_a.levels if level in lines_b.levels]
+    shifts: List[float] = []
+    log_sizes_a = np.log2(np.asarray(lines_a.sizes, dtype=float))
+    log_sizes_b = np.log2(np.asarray(lines_b.sizes, dtype=float))
+    for level in shared:
+        line_a = lines_a.line(level)
+        line_b = lines_b.line(level)
+        valid_b = np.isfinite(line_b)
+        if valid_b.sum() < 2:
+            continue
+        cycles_b = line_b[valid_b]
+        logs_b = log_sizes_b[valid_b]
+        # Lines rise with size, so cycle -> log2 size is monotone.
+        order = np.argsort(cycles_b)
+        cycles_b, logs_b = cycles_b[order], logs_b[order]
+        for i, cycle in enumerate(line_a):
+            if not np.isfinite(cycle):
+                continue
+            if not cycles_b[0] <= cycle <= cycles_b[-1]:
+                continue
+            log_b = float(np.interp(cycle, cycles_b, logs_b))
+            shifts.append(log_b - float(log_sizes_a[i]))
+    if not shifts:
+        return None
+    return float(2.0 ** np.mean(shifts))
+
+
+def horizontal_shift(
+    grid_a: SpeedSizeGrid,
+    grid_b: SpeedSizeGrid,
+    threshold: float,
+    cycle_time: float,
+) -> Optional[float]:
+    """Size ratio by which a slope-region boundary moved between two design
+    spaces (e.g. 4 KB vs 32 KB L1, or fast vs slow memory).
+
+    Returns ``boundary_b / boundary_a`` or ``None`` if either boundary is
+    outside its grid.
+    """
+    a = slope_region_boundary(grid_a, threshold, cycle_time)
+    b = slope_region_boundary(grid_b, threshold, cycle_time)
+    if a is None or b is None:
+        return None
+    return b / a

@@ -1,0 +1,119 @@
+"""The miss-ratio triad of section 3: local, global and solo.
+
+* The **local** miss ratio divides a cache's misses by the references
+  reaching *it*.
+* The **global** miss ratio divides the same misses by the *CPU's* read
+  references.
+* The **solo** miss ratio is what the cache would show if it were alone in
+  the system (the single-level miss ratio we have intuition for).
+
+The paper's section 3 result is that global ~ solo once a cache is much
+(>= ~8x) larger than its predecessor: the layers can be designed almost
+independently.  Measuring the triad needs two simulations per
+configuration: the full hierarchy, and the same machine with the upstream
+levels removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.fast import run_functional
+from repro.sim.functional import FunctionalResult
+from repro.trace.record import Trace
+
+
+@dataclass(frozen=True)
+class MissRatioTriad:
+    """Local/global/solo read miss ratios of one cache level."""
+
+    level: int
+    local: float
+    global_: float
+    solo: float
+    #: Fraction of CPU reads that reach this level (the filtering effect).
+    traffic: float
+
+    @property
+    def filtering(self) -> float:
+        """Fraction of CPU reads absorbed upstream (1 - traffic)."""
+        return 1.0 - self.traffic
+
+    @property
+    def global_solo_gap(self) -> float:
+        """Relative deviation of the global from the solo miss ratio --
+        the layer-independence figure of merit (small means independent)."""
+        if self.solo == 0:
+            return 0.0
+        return abs(self.global_ - self.solo) / self.solo
+
+
+def _solo_config(config: SystemConfig, level: int) -> SystemConfig:
+    """The configuration with every level above ``level`` removed."""
+    solo = config
+    for _ in range(level - 1):
+        solo = solo.without_level(0)
+    return solo
+
+
+def _aggregate(
+    results: Sequence[FunctionalResult], level: int
+) -> Dict[str, float]:
+    """Count-weighted ratios across traces (sums of misses over sums of
+    reads, not averages of ratios)."""
+    misses = sum(r.level_stats[level - 1].read_misses for r in results)
+    arriving = sum(r.level_stats[level - 1].reads for r in results)
+    cpu_reads = sum(r.cpu_reads for r in results)
+    return {
+        "local": misses / arriving if arriving else 0.0,
+        "global": misses / cpu_reads if cpu_reads else 0.0,
+        "traffic": arriving / cpu_reads if cpu_reads else 0.0,
+    }
+
+
+def measure_triad(
+    traces: Sequence[Trace], config: SystemConfig, level: int = 2
+) -> MissRatioTriad:
+    """Measure the local/global/solo triad of ``level`` over ``traces``.
+
+    Runs the full hierarchy and the solo machine on every trace and
+    aggregates by counts.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    if not 1 <= level <= config.depth:
+        raise ValueError(f"level {level} outside the hierarchy (depth {config.depth})")
+    full = [run_functional(trace, config) for trace in traces]
+    ratios = _aggregate(full, level)
+    if level == 1:
+        solo_ratio = ratios["global"]  # L1 is already alone at the top
+    else:
+        solo_config = _solo_config(config, level)
+        solo_runs = [run_functional(trace, solo_config) for trace in traces]
+        solo_ratio = _aggregate(solo_runs, 1)["global"]
+    return MissRatioTriad(
+        level=level,
+        local=ratios["local"],
+        global_=ratios["global"],
+        solo=solo_ratio,
+        traffic=ratios["traffic"],
+    )
+
+
+def sweep_triads(
+    traces: Sequence[Trace],
+    config: SystemConfig,
+    sizes: Sequence[int],
+    level: int = 2,
+) -> List[MissRatioTriad]:
+    """Measure the triad for each ``level`` size in ``sizes``.
+
+    This regenerates the data behind Figures 3-1 and 3-2 (with the level's
+    other parameters held at the base configuration).
+    """
+    return [
+        measure_triad(traces, config.with_level(level - 1, size_bytes=size), level)
+        for size in sizes
+    ]

@@ -1,0 +1,267 @@
+"""Performance-optimal hierarchy search (the paper's design question made
+executable).
+
+Given an implementation-technology model -- how a cache's cycle time grows
+with its size and associativity -- and a trace set, the optimiser finds the
+configuration minimising execution time.  It makes the paper's two framing
+results demonstrable:
+
+* the **single-level performance ceiling**: past a point, no single-level
+  configuration improves, because bigger means slower;
+* breaking the ceiling with a second level, whose optimal size/associativity
+  sits at larger-and-slower coordinates than a single-level analysis would
+  pick.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.design_space import affine_model_for
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.fast import run_functional
+from repro.sim.timing import TimingSimulator
+from repro.trace.record import Trace
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Cycle time (ns) of a cache as implemented, by size and set size.
+
+    ``base_ns`` is the cycle time of a ``base_size`` direct-mapped cache;
+    each size doubling adds ``ns_per_doubling``; each associativity
+    doubling adds ``ns_per_way_doubling`` (the paper's TTL context puts the
+    2:1-mux floor at ~11 ns for discrete parts).
+    """
+
+    base_size: int
+    base_ns: float
+    ns_per_doubling: float
+    ns_per_way_doubling: float
+
+    def cycle_ns(self, size: int, associativity: int = 1) -> float:
+        if size <= 0 or associativity < 1:
+            raise ValueError("size must be positive and associativity >= 1")
+        doublings = math.log2(size / self.base_size)
+        way_doublings = math.log2(associativity)
+        return (
+            self.base_ns
+            + self.ns_per_doubling * doublings
+            + self.ns_per_way_doubling * way_doublings
+        )
+
+
+@dataclass
+class CandidateEvaluation:
+    """One evaluated configuration."""
+
+    config: SystemConfig
+    total_cycles: float
+    l2_size: Optional[int]
+    l2_associativity: Optional[int]
+    l2_cycle_cpu_cycles: Optional[float]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a hierarchy search."""
+
+    best: CandidateEvaluation
+    evaluations: List[CandidateEvaluation]
+
+    @property
+    def best_config(self) -> SystemConfig:
+        return self.best.config
+
+    def sorted_by_time(self) -> List[CandidateEvaluation]:
+        return sorted(self.evaluations, key=lambda e: e.total_cycles)
+
+
+class HierarchyOptimizer:
+    """Searches L2 organisations under a technology model.
+
+    The L1 and the rest of the machine stay fixed (the paper's sweeps do
+    the same); candidates are the cross product of sizes and set sizes,
+    with each candidate's cycle time dictated by the technology model,
+    rounded **up** to whole CPU cycles (a synchronous interface cannot use
+    fractional cycles).
+    """
+
+    def __init__(
+        self,
+        base_config: SystemConfig,
+        technology: TechnologyModel,
+        traces: Sequence[Trace],
+        level: int = 2,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one trace")
+        if not 1 <= level <= base_config.depth:
+            raise ValueError("level outside the hierarchy")
+        self.base_config = base_config
+        self.technology = technology
+        self.traces = list(traces)
+        self.level = level
+
+    def evaluate(self, size: int, associativity: int) -> CandidateEvaluation:
+        """Evaluate one candidate using the affine counts method."""
+        cycle_ns = self.technology.cycle_ns(size, associativity)
+        cpu = self.base_config.cpu.cycle_ns
+        cycle_cpu = max(1.0, math.ceil(cycle_ns / cpu))
+        config = self.base_config.with_level(
+            self.level - 1,
+            size_bytes=size,
+            associativity=associativity,
+            cycle_cpu_cycles=cycle_cpu,
+        )
+        total = 0.0
+        for trace in self.traces:
+            result = run_functional(trace, config)
+            model = affine_model_for(result, config)
+            total += model.total_cycles(cycle_cpu)
+        return CandidateEvaluation(
+            config=config,
+            total_cycles=total,
+            l2_size=size,
+            l2_associativity=associativity,
+            l2_cycle_cpu_cycles=cycle_cpu,
+        )
+
+    def optimize(
+        self,
+        sizes: Sequence[int],
+        set_sizes: Sequence[int] = (1, 2, 4, 8),
+    ) -> OptimizationResult:
+        """Exhaustive search over the candidate grid."""
+        if not sizes or not set_sizes:
+            raise ValueError("need candidate sizes and set sizes")
+        evaluations = []
+        for size in sizes:
+            for ways in set_sizes:
+                if ways * self.base_config.levels[self.level - 1].block_bytes > size:
+                    continue  # degenerate geometry
+                evaluations.append(self.evaluate(size, ways))
+        if not evaluations:
+            raise ValueError("no feasible candidates")
+        best = min(evaluations, key=lambda e: e.total_cycles)
+        return OptimizationResult(best=best, evaluations=evaluations)
+
+
+@dataclass
+class JointCandidate:
+    """One (L1 size, L2 cycle time) point of the joint design space."""
+
+    l1_size: int
+    cpu_cycle_ns: float
+    l2_cycle_cpu_cycles: float
+    total_ns: float
+
+
+def optimal_l1_sweep(
+    base_config: SystemConfig,
+    l1_technology: TechnologyModel,
+    traces: Sequence[Trace],
+    l1_sizes: Sequence[int],
+    l2_cycle_ns_values: Sequence[float],
+) -> List[List[JointCandidate]]:
+    """Joint L1-size / L2-speed design space (the paper's section 6 claim).
+
+    The on-chip L1 sets the CPU clock: a bigger L1 means a slower cycle for
+    *every* instruction (``l1_technology`` gives the cycle time).  A slower
+    L2 raises the L1 miss penalty, which pushes the optimal L1 larger --
+    "as the L2 cycle time gets much above 4 CPU cycles, the optimal L1
+    cache size is significantly increased above its minimum".
+
+    Returns one candidate list per L2 speed, each covering every L1 size;
+    total time is in nanoseconds because the CPU cycle varies across
+    candidates.  Event counts are reused across L2 speeds (they do not
+    depend on timing).
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    if not l1_sizes or not l2_cycle_ns_values:
+        raise ValueError("need candidate L1 sizes and L2 speeds")
+    # One functional run per (L1 size, trace); models are per L1 size.
+    models = {}
+    for l1_size in l1_sizes:
+        cpu_ns = l1_technology.cycle_ns(l1_size, 1)
+        config = SystemConfig(
+            levels=(
+                base_config.levels[0].with_(size_bytes=l1_size),
+            ) + base_config.levels[1:],
+            cpu=type(base_config.cpu)(cycle_ns=cpu_ns),
+            memory=base_config.memory,
+            bus_width_words=base_config.bus_width_words,
+            write_buffer_entries=base_config.write_buffer_entries,
+            backplane_cycle_ns=base_config.effective_backplane_ns,
+        )
+        base_sum = events_sum = 0.0
+        for trace in traces:
+            result = run_functional(trace, config)
+            model = affine_model_for(result, config)
+            base_sum += model.base
+            events_sum += model.events_per_cycle
+        models[l1_size] = (config, base_sum, events_sum, cpu_ns)
+    sweeps: List[List[JointCandidate]] = []
+    for l2_ns in l2_cycle_ns_values:
+        candidates = []
+        for l1_size in l1_sizes:
+            _config, base_cycles, events, cpu_ns = models[l1_size]
+            l2_cycles = max(1.0, math.ceil(l2_ns / cpu_ns))
+            total_cycles = base_cycles + events * l2_cycles
+            candidates.append(
+                JointCandidate(
+                    l1_size=l1_size,
+                    cpu_cycle_ns=cpu_ns,
+                    l2_cycle_cpu_cycles=l2_cycles,
+                    total_ns=total_cycles * cpu_ns,
+                )
+            )
+        sweeps.append(candidates)
+    return sweeps
+
+
+def single_level_ceiling(
+    base_config: SystemConfig,
+    technology: TechnologyModel,
+    traces: Sequence[Trace],
+    sizes: Sequence[int],
+) -> OptimizationResult:
+    """Optimise a single-level machine (no L2) under the same technology.
+
+    Uses the timing simulator (the affine method models two-level systems).
+    Demonstrates the paper's single-level performance ceiling: execution
+    time is convex in size once the technology model charges for growth.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    evaluations = []
+    for size in sizes:
+        cycle_ns = technology.cycle_ns(size, 1)
+        cycle_cpu = max(1.0, math.ceil(cycle_ns / base_config.cpu.cycle_ns))
+        level = base_config.levels[0].with_(
+            size_bytes=size, cycle_cpu_cycles=cycle_cpu
+        )
+        config = SystemConfig(
+            levels=(level,),
+            cpu=base_config.cpu,
+            memory=base_config.memory,
+            bus_width_words=base_config.bus_width_words,
+            write_buffer_entries=base_config.write_buffer_entries,
+        )
+        total = sum(
+            TimingSimulator(config).run(trace).total_cycles for trace in traces
+        )
+        evaluations.append(
+            CandidateEvaluation(
+                config=config,
+                total_cycles=total,
+                l2_size=None,
+                l2_associativity=None,
+                l2_cycle_cpu_cycles=None,
+            )
+        )
+    best = min(evaluations, key=lambda e: e.total_cycles)
+    return OptimizationResult(best=best, evaluations=evaluations)

@@ -1,0 +1,27 @@
+"""Experiment layer: one runnable reproduction per paper artefact.
+
+``mlcache list`` / ``mlcache run <id>`` drive these from the command line;
+``benchmarks/`` wraps each in a pytest-benchmark target.  The per-experiment
+index lives in DESIGN.md section 5.
+"""
+
+from repro.experiments.base import Experiment, ExperimentReport
+from repro.experiments.baseline import (
+    base_machine,
+    l2_sweep_sizes,
+    solo_l2_machine,
+)
+from repro.experiments.registry import experiment_ids, make_experiment
+from repro.experiments.workloads import build_trace, paper_trace_suite
+
+__all__ = [
+    "Experiment",
+    "ExperimentReport",
+    "base_machine",
+    "solo_l2_machine",
+    "l2_sweep_sizes",
+    "experiment_ids",
+    "make_experiment",
+    "paper_trace_suite",
+    "build_trace",
+]

@@ -1,0 +1,60 @@
+"""Experiment framework shared by every figure reproduction."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.render import render_table
+from repro.trace.record import Trace
+
+
+@dataclass
+class ExperimentReport:
+    """The result of one experiment: a paper-shaped table plus shape checks.
+
+    ``checks`` maps a named paper claim to whether the measured data shows
+    it; EXPERIMENTS.md aggregates these as the paper-versus-measured
+    record.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(render_table(self.headers, self.rows))
+        if self.checks:
+            lines.append("shape checks:")
+            for name, passed in self.checks.items():
+                lines.append(f"  [{'ok' if passed else 'FAIL'}] {name}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+class Experiment(ABC):
+    """One reproducible artefact (a figure, a table, or a claim)."""
+
+    #: Identifier used by the CLI and DESIGN.md ("F3-1", "E-EQ1", ...).
+    experiment_id: str = "?"
+    title: str = "?"
+
+    @abstractmethod
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        """Execute the experiment on the given trace suite."""
+
+    def run_default(self) -> ExperimentReport:
+        """Execute on the standard paper trace suite."""
+        from repro.experiments.workloads import paper_trace_suite
+
+        return self.run(paper_trace_suite())

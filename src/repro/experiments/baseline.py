@@ -1,0 +1,106 @@
+"""The paper's base machine (section 2) and shared experiment constants."""
+
+from __future__ import annotations
+
+from repro.memory.main_memory import MemoryTiming
+from repro.sim.config import CpuConfig, LevelConfig, SystemConfig
+from repro.units import KB, MB
+
+#: CPU cycle time of the hypothetical single-chip processor.
+CPU_CYCLE_NS = 10.0
+
+#: Select-to-data-out time of a 2:1 Advanced-Schottky multiplexor -- the
+#: minimum implementation cycle-time overhead for set associativity in a
+#: discrete-TTL second-level cache (paper, section 5).
+TTL_MUX_NS = 11.0
+
+#: L2 sizes swept by the paper's figures (4 KB to 4 MB).
+L2_SIZES = [4 * KB * 2**i for i in range(11)]
+
+
+def l2_sweep_sizes(minimum: int = 4 * KB) -> list:
+    """The L2 size axis for sweeps, from ``minimum`` upward.
+
+    The default benchmark scale stops at 512 KB (the synthetic traces'
+    power-law region at the default record count); set ``REPRO_FULL=1`` to
+    sweep the paper's full 4 KB - 4 MB axis (pair it with a larger
+    ``REPRO_RECORDS`` so the biggest caches still see misses).
+    """
+    import os
+
+    top = 4 * MB if os.environ.get("REPRO_FULL") else 512 * KB
+    return [size for size in L2_SIZES if minimum <= size <= top]
+
+#: L2 cycle times swept by Figure 4-1 (in CPU cycles).
+L2_CYCLE_TIMES = [float(c) for c in range(1, 11)]
+
+#: Relative-execution-time contour levels of Figures 4-2 .. 4-4.
+PERFORMANCE_LEVELS = [round(1.1 + 0.1 * i, 1) for i in range(16)]
+
+#: Slope-region boundaries (CPU cycles per size doubling) shading the
+#: Figure 4 design planes.
+SLOPE_THRESHOLDS = [0.75, 1.5, 3.0]
+
+#: Break-even contour levels (ns) shading Figures 5-1 .. 5-3.
+BREAKEVEN_CONTOURS_NS = [10.0, 20.0, 30.0, 40.0]
+
+
+def base_machine(
+    l1_size: int = 4 * KB,
+    l2_size: int = 512 * KB,
+    l2_cycle_cpu_cycles: float = 3.0,
+    l2_associativity: int = 1,
+    memory_scale: float = 1.0,
+) -> SystemConfig:
+    """The base two-level system of section 2.
+
+    10 ns CPU; split 4 KB direct-mapped write-back L1 with 4-word blocks
+    cycling at the CPU rate (write hits 2 cycles); 512 KB direct-mapped
+    write-back L2 with 8-word blocks at 3 CPU cycles (write hits 2 L2
+    cycles); 4-word busses clocked at the L2 rate; DRAM reads 180 ns,
+    writes 100 ns, >=120 ns recovery; 4-entry write buffers between levels.
+    """
+    memory = MemoryTiming()
+    if memory_scale != 1.0:
+        memory = memory.scaled(memory_scale)
+    return SystemConfig(
+        levels=(
+            LevelConfig(
+                size_bytes=l1_size,
+                block_bytes=16,
+                associativity=1,
+                cycle_cpu_cycles=1.0,
+                write_hit_cycles=2,
+                split=True,
+            ),
+            LevelConfig(
+                size_bytes=l2_size,
+                block_bytes=32,
+                associativity=l2_associativity,
+                cycle_cpu_cycles=l2_cycle_cpu_cycles,
+                write_hit_cycles=2,
+            ),
+        ),
+        cpu=CpuConfig(cycle_ns=CPU_CYCLE_NS),
+        memory=memory,
+        bus_width_words=4,
+        write_buffer_entries=4,
+        # The base machine wires the backplane to the default 3-CPU-cycle
+        # L2; pinning it here keeps the memory access portion of the miss
+        # penalty constant when experiments sweep the L2 SRAM time
+        # (paper, section 4).
+        backplane_cycle_ns=3.0 * CPU_CYCLE_NS,
+    )
+
+
+def solo_l2_machine(
+    l2_size: int = 512 * KB,
+    l2_cycle_cpu_cycles: float = 3.0,
+    l2_associativity: int = 1,
+) -> SystemConfig:
+    """The base machine with the L1 removed (solo miss-ratio runs)."""
+    return base_machine(
+        l2_size=l2_size,
+        l2_cycle_cpu_cycles=l2_cycle_cpu_cycles,
+        l2_associativity=l2_associativity,
+    ).without_level(0)

@@ -1,0 +1,381 @@
+"""Equation and text-claim reproductions (E-EQ1..3, E-R5, E-CONC).
+
+These experiments check the paper's analytical spine against the
+simulators: Equation 1 versus measured execution time, the Equation 2
+optimal-size behaviour, the Equation 3 break-even scaling with L1 size, the
+0.69-per-doubling miss-rate characterisation, and the conclusions'
+single-level-versus-multi-level shift quantification.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analytical.execution_time import model_from_functional
+from repro.analytical.missrate import fit_power_law
+from repro.analytical.tradeoff import optimal_size_shift_per_l1_doubling
+from repro.core.breakeven import breakeven_map
+from repro.core.metrics import measure_triad, sweep_triads
+from repro.core.optimizer import HierarchyOptimizer, TechnologyModel
+from repro.experiments.base import Experiment, ExperimentReport
+from repro.experiments.baseline import base_machine, l2_sweep_sizes, solo_l2_machine
+from repro.experiments.render import format_ratio, format_size
+from repro.sim.fast import run_functional
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.timing import TimingSimulator
+from repro.trace.record import Trace
+from repro.units import KB
+
+
+class EquationOneValidation(Experiment):
+    """E-EQ1: Equation 1 versus the timing simulator, per trace."""
+
+    experiment_id = "E-EQ1"
+    title = "Equation 1 cycle count vs timing simulation"
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        config = base_machine(l2_size=128 * KB)
+        rows: List[List[str]] = []
+        errors = []
+        for trace in traces:
+            functional = FunctionalSimulator(config).run(trace)
+            timing = TimingSimulator(config).run(trace)
+            model = model_from_functional(functional, config)
+            predicted = model.total_cycles(functional.cpu_reads)
+            measured = (timing.total_ns - timing.write_stall_ns) / config.cpu.cycle_ns
+            error = predicted / measured - 1.0
+            errors.append(error)
+            rows.append(
+                [
+                    trace.name,
+                    f"{predicted:.0f}",
+                    f"{measured:.0f}",
+                    f"{error * 100:+.1f}%",
+                ]
+            )
+        checks = {
+            "Equation 1 within 10% of simulation on every trace": all(
+                abs(e) < 0.10 for e in errors
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["trace", "Eq.1 cycles", "simulated (read side)", "error"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "simulated read side = total minus write stalls (Equation 1 "
+                "excludes write effects; paper footnote 2)",
+            ],
+        )
+
+
+class OptimalSizeShift(Experiment):
+    """E-EQ2: the optimal L2 size grows as the L1 improves."""
+
+    experiment_id = "E-EQ2"
+    title = "Optimal L2 size vs L1 size (Equation 2 behaviour)"
+
+    L1_SIZES = [2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        technology = TechnologyModel(
+            base_size=16 * KB, base_ns=25.0, ns_per_doubling=5.0,
+            ns_per_way_doubling=11.0,
+        )
+        sizes = l2_sweep_sizes(minimum=8 * KB)
+        rows = []
+        optima = []
+        l1_misses = []
+        for l1_size in self.L1_SIZES:
+            config = base_machine(l1_size=l1_size)
+            optimizer = HierarchyOptimizer(config, technology, traces)
+            best = optimizer.optimize(sizes, set_sizes=(1,)).best
+            triad = measure_triad(traces, config, level=1)
+            optima.append(best.l2_size)
+            l1_misses.append(triad.global_)
+            rows.append(
+                [
+                    format_size(l1_size),
+                    format_ratio(triad.global_),
+                    format_size(best.l2_size),
+                    f"{best.l2_cycle_cpu_cycles:.0f} cyc",
+                ]
+            )
+        alpha = -math.log2(0.69)
+        predicted = optimal_size_shift_per_l1_doubling(alpha, 0.69, "linear")
+        checks = {
+            "optimal L2 size never shrinks as L1 grows": all(
+                optima[i + 1] >= optima[i] for i in range(len(optima) - 1)
+            ),
+            "L1 miss ratio falls as L1 grows": all(
+                l1_misses[i + 1] < l1_misses[i] for i in range(len(l1_misses) - 1)
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["L1 size", "L1 global miss", "optimal L2", "L2 cycle"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                f"paper's analytic shift: ~{math.log2(predicted):.2f} powers of "
+                "two of optimal L2 size per L1 doubling (about a third)",
+            ],
+        )
+
+
+class BreakevenL1Scaling(Experiment):
+    """E-EQ3: break-even times multiply by ~1.45 per L1 doubling."""
+
+    experiment_id = "E-EQ3"
+    title = "Break-even time scaling with L1 size (Equation 3)"
+
+    L1_SIZES = [4 * KB, 8 * KB, 16 * KB]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        sizes = [16 * KB, 64 * KB]
+        cycles = [3.0]
+        rows = []
+        means = []
+        l1_misses = []
+        for l1_size in self.L1_SIZES:
+            config = base_machine(l1_size=l1_size)
+            result = breakeven_map(traces, config, sizes, cycles, set_size=8)
+            mean_budget = float(result.nanoseconds.mean())
+            means.append(mean_budget)
+            l1_misses.append(measure_triad(traces, config, level=1).global_)
+            rows.append(
+                [
+                    format_size(l1_size),
+                    format_ratio(l1_misses[-1]),
+                    f"{mean_budget:.1f}",
+                ]
+            )
+        factors = [
+            means[i + 1] / means[i] for i in range(len(means) - 1) if means[i] > 0
+        ]
+        # Equation 3 predicts the budgets scale with 1/M_L1; compute the
+        # prediction from the *measured* L1 miss ratios rather than the
+        # nominal 1.45, then check the measured map tracks it.  The map
+        # sits below the prediction because Equation 3 ignores store-side
+        # L2 occupancy (see tests/core/test_breakeven.py).
+        predicted = [
+            l1_misses[i] / l1_misses[i + 1] for i in range(len(l1_misses) - 1)
+        ]
+        tracking = [
+            f / p for f, p in zip(factors, predicted) if p > 0
+        ]
+        checks = {
+            "budgets grow with every L1 doubling": all(f > 1.0 for f in factors),
+            "growth tracks Equation 3's 1/M_L1 prediction (within 2x)": all(
+                0.5 <= t <= 1.5 for t in tracking
+            ),
+        }
+        notes = [
+            "paper: each L1 doubling multiplies break-even times by ~1.45 "
+            "(the inverse of the 0.69 miss-ratio factor)",
+        ]
+        if factors:
+            notes.append(
+                "measured factors per doubling: "
+                + ", ".join(f"{f:.2f}" for f in factors)
+                + "; Equation 3 predicts "
+                + ", ".join(f"{p:.2f}" for p in predicted)
+            )
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["L1 size", "L1 global miss", "mean 8-way break-even (ns)"],
+            rows=rows,
+            checks=checks,
+            notes=notes,
+        )
+
+
+class MissRatePowerLaw(Experiment):
+    """E-R5: the solo miss ratio falls by ~0.69 per size doubling."""
+
+    experiment_id = "E-R5"
+    title = "Solo miss ratio power law (0.69 per doubling)"
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        sizes = l2_sweep_sizes(minimum=4 * KB)
+        ratios = []
+        rows = []
+        for size in sizes:
+            config = solo_l2_machine(l2_size=size)
+            misses = reads = 0
+            for trace in traces:
+                result = run_functional(trace, config)
+                misses += result.level_stats[0].read_misses
+                reads += result.cpu_reads
+            ratio = misses / reads
+            ratios.append(ratio)
+            rows.append([format_size(size), format_ratio(ratio)])
+        # Fit the power-law region (exclude the compulsory plateau: keep
+        # points while successive factors stay below ~0.85).
+        cut = len(ratios)
+        for i in range(1, len(ratios)):
+            if ratios[i] / ratios[i - 1] > 0.85:
+                cut = i
+                break
+        cut = max(cut, 3)
+        model, r2 = fit_power_law(sizes[:cut], ratios[:cut])
+        factors = [ratios[i + 1] / ratios[i] for i in range(cut - 1)]
+        checks = {
+            "power-law fit is tight in the pre-plateau region (R^2 > 0.95)":
+                r2 > 0.95,
+            "per-doubling factor near the paper's 0.69": bool(
+                0.60 <= model.doubling_factor <= 0.80
+            ),
+        }
+        for size, factor in zip(sizes[1:cut], factors):
+            rows[sizes.index(size)].append(f"{factor:.3f}")
+        padded = [row + [""] * (3 - len(row)) for row in rows]
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["cache size", "solo miss ratio", "factor vs previous"],
+            rows=padded,
+            checks=checks,
+            notes=[
+                f"fitted doubling factor {model.doubling_factor:.3f} "
+                f"(alpha={model.alpha:.3f}, R^2={r2:.3f}) over "
+                f"{format_size(sizes[0])}..{format_size(sizes[cut - 1])}",
+                "the plateau beyond the fit region is the trace-footprint "
+                "limit, as in the paper's very-large-cache remark",
+            ],
+        )
+
+
+class OptimalL1VersusL2Speed(Experiment):
+    """E-L1OPT: the optimal L1 size versus the L2 cycle time (section 6).
+
+    The CPU clock is set by the on-chip L1 (bigger is slower); the L2's
+    speed sets the L1 miss penalty.  Section 6 concludes that a fast L2
+    keeps the optimal L1 small and fast, while "as the L2 cycle time gets
+    much above 4 CPU cycles, the optimal L1 cache size is significantly
+    increased above its minimum."
+    """
+
+    experiment_id = "E-L1OPT"
+    title = "Optimal L1 size vs L2 speed (section 6)"
+
+    L1_SIZES = [1 * KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB]
+    #: L2 SRAM cycle times in nanoseconds.
+    L2_SPEEDS_NS = [20.0, 40.0, 80.0, 120.0]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        from repro.core.optimizer import TechnologyModel, optimal_l1_sweep
+
+        # On-chip L1 technology: 10 ns at 4 KB, each doubling costs 1.5 ns.
+        l1_technology = TechnologyModel(
+            base_size=4 * KB, base_ns=10.0, ns_per_doubling=1.5,
+            ns_per_way_doubling=0.0,
+        )
+        sweeps = optimal_l1_sweep(
+            base_machine(), l1_technology, traces,
+            self.L1_SIZES, self.L2_SPEEDS_NS,
+        )
+        rows = []
+        optima = []
+        for l2_ns, candidates in zip(self.L2_SPEEDS_NS, sweeps):
+            best = min(candidates, key=lambda c: c.total_ns)
+            optima.append(best.l1_size)
+            rows.append(
+                [
+                    f"{l2_ns:g} ns",
+                    format_size(best.l1_size),
+                    f"{best.cpu_cycle_ns:g} ns",
+                    f"{best.l2_cycle_cpu_cycles:.0f}",
+                ]
+            )
+        checks = {
+            "optimal L1 never shrinks as the L2 slows": all(
+                optima[i + 1] >= optima[i] for i in range(len(optima) - 1)
+            ),
+            "a slow L2 pushes the optimal L1 above its minimum": bool(
+                optima[-1] > min(self.L1_SIZES)
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["L2 cycle", "optimal L1", "CPU cycle", "L2 cyc (CPU)"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "the CPU clocks at the L1's cycle time, so growing the L1 "
+                "taxes every instruction; a slower L2 makes that tax worth "
+                "paying (the paper's closing tension)",
+            ],
+        )
+
+
+class ConclusionShifts(Experiment):
+    """E-CONC: the conclusions' quantified shifts.
+
+    * Adding a 4 KB L1 (~10% global miss) shifts the L2 lines of constant
+      performance right by about seven binary orders of magnitude versus
+      the single-level case (the 1/M_L1 factor through Equation 2).
+    * Each L1 doubling shifts the curves ~0.24 powers of two.
+    """
+
+    experiment_id = "E-CONC"
+    title = "Single-level vs multi-level design-point shifts (section 6)"
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        config = base_machine()
+        l1 = measure_triad(traces, config, level=1)
+        # Fit the measured solo curve for the analytic shift.
+        sizes = l2_sweep_sizes(minimum=4 * KB)
+        triads = sweep_triads(traces, config, sizes, level=2)
+        solos = [t.solo for t in triads]
+        cut = len(solos)
+        for i in range(1, len(solos)):
+            if solos[i] / solos[i - 1] > 0.85:
+                cut = i
+                break
+        cut = max(cut, 3)
+        model, _ = fit_power_law(sizes[:cut], solos[:cut])
+        # Boundary where the iso-performance slope crosses a threshold obeys
+        # M(C) * (1 - f) * t_MM / M_L1 = threshold, so the single-level ->
+        # two-level shift is M_L1 ** (-1/alpha).
+        shift_orders = -math.log2(l1.global_) / model.alpha
+        per_doubling = math.log2(
+            optimal_size_shift_per_l1_doubling(model.alpha, 0.69, "linear")
+        )
+        rows = [
+            ["L1 global miss ratio (4KB)", format_ratio(l1.global_)],
+            ["fitted miss-curve alpha", f"{model.alpha:.3f}"],
+            ["single-level -> two-level shift", f"{shift_orders:.1f} binary orders"],
+            ["shift per L1 doubling", f"{per_doubling:.2f} powers of two"],
+        ]
+        checks = {
+            "L1 global miss ratio near the paper's 10%": bool(
+                0.05 <= l1.global_ <= 0.16
+            ),
+            "shift vs single-level about seven binary orders (5..9)": bool(
+                5.0 <= shift_orders <= 9.0
+            ),
+            "per-doubling shift near the paper's 0.24-0.33 powers of two": bool(
+                0.15 <= per_doubling <= 0.45
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["quantity", "measured"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "paper: 'the addition of a 4KB L1 cache, with a 10% miss "
+                "rate, shifts the lines of constant performance to the right "
+                "by about seven binary orders of magnitude'",
+            ],
+        )

@@ -1,0 +1,489 @@
+"""Extensions and ablations (DESIGN.md section 6).
+
+* E-3L -- three-level hierarchies: section 6 predicts the multi-level
+  conclusions generalise; the simulators accept arbitrary depth, so we
+  check that an L3 behaves toward L2 the way L2 behaves toward L1.
+* A-AFFINE -- the affine counts method versus the timing simulator.
+* A-WBUF -- sensitivity of execution time to write-buffer depth
+  (the paper's footnote-2 claim that deep buffers hide write effects).
+* A-GEN -- stack-distance versus Zipf/IRM trace generators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.design_space import affine_model_for
+from repro.core.metrics import measure_triad
+from repro.experiments.base import Experiment, ExperimentReport
+from repro.experiments.baseline import base_machine
+from repro.experiments.render import format_ratio, format_size
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.timing import TimingSimulator
+from repro.trace.record import READ, Trace
+from repro.trace.stats import stack_distance_profile
+from repro.trace.synthetic import StackDistanceGenerator, ZipfGenerator
+from repro.units import KB, MB
+
+
+def three_level_machine(l3_size: int = 256 * KB) -> SystemConfig:
+    """The base machine with a small L2 and a third level below it.
+
+    The L2 is deliberately modest (16 KB) so the L3 has traffic to serve;
+    with the default 512 KB L2 and the synthetic traces' footprint, an L3
+    has almost nothing left to catch.
+    """
+    base = base_machine(l2_size=16 * KB)
+    levels = base.levels + (
+        LevelConfig(
+            size_bytes=l3_size,
+            block_bytes=32,
+            cycle_cpu_cycles=6.0,
+            write_hit_cycles=2,
+        ),
+    )
+    return SystemConfig(
+        levels=levels,
+        cpu=base.cpu,
+        memory=base.memory,
+        bus_width_words=base.bus_width_words,
+        write_buffer_entries=base.write_buffer_entries,
+    )
+
+
+class ThreeLevelHierarchy(Experiment):
+    """E-3L: do the two-level conclusions transfer one level down?"""
+
+    experiment_id = "E-3L"
+    title = "Three-level hierarchy: L3 behaves toward L2 as L2 does toward L1"
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        config = three_level_machine()
+        l3 = measure_triad(traces, config, level=3)
+        l2 = measure_triad(traces, config, level=2)
+        two_level = base_machine(l2_size=16 * KB)
+        cpi_two = cpi_three = 0.0
+        for trace in traces:
+            cpi_two += TimingSimulator(two_level).run(trace).total_cycles
+            cpi_three += TimingSimulator(config).run(trace).total_cycles
+        rows = [
+            ["L2 triad", format_ratio(l2.local), format_ratio(l2.global_),
+             format_ratio(l2.solo)],
+            ["L3 triad", format_ratio(l3.local), format_ratio(l3.global_),
+             format_ratio(l3.solo)],
+            ["exec time ratio (3-level / 2-level)",
+             f"{cpi_three / cpi_two:.3f}", "", ""],
+        ]
+        checks = {
+            "upstream levels filter references at L3 too (local >> global)":
+                l3.local > 2 * l3.global_,
+            "L3 global ~ solo (independence extends a level down)":
+                l3.global_solo_gap < 0.35,
+            "adding a well-sized L3 improves execution time":
+                cpi_three < cpi_two,
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["quantity", "local", "global", "solo"],
+            rows=rows,
+            checks=checks,
+            notes=["section 6's 'future multi-level hierarchies' made concrete"],
+        )
+
+
+class AffineVersusTiming(Experiment):
+    """A-AFFINE: validates the sweep engine's affine approximation."""
+
+    experiment_id = "A-AFFINE"
+    title = "Affine counts method vs timing simulation"
+
+    POINTS = [(16 * KB, 2.0), (64 * KB, 3.0), (256 * KB, 5.0), (64 * KB, 8.0)]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        rows = []
+        errors = []
+        for size, cycle in self.POINTS:
+            config = base_machine(l2_size=size, l2_cycle_cpu_cycles=cycle)
+            predicted = measured = 0.0
+            for trace in traces:
+                functional = FunctionalSimulator(config).run(trace)
+                predicted += affine_model_for(functional, config).total_cycles(cycle)
+                measured += TimingSimulator(config).run(trace).total_cycles
+            error = predicted / measured - 1.0
+            errors.append(error)
+            rows.append(
+                [format_size(size), f"{cycle:g}", f"{predicted:.0f}",
+                 f"{measured:.0f}", f"{error * 100:+.1f}%"]
+            )
+        checks = {
+            "affine model within 18% of timing at every probed point": all(
+                abs(e) <= 0.18 for e in errors
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["L2 size", "cycle", "affine cycles", "timing cycles", "error"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "the residual is write-buffer congestion and DRAM recovery, "
+                "which the counts method folds into constants",
+            ],
+        )
+
+
+class WriteBufferAblation(Experiment):
+    """A-WBUF: write effects versus buffer depth (paper footnote 2)."""
+
+    experiment_id = "A-WBUF"
+    title = "Execution time vs write-buffer depth"
+
+    DEPTHS = [1, 2, 4, 8]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        import dataclasses
+
+        rows = []
+        totals = []
+        for depth in self.DEPTHS:
+            config = dataclasses.replace(
+                base_machine(l2_size=64 * KB), write_buffer_entries=depth
+            )
+            total = sum(
+                TimingSimulator(config).run(trace).total_cycles for trace in traces
+            )
+            totals.append(total)
+            rows.append([str(depth), f"{total:.0f}"])
+        spread = (max(totals) - min(totals)) / min(totals)
+        checks = {
+            "write-buffer depth moves execution time only a few percent "
+            "(write effects are second-order; paper footnote 2)": bool(
+                spread < 0.05
+            ),
+            "4 and 8 entries perform within 1% of each other": bool(
+                abs(totals[2] - totals[3]) <= 0.01 * totals[3]
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["buffer entries", "total cycles"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                f"depth changes total time by at most {spread * 100:.1f}%: "
+                "buffered write-back traffic is almost entirely hidden "
+                "between read requests",
+            ],
+        )
+
+
+class BlockSizeAblation(Experiment):
+    """A-BLOCK: the L2 block-size choice (8 words in the base machine).
+
+    Larger blocks exploit the instruction stream's sequentiality but cost
+    extra backplane data cycles per fetch over the fixed 4-word bus, and
+    they buy nothing for the stack-distance data stream.  The experiment
+    sweeps the L2 block size at fixed capacity and reports both the miss
+    ratio and the execution time the affine model implies.
+    """
+
+    experiment_id = "A-BLOCK"
+    title = "L2 block size vs miss ratio and execution time"
+
+    BLOCK_SIZES = [32, 64, 128]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        from repro.core.design_space import affine_model_for
+        from repro.sim.fast import run_functional
+
+        rows = []
+        times = []
+        ratios = []
+        for block in self.BLOCK_SIZES:
+            config = base_machine(l2_size=64 * KB).with_level(
+                1, block_bytes=block
+            )
+            misses = reads = 0
+            total_cycles = 0.0
+            for trace in traces:
+                result = run_functional(trace, config)
+                misses += result.level_stats[1].read_misses
+                reads += result.cpu_reads
+                model = affine_model_for(result, config)
+                total_cycles += model.total_cycles(3.0)
+            ratio = misses / reads
+            ratios.append(ratio)
+            times.append(total_cycles)
+            rows.append(
+                [f"{block}B", format_ratio(ratio), f"{total_cycles:.0f}"]
+            )
+        relative = [t / min(times) for t in times]
+        for row, rel in zip(rows, relative):
+            row.append(f"{rel:.3f}")
+        checks = {
+            "larger blocks lower the L2 miss ratio (sequential code)": all(
+                ratios[i + 1] <= ratios[i] for i in range(len(ratios) - 1)
+            ),
+            "block-size returns diminish as transfer cost grows": bool(
+                (times[0] - times[1]) > (times[1] - times[2])
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["L2 block", "L2 global miss", "total cycles", "relative"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "fetch transfer time grows with the block over the fixed "
+                "4-word backplane, so miss-ratio gains are taxed",
+                "the synthetic instruction stream is somewhat more "
+                "sequential than the paper's traces, so large blocks fare "
+                "slightly better here than the 8-word base choice",
+            ],
+        )
+
+
+class WritePolicyAblation(Experiment):
+    """A-WPOL: write-back vs write-through first-level caches.
+
+    The paper's machine is write-back with deep buffers precisely because
+    write-through multiplies the downstream write traffic (every store
+    travels); the ablation quantifies both the traffic and the time cost.
+    """
+
+    experiment_id = "A-WPOL"
+    title = "L1 write policy: write-back vs write-through"
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        rows = []
+        measurements = {}
+        for policy in ("write-back", "write-through"):
+            config = base_machine(l2_size=64 * KB).with_level(
+                0, write_policy=policy
+            )
+            downstream_writes = 0
+            total_cycles = 0.0
+            stores = 0
+            for trace in traces:
+                timing = TimingSimulator(config).run(trace)
+                stats = timing.level_stats[0]
+                downstream_writes += stats.writebacks + stats.writes_forwarded
+                total_cycles += timing.total_cycles
+                stores += timing.cpu_writes
+            measurements[policy] = (total_cycles, downstream_writes)
+            rows.append(
+                [
+                    policy,
+                    f"{total_cycles:.0f}",
+                    str(downstream_writes),
+                    f"{downstream_writes / stores:.2f}",
+                ]
+            )
+        wb_time, wb_traffic = measurements["write-back"]
+        wt_time, wt_traffic = measurements["write-through"]
+        checks = {
+            "write-through multiplies downstream write traffic": bool(
+                wt_traffic > 1.5 * wb_traffic
+            ),
+            "write-back is at least as fast (the paper's design choice)": bool(
+                wb_time <= wt_time * 1.005
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["L1 policy", "total cycles", "L2-bound writes",
+                     "writes per store"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "write-back coalesces stores in the L1 and only moves dirty "
+                "victims; write-through ships every store downstream",
+            ],
+        )
+
+
+class InclusionAblation(Experiment):
+    """A-INCL: the miss-ratio cost of enforcing multi-level inclusion.
+
+    The paper's machine (like most of its era) does not enforce inclusion;
+    Baer & Wang (the paper's reference [3]) analyse hierarchies that do.
+    Back-invalidations steal useful blocks from the L1, so enforcing
+    inclusion costs L1 hits -- more as the L2/L1 size ratio shrinks.
+    """
+
+    experiment_id = "A-INCL"
+    title = "Enforced inclusion vs free hierarchy (L1 miss-ratio cost)"
+
+    L2_SIZES_KB = [8, 32, 128]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        import dataclasses
+
+        rows = []
+        costs = []
+        for l2_kb in self.L2_SIZES_KB:
+            base = base_machine(l2_size=l2_kb * KB)
+            incl = dataclasses.replace(base, enforce_inclusion=True)
+            free_misses = incl_misses = reads = invalidations = 0
+            for trace in traces:
+                free = FunctionalSimulator(base).run(trace)
+                forced = FunctionalSimulator(incl).run(trace)
+                free_misses += free.level_stats[0].read_misses
+                incl_misses += forced.level_stats[0].read_misses
+                reads += free.cpu_reads
+            cost = (incl_misses - free_misses) / reads
+            costs.append(cost)
+            rows.append(
+                [
+                    format_size(l2_kb * KB),
+                    format_ratio(free_misses / reads),
+                    format_ratio(incl_misses / reads),
+                    f"{cost * 100:+.3f}%",
+                ]
+            )
+        checks = {
+            "inclusion never lowers the L1 miss ratio": all(c >= -1e-9 for c in costs),
+            "inclusion costs more when L2 is close to L1 in size": bool(
+                costs[0] >= costs[-1]
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["L2 size", "L1 miss (free)", "L1 miss (inclusive)", "cost"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "back-invalidations evict live L1 blocks whenever the "
+                "smaller L2's replacement decisions disagree with the L1's",
+            ],
+        )
+
+
+class PrefetchAblation(Experiment):
+    """A-PREF: sequential prefetching in the second-level cache.
+
+    The paper's simulator models prefetching (section 2) though the shown
+    figures keep it off; this ablation quantifies what the classic
+    sequential schemes buy the L2 of the base machine.  The mostly
+    sequential instruction stream rewards next-block prefetch; the
+    stack-distance data stream does not, so accuracy is the interesting
+    column.
+    """
+
+    experiment_id = "A-PREF"
+    title = "Sequential prefetching in the L2 (none / on-miss / tagged / always)"
+
+    KINDS = ["none", "on-miss", "tagged", "always"]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        rows = []
+        miss_ratios = []
+        for kind in self.KINDS:
+            config = base_machine(l2_size=64 * KB).with_level(
+                1, prefetch=kind, prefetch_distance=1
+            )
+            misses = reads = issued = useful = memory_reads = 0
+            for trace in traces:
+                result = FunctionalSimulator(config).run(trace)
+                l2 = result.level_stats[1]
+                misses += l2.read_misses
+                reads += result.cpu_reads
+                issued += l2.prefetches_issued
+                useful += l2.useful_prefetches
+                memory_reads += result.memory_reads
+            ratio = misses / reads
+            miss_ratios.append(ratio)
+            accuracy = useful / issued if issued else 0.0
+            rows.append(
+                [
+                    kind,
+                    format_ratio(ratio),
+                    str(issued),
+                    f"{accuracy * 100:.0f}%",
+                    str(memory_reads),
+                ]
+            )
+        checks = {
+            "every prefetch scheme lowers the L2 demand miss ratio": all(
+                ratio < miss_ratios[0] for ratio in miss_ratios[1:]
+            ),
+            "tagged prefetch at least matches prefetch-on-miss": bool(
+                miss_ratios[2] <= miss_ratios[1] * 1.02
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["scheme", "L2 global miss", "issued", "accuracy", "memory reads"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "prefetch traffic is counted separately and never pollutes "
+                "the demand read miss ratios (section 2's definition)",
+                "the memory-reads column shows the bandwidth cost of "
+                "aggressive prefetching",
+            ],
+        )
+
+
+class GeneratorAblation(Experiment):
+    """A-GEN: stack-distance vs Zipf generators' miss-curve shapes."""
+
+    experiment_id = "A-GEN"
+    title = "Stack-distance vs Zipf/IRM generator miss curves"
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        del traces  # this ablation builds its own single-generator streams
+        count = 120_000
+        # Stay well inside the generators' footprints: sampled distances
+        # beyond the stack allocate fresh blocks, truncating the tail.
+        depths = np.array([16, 64, 256, 1024])
+        rows = []
+        factors = {}
+        for name, generator in (
+            ("stack-distance", StackDistanceGenerator(seed=5)),
+            ("zipf-irm", ZipfGenerator(seed=5)),
+        ):
+            addresses = generator.addresses(count)
+            trace = Trace(
+                np.full(count, READ, dtype=np.uint8), addresses, name=name
+            )
+            profile = stack_distance_profile(trace, max_references=count)
+            survival = profile.survival(depths)
+            per_doubling = (survival[-2] / survival[0]) ** (
+                1.0 / np.log2(depths[-2] / depths[0])
+            )
+            factors[name] = float(per_doubling)
+            rows.append(
+                [name]
+                + [f"{s:.4f}" for s in survival]
+                + [f"{per_doubling:.3f}"]
+            )
+        checks = {
+            "stack-distance generator hits the paper calibration (0.62-0.76)":
+                0.62 <= factors["stack-distance"] <= 0.76,
+            "both generators produce decreasing miss curves": all(
+                float(r[1]) > float(r[3]) for r in rows
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=["generator"] + [f"P(D>{d})" for d in depths] + ["factor/doubling"],
+            rows=rows,
+            checks=checks,
+            notes=[
+                "the Zipf/IRM generator is faster but its slope is tied to "
+                "its alpha; the stack-distance generator is the calibrated "
+                "default (DESIGN.md section 2)",
+            ],
+        )

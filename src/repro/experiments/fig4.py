@@ -1,0 +1,271 @@
+"""Figures 4-1 through 4-4: the L2 speed-size tradeoff.
+
+* Figure 4-1 plots relative execution time against L2 size, one curve per
+  L2 cycle time (1..10 CPU cycles).
+* Figures 4-2 and 4-3 map lines of constant performance onto the
+  (L2 size, L2 cycle time) plane for 4 KB and 32 KB L1 caches and shade
+  regions by slope (0.75 / 1.5 / 3 CPU cycles per size doubling).
+* Figure 4-4 repeats 4-2 with main memory twice as slow; the slope regions
+  shift right by about a factor of two in cache size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.constant_performance import (
+    lines_of_constant_performance,
+    slope_field,
+    slope_region_boundary,
+)
+from repro.core.design_space import SpeedSizeGrid, execution_time_grid
+from repro.experiments.base import Experiment, ExperimentReport
+from repro.experiments.baseline import (
+    L2_CYCLE_TIMES,
+    PERFORMANCE_LEVELS,
+    SLOPE_THRESHOLDS,
+    base_machine,
+    l2_sweep_sizes,
+)
+from repro.experiments.render import format_size, render_shaded_plane
+from repro.trace.record import Trace
+from repro.units import KB
+
+
+def build_grid(
+    traces: Sequence[Trace],
+    l1_size: int = 4 * KB,
+    memory_scale: float = 1.0,
+    sizes: Optional[List[int]] = None,
+) -> SpeedSizeGrid:
+    """The execution-time surface behind all four figures."""
+    config = base_machine(l1_size=l1_size, memory_scale=memory_scale)
+    sizes = sizes if sizes is not None else l2_sweep_sizes(minimum=max(4 * KB, l1_size))
+    return execution_time_grid(traces, config, sizes, L2_CYCLE_TIMES, level=2)
+
+
+class SpeedSizeCurves(Experiment):
+    """Figure 4-1: relative execution time vs L2 size per cycle time."""
+
+    experiment_id = "F4-1"
+    title = "Relative execution time vs L2 size, one curve per L2 cycle time (4KB L1)"
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        grid = build_grid(traces)
+        relative = grid.relative
+        headers = ["L2 size"] + [f"c={int(c)}" for c in grid.cycle_times]
+        rows = [
+            [format_size(size)] + [f"{relative[i, j]:.3f}" for j in range(len(grid.cycle_times))]
+            for i, size in enumerate(grid.sizes)
+        ]
+        checks = {
+            "execution time rises with L2 cycle time at every size": bool(
+                np.all(np.diff(grid.total_cycles, axis=1) > 0)
+            ),
+            "benefit of size growth diminishes for large caches": self._diminishing(grid),
+            "cycle-time effect is nearly independent of cache size": self._cycle_effect_uniform(grid),
+            "meaningful dynamic range across the design space (>1.3x)": bool(
+                relative.max() >= 1.3
+            ),
+        }
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=headers,
+            rows=rows,
+            checks=checks,
+            notes=["relative to the best machine in the grid, as in Figure 4-1"],
+        )
+
+    @staticmethod
+    def _diminishing(grid: SpeedSizeGrid) -> bool:
+        column = grid.column(3.0)
+        gains = -np.diff(column)
+        # First doubling must buy more than the last one.
+        return bool(gains[0] > gains[-1])
+
+    @staticmethod
+    def _cycle_effect_uniform(grid: SpeedSizeGrid) -> bool:
+        """dT/dc (the affine slope) should vary far less with size than the
+        miss-driven base does."""
+        events = np.array([m.events_per_cycle for m in grid.models])
+        bases = np.array([m.base for m in grid.models])
+        return bool(
+            (events.max() - events.min()) / events.mean()
+            < (bases.max() - bases.min()) / bases.mean() * 3
+        )
+
+
+class ConstantPerformanceFigure(Experiment):
+    """Figures 4-2 / 4-3 / 4-4: lines of constant performance and slope
+    regions over the (size, cycle time) plane."""
+
+    def __init__(
+        self,
+        experiment_id: str,
+        l1_size: int = 4 * KB,
+        memory_scale: float = 1.0,
+        reference: Optional["ConstantPerformanceFigure"] = None,
+        expected_shift: Optional[float] = None,
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.l1_size = l1_size
+        self.memory_scale = memory_scale
+        self.reference = reference
+        self.expected_shift = expected_shift
+        descriptor = f"{format_size(l1_size)} L1"
+        if memory_scale != 1.0:
+            descriptor += f", memory {memory_scale:g}x slower"
+        self.title = f"Lines of constant performance ({descriptor})"
+
+    LEVELS = [l for l in PERFORMANCE_LEVELS if l <= 2.7]
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        grid = build_grid(traces, l1_size=self.l1_size, memory_scale=self.memory_scale)
+        lines = lines_of_constant_performance(grid, self.LEVELS)
+        headers = ["rel. time"] + [format_size(s) for s in grid.sizes]
+        rows = []
+        for k, level in enumerate(lines.levels):
+            cells = [
+                "-" if not np.isfinite(c) else f"{c:.2f}"
+                for c in lines.cycle_at[k]
+            ]
+            rows.append([f"{level:.1f}"] + cells)
+        # Slope-region boundaries at the base cycle time.
+        boundary_rows = []
+        for threshold in SLOPE_THRESHOLDS:
+            boundary = slope_region_boundary(grid, threshold, cycle_time=3.0)
+            boundary_rows.append(
+                f"slope {threshold:g} cycles/doubling boundary: "
+                + (format_size(int(boundary)) if boundary else "beyond grid")
+            )
+        field = slope_field(grid)
+        shaded = render_shaded_plane(
+            col_labels=[format_size(s) for s in grid.sizes[:-1]],
+            row_labels=[f"c={int(c)}" for c in grid.cycle_times],
+            values=field.T,
+            thresholds=SLOPE_THRESHOLDS,
+            title="slope regions (CPU cycles per doubling, as in the "
+                  "paper's shading):",
+        )
+        steps = np.diff(lines.cycle_at, axis=1)
+        checks = {
+            # Strictly rising until the miss curve's plateau, where the
+            # lines go flat (the paper's very-large-cache regime).
+            "iso-performance lines rise to the right (size buys cycle time)": bool(
+                np.nanmin(steps) >= -1e-9 and np.nanmax(steps) > 0
+            ),
+            "slopes fall as the cache grows (regions ordered left to right)": bool(
+                np.all(field[0, :] >= field[-1, :])
+            ),
+        }
+        if self.l1_size <= 4 * KB:
+            # The paper's leftmost shaded region (4 KB L1 planes only);
+            # its >= 3 cycles/doubling slopes live at the 4-8 KB edge, where
+            # our synthetic miss levels run slightly shallower, so the
+            # check admits a 20% band.
+            checks[
+                "steep region slopes reach ~3 CPU cycles per doubling at "
+                "the smallest caches"
+            ] = bool(field.max() >= 2.4)
+        notes = boundary_rows + [shaded]
+        if self.reference is not None and self.expected_shift is not None:
+            self._add_shift_checks(traces, grid, lines, field, checks, notes)
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=headers,
+            rows=rows,
+            checks=checks,
+            notes=notes,
+        )
+
+    def _add_shift_checks(
+        self, traces, grid, lines, field, checks, notes
+    ) -> None:
+        reference_grid = build_grid(
+            traces,
+            l1_size=self.reference.l1_size,
+            memory_scale=self.reference.memory_scale,
+        )
+        if self.memory_scale != self.reference.memory_scale:
+            # Figure 4-4: the slope regions move right ~2x in cache size.
+            from repro.core.constant_performance import horizontal_shift
+
+            shifts = []
+            for threshold in SLOPE_THRESHOLDS:
+                shift = horizontal_shift(
+                    reference_grid, grid, threshold, cycle_time=3.0
+                )
+                if shift is not None:
+                    shifts.append(shift)
+            if shifts:
+                measured = float(np.exp(np.mean(np.log(shifts))))
+                checks[
+                    f"slope regions shifted right ~{self.expected_shift:g}x "
+                    "(slower memory skews toward size)"
+                ] = bool(
+                    self.expected_shift * 0.6 <= measured <= self.expected_shift * 1.7
+                )
+                notes.append(f"measured region-boundary shift: {measured:.2f}x")
+        else:
+            # Figure 4-3: the slope structure of the lines sits to the
+            # right of the reference family's (paper: 1.74x measured, 2.04x
+            # predicted, for 8x L1), and the larger L1 limits the maximum
+            # slope.  Both planes are evaluated on a common size grid and
+            # boundaries clipped at the grid edge are skipped.
+            from repro.core.constant_performance import horizontal_shift
+
+            common = build_grid(
+                traces,
+                l1_size=self.reference.l1_size,
+                memory_scale=self.memory_scale,
+                sizes=grid.sizes,
+            )
+            shifts = []
+            for threshold in (0.3, 0.5, 0.75):
+                a = slope_region_boundary(common, threshold, cycle_time=3.0)
+                b = slope_region_boundary(grid, threshold, cycle_time=3.0)
+                edge = float(grid.sizes[0])
+                if a is None or b is None or a <= edge or b <= edge:
+                    continue
+                shifts.append(b / a)
+            if shifts:
+                measured = float(np.exp(np.mean(np.log(shifts))))
+                checks[
+                    f"slope structure shifted right ~{self.expected_shift:g}x "
+                    "vs the smaller-L1 plane"
+                ] = bool(
+                    self.expected_shift * 0.6 <= measured <= self.expected_shift * 1.7
+                )
+                notes.append(f"measured line shift: {measured:.2f}x")
+            reference_field = slope_field(reference_grid)
+            checks[
+                "larger L1 limits the maximum slope of the lines"
+            ] = bool(field.max() <= reference_field.max())
+
+
+def fig4_1() -> SpeedSizeCurves:
+    return SpeedSizeCurves()
+
+
+def fig4_2() -> ConstantPerformanceFigure:
+    return ConstantPerformanceFigure("F4-2", l1_size=4 * KB)
+
+
+def fig4_3() -> ConstantPerformanceFigure:
+    """Figure 4-3: 32 KB L1; the paper measures a 1.74x right-shift of the
+    lines relative to Figure 4-2 (8x L1 growth)."""
+    return ConstantPerformanceFigure(
+        "F4-3", l1_size=32 * KB, reference=fig4_2(), expected_shift=1.74
+    )
+
+
+def fig4_4() -> ConstantPerformanceFigure:
+    """Figure 4-4: memory 2x slower shifts the slope regions right ~2x."""
+    return ConstantPerformanceFigure(
+        "F4-4", l1_size=4 * KB, memory_scale=2.0, reference=fig4_2(),
+        expected_shift=2.0,
+    )

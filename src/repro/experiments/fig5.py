@@ -1,0 +1,111 @@
+"""Figures 5-1 through 5-3: cumulative break-even implementation times for
+2-, 4- and 8-way set associativity over the L2 design plane.
+
+Each cell reports, in nanoseconds, how much the set-associative
+implementation may lengthen the L2 cycle time before it loses to the
+direct-mapped cache of the same size -- the paper's shaded contour maps.
+The TTL reference point (11 ns for a discrete 2:1 mux) divides the plane
+into "associativity wins" and "associativity loses" regions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.breakeven import BreakevenMap, breakeven_map
+from repro.experiments.base import Experiment, ExperimentReport
+from repro.experiments.baseline import (
+    BREAKEVEN_CONTOURS_NS,
+    TTL_MUX_NS,
+    base_machine,
+    l2_sweep_sizes,
+)
+from repro.experiments.render import format_size, render_shaded_plane
+from repro.trace.record import Trace
+from repro.units import KB
+
+#: Base (direct-mapped) L2 cycle times shown on the figures' Y axis.
+BREAKEVEN_CYCLE_TIMES = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0]
+
+
+class BreakevenFigure(Experiment):
+    """One of the three section 5 maps."""
+
+    def __init__(self, experiment_id: str, set_size: int, l1_size: int = 4 * KB) -> None:
+        self.experiment_id = experiment_id
+        self.set_size = set_size
+        self.l1_size = l1_size
+        self.title = (
+            f"Cumulative break-even times (ns) for {set_size}-way L2 "
+            f"associativity, {format_size(l1_size)} L1"
+        )
+
+    def compute(self, traces: Sequence[Trace]) -> BreakevenMap:
+        config = base_machine(l1_size=self.l1_size)
+        sizes = [s for s in l2_sweep_sizes(minimum=8 * KB)]
+        return breakeven_map(
+            traces,
+            config,
+            sizes,
+            BREAKEVEN_CYCLE_TIMES,
+            set_size=self.set_size,
+            level=2,
+        )
+
+    def run(self, traces: Sequence[Trace]) -> ExperimentReport:
+        result = self.compute(traces)
+        headers = ["L2 cycle \\ size"] + [format_size(s) for s in result.sizes]
+        rows = []
+        for j, cycle in enumerate(result.cycle_times):
+            rows.append(
+                [f"{int(cycle)} cyc"]
+                + [f"{result.nanoseconds[i, j]:+.1f}" for i in range(len(result.sizes))]
+            )
+        budgets = result.nanoseconds
+        checks = {
+            "associativity buys time somewhere in the plane": bool(budgets.max() > 0),
+            "small caches benefit most (budgets fall with L2 size)": bool(
+                np.mean(budgets[0, :]) > np.mean(budgets[-1, :])
+            ),
+        }
+        if self.set_size == 8:
+            typical = budgets[
+                : max(1, len(result.sizes) // 2), : len(result.cycle_times)
+            ]
+            checks[
+                "8-way budgets of ~10-40 ns available over much of the plane"
+            ] = bool(np.mean(typical >= 10.0) > 0.4)
+        wins = float(np.mean(budgets >= TTL_MUX_NS))
+        shaded = render_shaded_plane(
+            col_labels=[format_size(s) for s in result.sizes],
+            row_labels=[f"{int(c)} cyc" for c in result.cycle_times],
+            values=budgets.T,
+            thresholds=BREAKEVEN_CONTOURS_NS,
+            title="break-even contours (ns), as in the paper's shading:",
+        )
+        return ExperimentReport(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            headers=headers,
+            rows=rows,
+            checks=checks,
+            notes=[
+                f"TTL reference: {TTL_MUX_NS:g} ns (2:1 Advanced-Schottky mux); "
+                f"{wins * 100:.0f}% of the plane clears it",
+                shaded,
+            ],
+        )
+
+
+def fig5_1() -> BreakevenFigure:
+    return BreakevenFigure("F5-1", set_size=2)
+
+
+def fig5_2() -> BreakevenFigure:
+    return BreakevenFigure("F5-2", set_size=4)
+
+
+def fig5_3() -> BreakevenFigure:
+    return BreakevenFigure("F5-3", set_size=8)

@@ -1,0 +1,70 @@
+"""Experiment registry: every reproducible artefact by id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.base import Experiment
+from repro.experiments.equations import (
+    BreakevenL1Scaling,
+    ConclusionShifts,
+    EquationOneValidation,
+    MissRatePowerLaw,
+    OptimalL1VersusL2Speed,
+    OptimalSizeShift,
+)
+from repro.experiments.extensions import (
+    AffineVersusTiming,
+    BlockSizeAblation,
+    GeneratorAblation,
+    InclusionAblation,
+    PrefetchAblation,
+    ThreeLevelHierarchy,
+    WriteBufferAblation,
+    WritePolicyAblation,
+)
+from repro.experiments.fig3 import fig3_1, fig3_2
+from repro.experiments.fig4 import fig4_1, fig4_2, fig4_3, fig4_4
+from repro.experiments.fig5 import fig5_1, fig5_2, fig5_3
+
+_FACTORIES: Dict[str, Callable[[], Experiment]] = {
+    "F3-1": fig3_1,
+    "F3-2": fig3_2,
+    "F4-1": fig4_1,
+    "F4-2": fig4_2,
+    "F4-3": fig4_3,
+    "F4-4": fig4_4,
+    "F5-1": fig5_1,
+    "F5-2": fig5_2,
+    "F5-3": fig5_3,
+    "E-EQ1": EquationOneValidation,
+    "E-EQ2": OptimalSizeShift,
+    "E-EQ3": BreakevenL1Scaling,
+    "E-R5": MissRatePowerLaw,
+    "E-CONC": ConclusionShifts,
+    "E-L1OPT": OptimalL1VersusL2Speed,
+    "E-3L": ThreeLevelHierarchy,
+    "A-AFFINE": AffineVersusTiming,
+    "A-WBUF": WriteBufferAblation,
+    "A-GEN": GeneratorAblation,
+    "A-PREF": PrefetchAblation,
+    "A-INCL": InclusionAblation,
+    "A-BLOCK": BlockSizeAblation,
+    "A-WPOL": WritePolicyAblation,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, figures first."""
+    return list(_FACTORIES)
+
+
+def make_experiment(experiment_id: str) -> Experiment:
+    """Instantiate an experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {', '.join(_FACTORIES)}"
+        )
+    return _FACTORIES[key]()

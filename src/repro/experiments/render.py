@@ -1,0 +1,95 @@
+"""Plain-text rendering helpers for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.units import KB, MB
+
+
+def format_size(size_bytes: int) -> str:
+    """"4KB", "512KB", "4MB", "64B" -- the paper's axis labels."""
+    if size_bytes >= MB and size_bytes % MB == 0:
+        return f"{size_bytes // MB}MB"
+    if size_bytes >= KB and size_bytes % KB == 0:
+        return f"{size_bytes // KB}KB"
+    return f"{size_bytes}B"
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def format_ns(value: float) -> str:
+    return f"{value:.1f}"
+
+
+#: Shade characters from "below every threshold" upward.
+SHADE_LEVELS = " .:*#@"
+
+
+def render_shaded_plane(
+    col_labels: Sequence[str],
+    row_labels: Sequence[str],
+    values,
+    thresholds: Sequence[float],
+    title: str = "",
+) -> str:
+    """Render a design plane as a shaded contour map, like the paper's
+    Figures 4-2 .. 5-3.
+
+    ``values[row][col]`` is shaded by how many of ``thresholds`` it meets
+    or exceeds; the legend maps the shade characters back to ranges.
+    """
+    thresholds = sorted(thresholds)
+    if len(thresholds) >= len(SHADE_LEVELS):
+        raise ValueError(
+            f"at most {len(SHADE_LEVELS) - 1} thresholds are supported"
+        )
+    label_width = max((len(str(label)) for label in row_labels), default=0)
+    cell = max(len(str(label)) for label in col_labels) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 2) + "".join(
+        str(label).rjust(cell) for label in col_labels
+    )
+    lines.append(header)
+    for r, row_label in enumerate(row_labels):
+        cells = []
+        for c in range(len(col_labels)):
+            value = values[r][c]
+            shade = sum(1 for t in thresholds if value >= t)
+            cells.append((SHADE_LEVELS[shade] * 2).rjust(cell))
+        lines.append(str(row_label).rjust(label_width) + "  " + "".join(cells))
+    legend_parts = [f"'{SHADE_LEVELS[0]}' < {thresholds[0]:g}"]
+    for i, threshold in enumerate(thresholds):
+        upper = (
+            f" < {thresholds[i + 1]:g}" if i + 1 < len(thresholds) else "+"
+        )
+        legend_parts.append(f"'{SHADE_LEVELS[i + 1]}' {threshold:g}{upper}")
+    lines.append("legend: " + "  ".join(legend_parts))
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width table with right-aligned numeric-looking cells."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {columns} columns"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows)) if rows
+        else len(str(headers[c]))
+        for c in range(columns)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(widths[c]) for c, cell in enumerate(cells))
+
+    lines = [render_row(headers)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Main-memory and bus timing models (the bottom of the hierarchy).
+
+* :mod:`repro.memory.bus` -- a words-wide synchronous bus; transfer times
+  are whole bus cycles.
+* :mod:`repro.memory.main_memory` -- DRAM timing with read/write operation
+  times and an inter-operation recovery (refresh) constraint, as specified
+  for the paper's base machine (section 2).
+"""
+
+from repro.memory.bus import Bus
+from repro.memory.main_memory import MainMemory, MemoryTiming
+
+__all__ = ["Bus", "MainMemory", "MemoryTiming"]

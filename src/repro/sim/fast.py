@@ -1,0 +1,300 @@
+"""Vectorised functional simulation for direct-mapped hierarchies.
+
+The paper's headline sweeps all use direct-mapped caches, and a
+direct-mapped cache has a delightfully vectorisable property: an access
+hits exactly when the *previous access to the same set* carried the same
+tag.  Sorting the reference stream stably by set index turns hit detection,
+dirty tracking and eviction detection into array operations, making this
+simulator one to two orders of magnitude faster than the reference
+per-record loop -- fast enough for the paper's full 4 KB - 4 MB axis at
+million-reference trace lengths.
+
+Scope: direct-mapped levels, write-back with write-allocate, single-block
+fetch, no prefetching, no enforced inclusion -- the base machine.  Anything
+else falls outside :func:`fast_eligible` and uses the reference
+:class:`~repro.sim.functional.FunctionalSimulator`; the two are validated
+to produce *identical* counts on eligible configurations
+(``tests/sim/test_fast.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.policy import PrefetchKind, WritePolicy
+from repro.cache.stats import CacheStats
+from repro.sim.config import SystemConfig
+from repro.sim.functional import FunctionalResult
+from repro.trace.record import IFETCH, WRITE, Trace
+from repro.units import log2_int
+
+#: Event-bucket codes inside the vectorised pipeline.
+_BUCKET_READ = 0
+_BUCKET_WRITE = 1
+
+
+def fast_eligible(config: SystemConfig) -> bool:
+    """True when the vectorised path reproduces the reference simulator."""
+    if config.enforce_inclusion:
+        return False
+    for level in config.levels:
+        if level.associativity != 1:
+            return False
+        if level.write_policy is not WritePolicy.WRITE_BACK:
+            return False
+        if not level.write_allocate or level.fetch_blocks != 1:
+            return False
+        if level.prefetch is not PrefetchKind.NONE:
+            return False
+    return True
+
+
+def _simulate_dm_level(
+    blocks: np.ndarray,
+    is_write: np.ndarray,
+    bucket: np.ndarray,
+    order_keys: np.ndarray,
+    sets: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One direct-mapped write-back level, fully vectorised.
+
+    ``blocks`` are block identifiers (byte address >> offset bits);
+    ``is_write`` marks accesses that dirty the block; ``bucket`` carries
+    the statistics bucket; ``order_keys`` is a strictly increasing key per
+    access (original record index scaled to make room for same-record
+    ordering).
+
+    Returns ``(miss_mask, victim_blocks, victim_keys, victim_count)`` where
+    the victims are dirty evictions, each stamped with the order key of the
+    evicting miss (so downstream streams interleave correctly).
+    """
+    n = len(blocks)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return np.zeros(0, dtype=bool), empty, empty, empty
+    set_index = blocks & (sets - 1)
+    # Stable sort by set: within a set, accesses stay in time order.
+    order = np.argsort(set_index, kind="stable")
+    sorted_sets = set_index[order]
+    sorted_blocks = blocks[order]
+    same_set = np.empty(n, dtype=bool)
+    same_set[0] = False
+    np.equal(sorted_sets[1:], sorted_sets[:-1], out=same_set[1:])
+    same_block = np.empty(n, dtype=bool)
+    same_block[0] = False
+    np.equal(sorted_blocks[1:], sorted_blocks[:-1], out=same_block[1:])
+    hit_sorted = same_set & same_block
+    miss_sorted = ~hit_sorted
+
+    # Residency episodes: one per miss; an episode covers the accesses from
+    # its miss up to (not including) the next miss in the same set.
+    episode = np.cumsum(miss_sorted) - 1
+    n_episodes = int(episode[-1]) + 1
+    dirty = np.zeros(n_episodes, dtype=bool)
+    writes_sorted = is_write[order]
+    np.logical_or.at(dirty, episode, writes_sorted)
+
+    miss_positions = np.flatnonzero(miss_sorted)
+    # Episode e is evicted by the next miss iff that miss lands in the same
+    # set (episodes are contiguous per set: a set change always misses).
+    evicted = np.zeros(n_episodes, dtype=bool)
+    if n_episodes > 1:
+        evicted[:-1] = (
+            sorted_sets[miss_positions[1:]] == sorted_sets[miss_positions[:-1]]
+        )
+    victims = dirty & evicted
+    victim_blocks = sorted_blocks[miss_positions[np.flatnonzero(victims)]]
+    # The writeback happens when the *next* episode's miss occurs.
+    evictor_positions = miss_positions[np.flatnonzero(victims) + 1]
+    victim_keys = order_keys[order][evictor_positions]
+
+    miss_mask = np.zeros(n, dtype=bool)
+    miss_mask[order] = miss_sorted
+    return miss_mask, victim_blocks.astype(np.int64), victim_keys, order
+
+
+class FastFunctionalSimulator:
+    """Drop-in counterpart of the reference functional simulator.
+
+    Produces a :class:`~repro.sim.functional.FunctionalResult` with counts
+    identical to the reference implementation on eligible configurations.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        if not fast_eligible(config):
+            raise ValueError(
+                "configuration outside the vectorised path "
+                "(direct-mapped write-back, no prefetch/inclusion); use "
+                "FunctionalSimulator"
+            )
+        self.config = config
+
+    def run(self, trace: Trace) -> FunctionalResult:
+        config = self.config
+        warmup = trace.warmup
+        kinds = trace.kinds
+        n = len(trace)
+        # Order keys: level-0 events carry the record index; each level's
+        # outputs use key*4 + {1: victim writeback, 2: demand fetch}, so a
+        # stream entering level i has keys scaled by 4**i and the original
+        # record index is key // 4**i.
+        keys = np.arange(n, dtype=np.int64)
+        addresses = trace.addresses.astype(np.int64)
+        is_write = kinds == WRITE
+        bucket = np.where(is_write, _BUCKET_WRITE, _BUCKET_READ).astype(np.int8)
+
+        level_stats: List[CacheStats] = []
+        first = config.levels[0]
+        offset_bits = log2_int(first.block_bytes)
+        blocks = addresses >> offset_bits
+
+        if first.split:
+            is_ifetch = kinds == IFETCH
+            streams = [
+                (blocks[is_ifetch], is_write[is_ifetch], bucket[is_ifetch],
+                 keys[is_ifetch]),
+                (blocks[~is_ifetch], is_write[~is_ifetch], bucket[~is_ifetch],
+                 keys[~is_ifetch]),
+            ]
+        else:
+            streams = [(blocks, is_write, bucket, keys)]
+
+        sets = first.geometry().sets
+        stats = CacheStats()
+        parts = []
+        for s_blocks, s_write, s_bucket, s_keys in streams:
+            miss, victims, victim_keys, _ = _simulate_dm_level(
+                s_blocks, s_write, s_bucket, s_keys, sets
+            )
+            self._accumulate(
+                stats, s_write, s_bucket, miss, s_keys, victim_keys, warmup
+            )
+            parts.append(
+                (
+                    victims,
+                    np.ones(len(victims), dtype=bool),
+                    np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                    victim_keys * 4 + 1,
+                )
+            )
+            parts.append(
+                (
+                    s_blocks[miss],
+                    np.zeros(int(miss.sum()), dtype=bool),
+                    s_bucket[miss],
+                    s_keys[miss] * 4 + 2,
+                )
+            )
+        level_stats.append(stats)
+        stream = self._merge(parts)
+
+        prev_offset = offset_bits
+        for depth_index in range(1, config.depth):
+            level = config.levels[depth_index]
+            offset_bits = log2_int(level.block_bytes)
+            if offset_bits < prev_offset:
+                raise ValueError(
+                    "deeper levels must have blocks at least as large as "
+                    "their predecessor's"
+                )
+            stream_blocks, stream_write, stream_bucket, stream_keys = stream
+            blocks_here = stream_blocks >> (offset_bits - prev_offset)
+            warmup_key = warmup * 4**depth_index
+            miss, victims, victim_keys, _ = _simulate_dm_level(
+                blocks_here, stream_write, stream_bucket, stream_keys,
+                level.geometry().sets,
+            )
+            stats = CacheStats()
+            self._accumulate(
+                stats, stream_write, stream_bucket, miss, stream_keys,
+                victim_keys, warmup_key,
+            )
+            level_stats.append(stats)
+            parts = [
+                (
+                    victims,
+                    np.ones(len(victims), dtype=bool),
+                    np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                    victim_keys * 4 + 1,
+                ),
+                (
+                    blocks_here[miss],
+                    stream_write[miss] & False,  # fetches enter clean
+                    stream_bucket[miss],
+                    stream_keys[miss] * 4 + 2,
+                ),
+            ]
+            stream = self._merge(parts)
+            prev_offset = offset_bits
+
+        # Memory traffic: whatever leaves the deepest level, post-warmup.
+        # Writes are the deepest victims; reads are the demand fetches.
+        stream_blocks, stream_write, stream_bucket, stream_keys = stream
+        counted = stream_keys >= warmup * 4**config.depth
+        memory_writes = int(np.count_nonzero(counted & stream_write))
+        memory_reads = int(np.count_nonzero(counted & ~stream_write))
+
+        measured_kinds = kinds[warmup:]
+        cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))
+        cpu_reads = int(measured_kinds.size) - cpu_writes
+        cpu_ifetches = int(np.count_nonzero(measured_kinds == IFETCH))
+        return FunctionalResult(
+            trace_name=trace.name,
+            config=config,
+            cpu_reads=cpu_reads,
+            cpu_writes=cpu_writes,
+            cpu_ifetches=cpu_ifetches,
+            level_stats=level_stats,
+            memory_reads=memory_reads,
+            memory_writes=memory_writes,
+        )
+
+    @staticmethod
+    def _merge(parts) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenate event fragments and sort them into time order."""
+        blocks = np.concatenate([p[0] for p in parts])
+        writes = np.concatenate([p[1] for p in parts])
+        buckets = np.concatenate([p[2] for p in parts])
+        keys = np.concatenate([p[3] for p in parts])
+        order = np.argsort(keys, kind="stable")
+        return blocks[order], writes[order], buckets[order], keys[order]
+
+    @staticmethod
+    def _accumulate(
+        stats: CacheStats,
+        is_write: np.ndarray,
+        bucket: np.ndarray,
+        miss: np.ndarray,
+        keys: np.ndarray,
+        victim_keys: np.ndarray,
+        warmup_key: int,
+    ) -> None:
+        counted = keys >= warmup_key
+        read_bucket = bucket == _BUCKET_READ
+        stats.reads += int(np.count_nonzero(counted & read_bucket))
+        stats.read_misses += int(np.count_nonzero(counted & read_bucket & miss))
+        stats.writes += int(np.count_nonzero(counted & ~read_bucket))
+        stats.write_misses += int(np.count_nonzero(counted & ~read_bucket & miss))
+        stats.blocks_fetched += int(np.count_nonzero(counted & miss))
+        stats.writebacks += int(np.count_nonzero(victim_keys >= warmup_key))
+
+
+def trace_eligible(trace: Trace) -> bool:
+    """The vectorised path works in signed 64-bit block arithmetic, so
+    addresses must stay below 2**63 (every realistic trace does)."""
+    return len(trace) == 0 or int(trace.addresses.max()) < 2**63
+
+
+def run_functional(trace: Trace, config: SystemConfig) -> FunctionalResult:
+    """Run a functional simulation on the fastest correct engine.
+
+    Dispatches to the vectorised simulator when the configuration and the
+    trace are eligible, otherwise to the reference implementation.
+    """
+    if fast_eligible(config) and trace_eligible(trace):
+        return FastFunctionalSimulator(config).run(trace)
+    from repro.sim.functional import FunctionalSimulator
+
+    return FunctionalSimulator(config).run(trace)

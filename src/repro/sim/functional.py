@@ -1,0 +1,115 @@
+"""Functional (miss-ratio) simulation.
+
+Runs a trace through a :class:`~repro.sim.hierarchy.CacheHierarchy` counting
+hits, misses and traffic, with no notion of time.  This is the engine behind
+the section 3 miss-ratio results and behind every sweep that only needs
+event counts (execution time is affine in the cycle times given the counts
+-- the paper's Equation 1 -- so most of the design-space exploration never
+needs the slower timing simulator).
+
+Cold start follows the paper's method: the caches are warmed on the trace's
+warmup prefix with statistics collection disabled, so measured ratios
+reflect steady-state behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cache.stats import CacheStats
+from repro.sim.config import SystemConfig
+from repro.sim.hierarchy import CacheHierarchy
+from repro.trace.record import IFETCH, WRITE, Trace
+
+
+@dataclass
+class FunctionalResult:
+    """Event counts from one functional simulation.
+
+    All counts are post-warmup.  ``level_stats[i]`` aggregates the caches of
+    level ``i+1`` (split halves merged).
+    """
+
+    trace_name: str
+    config: SystemConfig
+    #: CPU-issued reads (loads + instruction fetches) measured.
+    cpu_reads: int
+    #: CPU-issued writes (stores) measured.
+    cpu_writes: int
+    #: Instruction fetches measured (the base cycle count).
+    cpu_ifetches: int
+    level_stats: List[CacheStats]
+    memory_reads: int
+    memory_writes: int
+
+    @property
+    def depth(self) -> int:
+        return len(self.level_stats)
+
+    def local_read_miss_ratio(self, level: int) -> float:
+        """Misses over reads *arriving at* ``level`` (1-based)."""
+        return self.level_stats[level - 1].read_miss_ratio
+
+    def global_read_miss_ratio(self, level: int) -> float:
+        """Misses at ``level`` (1-based) over CPU reads (paper, section 2)."""
+        if self.cpu_reads == 0:
+            return 0.0
+        return self.level_stats[level - 1].read_misses / self.cpu_reads
+
+    def traffic_ratio(self, level: int) -> float:
+        """Reads reaching ``level`` as a fraction of CPU reads: how strongly
+        the upstream caches filter the reference stream."""
+        if self.cpu_reads == 0:
+            return 0.0
+        return self.level_stats[level - 1].reads / self.cpu_reads
+
+
+class FunctionalSimulator:
+    """Runs traces against a machine configuration, counting events."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def run(self, trace: Trace) -> FunctionalResult:
+        """Simulate ``trace`` and return post-warmup counts."""
+        hierarchy = CacheHierarchy(self.config)
+        access = hierarchy.access
+        warmup = trace.warmup
+        records = trace.records()
+        if warmup:
+            hierarchy.set_counting(False)
+            for _ in range(warmup):
+                kind, address = next(records)
+                access(kind, address)
+            hierarchy.set_counting(True)
+        for kind, address in records:
+            access(kind, address)
+
+        measured_kinds = trace.kinds[warmup:]
+        cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))
+        cpu_reads = int(measured_kinds.size) - cpu_writes
+        cpu_ifetches = int(np.count_nonzero(measured_kinds == IFETCH))
+        level_stats = []
+        for group in hierarchy.level_caches:
+            merged = CacheStats()
+            for cache in group:
+                merged = merged.merge(cache.stats)
+            level_stats.append(merged)
+        return FunctionalResult(
+            trace_name=trace.name,
+            config=self.config,
+            cpu_reads=cpu_reads,
+            cpu_writes=cpu_writes,
+            cpu_ifetches=cpu_ifetches,
+            level_stats=level_stats,
+            memory_reads=hierarchy.memory_traffic.reads,
+            memory_writes=hierarchy.memory_traffic.writes,
+        )
+
+
+def simulate_miss_ratios(trace: Trace, config: SystemConfig) -> FunctionalResult:
+    """One-shot convenience wrapper around :class:`FunctionalSimulator`."""
+    return FunctionalSimulator(config).run(trace)

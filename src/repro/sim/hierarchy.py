@@ -1,0 +1,200 @@
+"""Cache hierarchy wiring and functional access propagation.
+
+:class:`CacheHierarchy` instantiates the caches described by a
+:class:`~repro.sim.config.SystemConfig` and routes accesses between levels:
+
+* level 1 may be a split instruction/data pair (the paper's base machine);
+  deeper levels are unified;
+* a miss at level *i* fetches level-*i* blocks from level *i+1*, so a
+  32-byte L2 block fill is a single L2-level event even though L1 blocks
+  are 16 bytes;
+* dirty victims propagate downstream as writes;
+* accesses that reach below the deepest cache are counted against main
+  memory.
+
+Fetches triggered by stores (write-allocate) are tagged so they never
+pollute the read miss ratios (see :meth:`repro.cache.cache.Cache.read`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.cache import Cache
+from repro.sim.config import SystemConfig
+from repro.trace.record import IFETCH, READ, WRITE
+
+
+@dataclass
+class MemoryTraffic:
+    """Block-level traffic reaching main memory."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+@dataclass
+class InclusionStats:
+    """Back-invalidation activity under enforced inclusion."""
+
+    #: Upstream blocks invalidated because a lower level evicted.
+    invalidations: int = 0
+    #: Of those, blocks that were dirty and had to bypass the evictor.
+    dirty_invalidations: int = 0
+
+    def reset(self) -> None:
+        self.invalidations = 0
+        self.dirty_invalidations = 0
+
+
+class CacheHierarchy:
+    """The functional cache stack of one simulated machine."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        first = config.levels[0]
+        if first.split:
+            self.icache: Optional[Cache] = self._build(first, "L1I")
+            self.dcache = self._build(first, "L1D")
+        else:
+            self.icache = None
+            self.dcache = self._build(first, "L1")
+        #: Unified caches below the first level, nearest first.
+        self.lower: List[Cache] = [
+            self._build(level, f"L{i + 2}")
+            for i, level in enumerate(config.levels[1:])
+        ]
+        self.memory_traffic = MemoryTraffic()
+        self.inclusion = InclusionStats()
+
+    @staticmethod
+    def _build(level, name: str) -> Cache:
+        return Cache(
+            geometry=level.geometry(),
+            replacement=level.replacement,
+            write_policy=level.write_policy,
+            fetch=level.fetch_policy(),
+            prefetch=level.prefetch_policy(),
+            name=name,
+        )
+
+    # -- cache enumeration ---------------------------------------------------
+
+    @property
+    def level_caches(self) -> List[List[Cache]]:
+        """Caches grouped by level (level 1 first)."""
+        first = [self.icache, self.dcache] if self.icache else [self.dcache]
+        return [first] + [[cache] for cache in self.lower]
+
+    def all_caches(self) -> List[Cache]:
+        return [cache for group in self.level_caches for cache in group]
+
+    def set_counting(self, enabled: bool) -> None:
+        """Enable/disable statistics in every cache (cold-start handling)."""
+        for cache in self.all_caches():
+            cache.counting = enabled
+
+    def reset_stats(self) -> None:
+        for cache in self.all_caches():
+            cache.stats.reset()
+        self.memory_traffic.reset()
+        self.inclusion.reset()
+
+    # -- access propagation ----------------------------------------------------
+
+    def access(self, kind: int, address: int) -> None:
+        """Present one CPU reference to the hierarchy (functional)."""
+        if kind == WRITE:
+            self._write_at(0, address, first_level=True)
+        elif kind == IFETCH and self.icache is not None:
+            self._read_into(self.icache, 0, address, bucket="read")
+        else:
+            self._read_into(self.dcache, 0, address, bucket="read")
+
+    def _cache_at(self, level_index: int) -> Optional[Cache]:
+        """The unified cache serving ``level_index`` (0-based), if any."""
+        position = level_index - 1
+        if 0 <= position < len(self.lower):
+            return self.lower[position]
+        return None
+
+    def _read_into(
+        self, cache: Cache, level_index: int, address: int, bucket: str
+    ) -> None:
+        outcome = cache.read(address, bucket=bucket)
+        self._propagate(level_index, outcome, bucket)
+
+    def _write_at(self, level_index: int, address: int, first_level: bool) -> None:
+        if first_level:
+            cache = self.dcache
+        else:
+            cache = self._cache_at(level_index)
+            if cache is None:
+                if cache_counts(self):
+                    self.memory_traffic.writes += 1
+                return
+        outcome = cache.write(address)
+        self._propagate(level_index, outcome, bucket="write")
+        if outcome.forwarded_write is not None:
+            self._write_at(level_index + 1, outcome.forwarded_write, first_level=False)
+
+    def _propagate(self, level_index: int, outcome, bucket: str) -> None:
+        """Send an outcome's downstream traffic to the next level."""
+        below = self._cache_at(level_index + 1)
+        for victim in outcome.writebacks:
+            if below is None:
+                if cache_counts(self):
+                    self.memory_traffic.writes += 1
+            else:
+                self._write_at(level_index + 1, victim, first_level=False)
+        for fetched in outcome.fetched:
+            if below is None:
+                if cache_counts(self):
+                    self.memory_traffic.reads += 1
+            else:
+                self._read_into(below, level_index + 1, fetched, bucket)
+        # Speculative fills fetch from below too, but always in the
+        # prefetch bucket so demand miss ratios stay untouched.
+        for speculative in outcome.prefetched:
+            if below is None:
+                if cache_counts(self):
+                    self.memory_traffic.reads += 1
+            else:
+                self._read_into(below, level_index + 1, speculative, "prefetch")
+        if self.config.enforce_inclusion and level_index >= 1:
+            for victim in outcome.evicted:
+                self.back_invalidate(level_index, victim)
+
+    def back_invalidate(self, level_index: int, victim_address: int) -> None:
+        """Drop upstream copies of a block evicted at ``level_index``.
+
+        Dirty upstream data is the only remaining copy, so it is written
+        *around* the evicting level, directly to the level below it.
+        """
+        victim_bytes = self.config.levels[level_index].block_bytes
+        groups = self.level_caches
+        for upper in range(level_index):
+            for cache in groups[upper]:
+                step = cache.geometry.block_bytes
+                for address in range(
+                    victim_address, victim_address + victim_bytes, step
+                ):
+                    state = cache.invalidate(address)
+                    if state == "absent":
+                        continue
+                    if cache_counts(self):
+                        self.inclusion.invalidations += 1
+                    if state == "dirty":
+                        if cache_counts(self):
+                            self.inclusion.dirty_invalidations += 1
+                        self._write_at(level_index + 1, address, first_level=False)
+
+
+def cache_counts(hierarchy: CacheHierarchy) -> bool:
+    """Whether statistics collection is currently enabled."""
+    return hierarchy.dcache.counting

@@ -1,0 +1,425 @@
+"""Nanosecond-resolution execution-time simulation.
+
+This is the measurement engine behind the paper's sections 4 and 5: it
+tracks time through the whole hierarchy -- cache cycle times, write-buffer
+drains, bus transfers and DRAM recovery -- and reports total execution time
+and its decomposition.
+
+Machine model (paper, section 2)
+--------------------------------
+
+* The CPU executes one instruction fetch and at most one data access per
+  non-stall cycle; total time = cycles * cycle time, where the cycle count
+  is the number of instruction fetches plus stall cycles.
+* A read that hits in L1 costs nothing beyond the base cycle.  A read that
+  misses stalls the CPU until the whole L1 block arrives; if it hits in L2
+  that takes one L2 cycle (the 4-word bus returns the block within it), the
+  nominal 3-CPU-cycle penalty of the base machine.
+* An L2 miss stalls the CPU until the entire L2 block arrives from memory:
+  one backplane cycle for the address, the DRAM read, and two backplane
+  data cycles -- 270 ns nominally, more when the DRAM recovery window or
+  pending write traffic intervenes.
+* Write hits occupy the data cache for ``write_hit_cycles``; the CPU does
+  not stall unless the next data access arrives while the cache is busy.
+* Dirty victims are pushed into the 4-entry inter-level write buffers and
+  drain while the downstream level is idle.  A full buffer stalls the miss
+  that caused the eviction; a read matching a buffered entry drains the
+  buffer up to the match first.
+
+Modelling approximations (documented in DESIGN.md section 6): buffered
+writes are applied to the downstream cache *functionally* at push time
+(their timing cost is paid at drain time); the drain service time of the
+memory-side buffer folds in the DRAM write and recovery windows rather than
+re-entering the DRAM state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.cache import Cache
+from repro.cache.stats import CacheStats
+from repro.cache.write_buffer import WriteBuffer
+from repro.memory.bus import Bus
+from repro.memory.main_memory import MainMemory
+from repro.sim.config import SystemConfig
+from repro.sim.hierarchy import CacheHierarchy
+from repro.trace.record import IFETCH, WRITE, Trace
+
+
+@dataclass
+class TimingResult:
+    """Execution-time measurement for one trace on one machine."""
+
+    trace_name: str
+    config: SystemConfig
+    #: Post-warmup counts.
+    instructions: int
+    cpu_reads: int
+    cpu_writes: int
+    #: Total simulated time (ns) for the measured region.
+    total_ns: float
+    #: Stall decomposition in nanoseconds.
+    read_stall_ns: float
+    write_stall_ns: float
+    level_stats: List[CacheStats]
+    memory_reads: int
+    memory_writes: int
+    #: Write-buffer statistics per boundary (L1->L2 first).
+    buffer_full_stalls: List[int]
+    buffer_read_matches: List[int]
+
+    @property
+    def total_cycles(self) -> float:
+        """Total CPU cycles (time over the CPU cycle time)."""
+        return self.total_ns / self.config.cpu.cycle_ns
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.total_cycles / self.instructions
+
+    def global_read_miss_ratio(self, level: int) -> float:
+        if self.cpu_reads == 0:
+            return 0.0
+        return self.level_stats[level - 1].read_misses / self.cpu_reads
+
+    def relative_to(self, reference: "TimingResult") -> float:
+        """Execution time relative to ``reference`` (same trace)."""
+        if reference.total_ns == 0:
+            raise ValueError("reference execution time is zero")
+        return self.total_ns / reference.total_ns
+
+
+class TimingSimulator:
+    """Trace-driven timing simulation of a configured machine."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def run(self, trace: Trace) -> TimingResult:
+        engine = _TimingEngine(self.config)
+        return engine.run(trace)
+
+
+def simulate_execution_time(trace: Trace, config: SystemConfig) -> TimingResult:
+    """One-shot convenience wrapper around :class:`TimingSimulator`."""
+    return TimingSimulator(config).run(trace)
+
+
+class _TimingEngine:
+    """Mutable state of one timing run (one engine per run)."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.hierarchy = CacheHierarchy(config)
+        self.cpu_cycle = config.cpu.cycle_ns
+        self.lower: List[Cache] = self.hierarchy.lower
+        depth = config.depth
+        #: Cycle time (ns) per configured level.
+        self.level_cycle = [config.level_cycle_ns(i) for i in range(depth)]
+        #: Block size per configured level.
+        self.level_block = [config.levels[i].block_bytes for i in range(depth)]
+        #: Busy-until time for each lower level (demand service occupancy).
+        self.level_busy = [0.0] * len(self.lower)
+        # The backplane runs at the deepest cache's cycle time unless the
+        # configuration pins it (the paper's sweeps hold the memory access
+        # portion of the miss penalty constant).
+        self.memory_bus = Bus(
+            width_words=config.bus_width_words,
+            cycle_ns=config.effective_backplane_ns,
+        )
+        self.memory = MainMemory(config.memory)
+        # buffers[i] sits between level i and level i+1 (0-based); the last
+        # buffer feeds main memory.
+        self.buffers: List[WriteBuffer] = []
+        for i in range(depth):
+            if i + 1 < depth:
+                service = (
+                    config.levels[i + 1].write_hit_cycles * self.level_cycle[i + 1]
+                )
+                downstream_block = self.level_block[i + 1]
+            else:
+                service = config.memory.write_ns + config.memory.recovery_ns + (
+                    self.memory_bus.data_time(self.level_block[i])
+                )
+                downstream_block = self.level_block[i]
+            self.buffers.append(
+                WriteBuffer(
+                    capacity=config.write_buffer_entries,
+                    service_time=service,
+                    downstream_block=downstream_block,
+                )
+            )
+        # Per-reference hit costs.  The base machine's split L1 cycles at
+        # the CPU rate, so an instruction fetch costs one CPU cycle and a
+        # data read hit is free (it shares the cycle).  For a single-level
+        # system whose only cache is slower than the CPU -- the paper's
+        # "equivalent single-level cache" comparisons -- every fetch costs
+        # a full cache cycle, and on a unified cache a data access occupies
+        # the single port for another cache cycle.
+        l1_cycle = self.level_cycle[0]
+        self.ifetch_cost = max(self.cpu_cycle, l1_cycle)
+        if config.levels[0].split or l1_cycle <= self.cpu_cycle:
+            self.data_hit_cost = max(0.0, l1_cycle - self.cpu_cycle)
+        else:
+            self.data_hit_cost = l1_cycle
+        # Time the D-cache finishes a multi-cycle write hit and can accept
+        # the next data access.
+        self.dcache_free_at = float("-inf")
+        self.now = 0.0
+        self.read_stall = 0.0
+        self.write_stall = 0.0
+
+    # -- top level -----------------------------------------------------------
+
+    def run(self, trace: Trace) -> TimingResult:
+        hierarchy = self.hierarchy
+        warmup = trace.warmup
+        records = trace.records()
+        if warmup:
+            hierarchy.set_counting(False)
+            access = hierarchy.access
+            for _ in range(warmup):
+                kind, address = next(records)
+                access(kind, address)
+            hierarchy.set_counting(True)
+
+        icache = hierarchy.icache
+        dcache = hierarchy.dcache
+        cpu_cycle = self.cpu_cycle
+        instructions = 0
+        for kind, address in records:
+            if kind == IFETCH:
+                instructions += 1
+                self.now += self.ifetch_cost
+                cache = icache if icache is not None else dcache
+                outcome = cache.read(address)
+                if not outcome.hit:
+                    done = self._service_miss(outcome, self.now, for_write=False)
+                    self.read_stall += done - self.now
+                    self.now = done
+                elif outcome.prefetched:
+                    self._apply_prefetches(0, outcome)
+            elif kind == WRITE:
+                self._do_write(address)
+            else:
+                self._do_read(address)
+
+        measured_kinds = trace.kinds[warmup:]
+        cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))
+        cpu_reads = int(measured_kinds.size) - cpu_writes
+        level_stats = []
+        for group in hierarchy.level_caches:
+            merged = CacheStats()
+            for cache in group:
+                merged = merged.merge(cache.stats)
+            level_stats.append(merged)
+        return TimingResult(
+            trace_name=trace.name,
+            config=self.config,
+            instructions=instructions,
+            cpu_reads=cpu_reads,
+            cpu_writes=cpu_writes,
+            total_ns=self.now,
+            read_stall_ns=self.read_stall,
+            write_stall_ns=self.write_stall,
+            level_stats=level_stats,
+            memory_reads=hierarchy.memory_traffic.reads,
+            memory_writes=hierarchy.memory_traffic.writes,
+            buffer_full_stalls=[b.full_stalls for b in self.buffers],
+            buffer_read_matches=[b.read_matches for b in self.buffers],
+        )
+
+    # -- CPU-side data accesses ------------------------------------------------
+
+    def _wait_for_dcache(self) -> None:
+        """Stall if a multi-cycle write still occupies the D-cache.
+
+        A data access belongs to the cycle that started one CPU cycle before
+        ``now`` (``now`` marks cycle ends), so the comparison is against the
+        cycle start.
+        """
+        cycle_start = self.now - self.cpu_cycle
+        if self.dcache_free_at > cycle_start:
+            wait = self.dcache_free_at - cycle_start
+            self.write_stall += wait
+            self.now += wait
+
+    def _do_read(self, address: int) -> None:
+        self._wait_for_dcache()
+        outcome = self.hierarchy.dcache.read(address)
+        if outcome.hit:
+            self.now += self.data_hit_cost
+            if outcome.prefetched:
+                self._apply_prefetches(0, outcome)
+        else:
+            done = self._service_miss(outcome, self.now, for_write=False)
+            self.read_stall += done - self.now
+            self.now = done
+
+    def _do_write(self, address: int) -> None:
+        self._wait_for_dcache()
+        dcache = self.hierarchy.dcache
+        outcome = dcache.write(address)
+        if not outcome.hit and outcome.fetched:
+            # Fetch-on-write: the CPU stalls for the allocation.
+            done = self._service_miss(outcome, self.now, for_write=True)
+            self.write_stall += done - self.now
+            self.now = done
+        elif outcome.writebacks or outcome.forwarded_write is not None:
+            done = self._service_miss(outcome, self.now, for_write=True)
+            if done > self.now:
+                self.write_stall += done - self.now
+                self.now = done
+        if dcache.write_policy.value == "write-back":
+            # The write occupies the D-cache for write_hit_cycles starting
+            # at its own cycle's start.
+            cycle_start = self.now - self.cpu_cycle
+            occupancy = self.config.levels[0].write_hit_cycles * self.cpu_cycle
+            self.dcache_free_at = cycle_start + occupancy
+
+    # -- miss service ------------------------------------------------------------
+
+    def _service_miss(self, outcome, now: float, for_write: bool) -> float:
+        """Charge the downstream consequences of a level-1 outcome.
+
+        Returns the completion time of the demand transfer.
+        """
+        done = now
+        done = max(done, self._push_writebacks(0, outcome.writebacks, now))
+        for fetched in outcome.fetched:
+            done = max(done, self._read_block(1, fetched, now, for_write))
+        if outcome.forwarded_write is not None:
+            done = max(done, self._write_block(1, outcome.forwarded_write, now))
+        self._apply_prefetches(0, outcome)
+        return done
+
+    def _push_writebacks(self, boundary: int, victims, now: float) -> float:
+        """Push victim blocks into the buffer at ``boundary``.
+
+        Functionally applies the writes downstream immediately; the buffer
+        carries the timing.  Returns when the processor-side push completes
+        (later than ``now`` only when the buffer is full).
+        """
+        done = now
+        buffer = self.buffers[boundary]
+        align = buffer.downstream_block - 1
+        for victim in victims:
+            done = max(done, buffer.push(victim & ~align, now))
+            self._apply_write_functionally(boundary + 1, victim)
+        return done
+
+    def _apply_write_functionally(self, level_index: int, address: int) -> None:
+        """Apply a drained write's state change without timing."""
+        position = level_index - 1
+        if position >= len(self.lower):
+            if self.hierarchy.dcache.counting:
+                self.hierarchy.memory_traffic.writes += 1
+            return
+        cache = self.lower[position]
+        outcome = cache.write(address)
+        self._enforce_inclusion(level_index, outcome)
+        # Downstream consequences of the write (allocation fills, deeper
+        # victims) are functional too; their timing is folded into the
+        # buffer service-time approximation.
+        for victim in outcome.writebacks:
+            self._apply_write_functionally(level_index + 1, victim)
+        for fetched in outcome.fetched:
+            self._apply_read_functionally(level_index + 1, fetched)
+        if outcome.forwarded_write is not None:
+            self._apply_write_functionally(level_index + 1, outcome.forwarded_write)
+
+    def _apply_read_functionally(
+        self, level_index: int, address: int, bucket: str = "write"
+    ) -> None:
+        position = level_index - 1
+        if position >= len(self.lower):
+            if self.hierarchy.dcache.counting:
+                self.hierarchy.memory_traffic.reads += 1
+            return
+        cache = self.lower[position]
+        outcome = cache.read(address, bucket=bucket)
+        self._enforce_inclusion(level_index, outcome)
+        for victim in outcome.writebacks:
+            self._apply_write_functionally(level_index + 1, victim)
+        for fetched in outcome.fetched:
+            self._apply_read_functionally(level_index + 1, fetched, bucket)
+
+    def _enforce_inclusion(self, level_index: int, outcome) -> None:
+        """Back-invalidate upstream copies of blocks evicted below.
+
+        State-only, like buffered writes: the (rare) back-invalidation
+        traffic is outside the timing envelope.
+        """
+        if self.config.enforce_inclusion and outcome.evicted:
+            for victim in outcome.evicted:
+                self.hierarchy.back_invalidate(level_index, victim)
+
+    def _apply_prefetches(self, level_index: int, outcome) -> None:
+        """Fill an outcome's speculative fetches from below, functionally.
+
+        Prefetch traffic never stalls the processor in this model; its
+        bandwidth cost is outside the timing envelope (the paper's
+        simulator overlaps prefetches with demand activity too).
+        """
+        for speculative in outcome.prefetched:
+            self._apply_read_functionally(level_index + 1, speculative, "prefetch")
+
+    def _read_block(
+        self, level_index: int, address: int, now: float, for_write: bool
+    ) -> float:
+        """Fetch one upstream block through level ``level_index`` (0-based
+        into ``config.levels``); returns the completion time."""
+        position = level_index - 1
+        boundary = level_index - 1  # buffer feeding this level
+        buffer = self.buffers[boundary]
+        if position >= len(self.lower):
+            # Straight to main memory.
+            if self.hierarchy.dcache.counting:
+                self.hierarchy.memory_traffic.reads += 1
+            fence = buffer.read_fence(
+                address & ~(buffer.downstream_block - 1), now
+            )
+            return self._memory_read(fence, self.level_block[level_index - 1])
+        cache = self.lower[position]
+        fence = buffer.read_fence(address & ~(buffer.downstream_block - 1), now)
+        start = max(fence, self.level_busy[position])
+        outcome = cache.read(address, bucket="write" if for_write else "read")
+        self._enforce_inclusion(level_index, outcome)
+        self._apply_prefetches(level_index, outcome)
+        if outcome.hit:
+            done = start + self.level_cycle[level_index]
+        else:
+            done = max(
+                start, self._push_writebacks(boundary + 1, outcome.writebacks, start)
+            )
+            for fetched in outcome.fetched:
+                done = max(
+                    done, self._read_block(level_index + 1, fetched, start, for_write)
+                )
+        self.level_busy[position] = done
+        buffer.block_until(done)
+        return done
+
+    def _write_block(self, level_index: int, address: int, now: float) -> float:
+        """A forwarded (write-through) word write heading downstream: goes
+        through the write buffer at the upstream boundary.  Returns the push
+        completion time (> ``now`` only when the buffer is full)."""
+        boundary = level_index - 1
+        buffer = self.buffers[boundary]
+        done = buffer.push(address & ~(buffer.downstream_block - 1), now)
+        self._apply_write_functionally(level_index, address)
+        return done
+
+    def _memory_read(self, now: float, block_bytes: int) -> float:
+        """Address cycle, DRAM read, data transfer back."""
+        address_done = self.memory_bus.acquire(now, self.memory_bus.address_time())
+        data_at_pins = self.memory.read(address_done)
+        done = data_at_pins + self.memory_bus.data_time(block_bytes)
+        self.memory_bus.busy_until = done
+        return done

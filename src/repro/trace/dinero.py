@@ -1,0 +1,73 @@
+"""Dinero-style ``.din`` trace file I/O.
+
+The classic Dinero trace format is one record per line::
+
+    <label> <hex-address>
+
+where label 0 is a data read, 1 a data write and 2 an instruction fetch.
+Supporting it lets traces produced here be checked against other cache
+simulators, and lets externally captured ``.din`` traces drive this
+simulator.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.trace.record import IFETCH, READ, WRITE, Trace
+
+#: Dinero label -> internal record kind.
+_DIN_TO_KIND = {0: READ, 1: WRITE, 2: IFETCH}
+#: Internal record kind -> Dinero label.
+_KIND_TO_DIN = {READ: 0, WRITE: 1, IFETCH: 2}
+
+
+def write_dinero(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in Dinero ``.din`` format."""
+    with open(path, "w", encoding="ascii") as handle:
+        _write_dinero_stream(trace, handle)
+
+
+def _write_dinero_stream(trace: Trace, handle: io.TextIOBase) -> None:
+    labels = _KIND_TO_DIN
+    lines = [
+        f"{labels[kind]} {address:x}\n" for kind, address in trace.records()
+    ]
+    handle.writelines(lines)
+
+
+def read_dinero(path: Union[str, Path], name: str = None) -> Trace:
+    """Read a Dinero ``.din`` trace from ``path``.
+
+    Blank lines are ignored.  Malformed lines raise ``ValueError`` with the
+    offending line number.
+    """
+    kinds = []
+    addresses = []
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'label address', got {line!r}")
+            try:
+                label = int(parts[0])
+                address = int(parts[1], 16)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: unparseable record {line!r}") from exc
+            if label not in _DIN_TO_KIND:
+                raise ValueError(f"{path}:{lineno}: unknown Dinero label {label}")
+            kinds.append(_DIN_TO_KIND[label])
+            addresses.append(address)
+    trace_name = name if name is not None else Path(path).stem
+    return Trace(
+        np.array(kinds, dtype=np.uint8),
+        np.array(addresses, dtype=np.uint64),
+        name=trace_name,
+    )

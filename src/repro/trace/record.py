@@ -1,0 +1,186 @@
+"""In-memory trace representation.
+
+A trace is a sequence of (kind, address) records.  Kinds follow the paper's
+read/write split: *reads* are loads **and instruction fetches**; miss ratios
+throughout the repository are defined over reads only (paper, section 2).
+
+Traces are stored as parallel numpy arrays (``uint8`` kinds, ``uint64`` byte
+addresses) so multi-million-reference traces stay compact and can be saved
+and loaded without translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+#: Instruction fetch (a read for miss-ratio purposes).
+IFETCH = 0
+#: Data load.
+READ = 1
+#: Data store.
+WRITE = 2
+
+KIND_NAMES = {IFETCH: "ifetch", READ: "read", WRITE: "write"}
+
+_VALID_KINDS = frozenset(KIND_NAMES)
+
+
+@dataclass
+class Trace:
+    """An address trace.
+
+    Parameters
+    ----------
+    kinds:
+        ``uint8`` array of record kinds (:data:`IFETCH`, :data:`READ`,
+        :data:`WRITE`).
+    addresses:
+        ``uint64`` array of byte addresses, parallel to ``kinds``.
+    name:
+        Human-readable label ("vms-like-0", ...), used in experiment output.
+    warmup:
+        Number of leading records considered cold-start; metric collection
+        may ignore them (see :mod:`repro.trace.warmup`).
+    """
+
+    kinds: np.ndarray
+    addresses: np.ndarray
+    name: str = "trace"
+    warmup: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.kinds = np.asarray(self.kinds, dtype=np.uint8)
+        self.addresses = np.asarray(self.addresses, dtype=np.uint64)
+        if self.kinds.shape != self.addresses.shape:
+            raise ValueError(
+                f"kinds and addresses must be parallel arrays, got shapes "
+                f"{self.kinds.shape} and {self.addresses.shape}"
+            )
+        if self.kinds.ndim != 1:
+            raise ValueError("trace arrays must be one-dimensional")
+        if self.kinds.size and not _VALID_KINDS.issuperset(np.unique(self.kinds).tolist()):
+            bad = sorted(set(np.unique(self.kinds).tolist()) - _VALID_KINDS)
+            raise ValueError(f"invalid record kinds in trace: {bad}")
+        if not 0 <= self.warmup <= len(self.kinds):
+            raise ValueError(
+                f"warmup must be within the trace length ({len(self.kinds)}), "
+                f"got {self.warmup}"
+            )
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.kinds.size)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start = index.start or 0
+            if start < 0:
+                start += len(self)
+            warmup = max(0, self.warmup - start)
+            sliced = Trace(
+                self.kinds[index],
+                self.addresses[index],
+                name=self.name,
+                metadata=dict(self.metadata),
+            )
+            sliced.warmup = min(warmup, len(sliced))
+            return sliced
+        return int(self.kinds[index]), int(self.addresses[index])
+
+    def records(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (kind, address) pairs as plain Python ints.
+
+        ``tolist`` conversion makes per-record iteration several times faster
+        than indexing the numpy arrays directly, which matters for the
+        simulators' hot loop.
+        """
+        return zip(self.kinds.tolist(), self.addresses.tolist())
+
+    # -- derived counts ----------------------------------------------------
+
+    @property
+    def read_count(self) -> int:
+        """Number of reads (loads + instruction fetches)."""
+        return int(np.count_nonzero(self.kinds != WRITE))
+
+    @property
+    def write_count(self) -> int:
+        """Number of stores."""
+        return int(np.count_nonzero(self.kinds == WRITE))
+
+    @property
+    def ifetch_count(self) -> int:
+        return int(np.count_nonzero(self.kinds == IFETCH))
+
+    @property
+    def load_count(self) -> int:
+        return int(np.count_nonzero(self.kinds == READ))
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Tuple[int, int]],
+        name: str = "trace",
+        warmup: int = 0,
+    ) -> "Trace":
+        """Build a trace from an iterable of (kind, address) pairs."""
+        pairs = list(records)
+        if pairs:
+            kinds, addresses = zip(*pairs)
+        else:
+            kinds, addresses = (), ()
+        return cls(
+            np.array(kinds, dtype=np.uint8),
+            np.array(addresses, dtype=np.uint64),
+            name=name,
+            warmup=warmup,
+        )
+
+    def save(self, path) -> None:
+        """Persist the trace to an ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            kinds=self.kinds,
+            addresses=self.addresses,
+            name=np.array(self.name),
+            warmup=np.array(self.warmup),
+        )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Load a trace previously stored with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            return cls(
+                data["kinds"],
+                data["addresses"],
+                name=str(data["name"]),
+                warmup=int(data["warmup"]),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(name={self.name!r}, records={len(self)}, "
+            f"reads={self.read_count}, writes={self.write_count}, "
+            f"warmup={self.warmup})"
+        )
+
+
+def concat_traces(traces: Sequence[Trace], name: str = "concat") -> Trace:
+    """Concatenate traces end to end.
+
+    The warmup region of the result is the first trace's warmup; later
+    traces' warmup markers are ignored (concatenation is used to build long
+    runs of an already-warm workload).
+    """
+    if not traces:
+        raise ValueError("need at least one trace to concatenate")
+    kinds = np.concatenate([t.kinds for t in traces])
+    addresses = np.concatenate([t.addresses for t in traces])
+    return Trace(kinds, addresses, name=name, warmup=traces[0].warmup)

@@ -1,0 +1,171 @@
+"""Trace transformations.
+
+Utilities for slicing, merging and reshaping traces -- the operations a
+user needs when adapting externally captured traces (or the synthetic
+suite) to new experiments: extracting a data-reference stream, pulling one
+process out of a multiprogramming mix, compacting a sparse address space,
+or re-interleaving uniprocessor traces the way the paper's MIPS traces
+were.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.trace.record import IFETCH, READ, WRITE, Trace
+from repro.units import check_power_of_two
+
+
+def filter_kinds(trace: Trace, kinds: Sequence[int], name: str = None) -> Trace:
+    """Keep only records whose kind is in ``kinds``.
+
+    The warmup marker is remapped to the number of surviving warmup
+    records, preserving the cold-start boundary's meaning.
+    """
+    if not kinds:
+        raise ValueError("need at least one record kind to keep")
+    mask = np.isin(trace.kinds, np.array(list(kinds), dtype=np.uint8))
+    warmup = int(np.count_nonzero(mask[: trace.warmup]))
+    return Trace(
+        trace.kinds[mask],
+        trace.addresses[mask],
+        name=name if name is not None else f"{trace.name}-filtered",
+        warmup=warmup,
+    )
+
+
+def data_references(trace: Trace) -> Trace:
+    """The load/store substream (drops instruction fetches)."""
+    return filter_kinds(trace, [READ, WRITE], name=f"{trace.name}-data")
+
+
+def instruction_fetches(trace: Trace) -> Trace:
+    """The instruction-fetch substream."""
+    return filter_kinds(trace, [IFETCH], name=f"{trace.name}-ifetch")
+
+
+def split_by_process(trace: Trace, pid_shift: int = 44) -> Dict[int, Trace]:
+    """De-interleave a multiprogramming trace by address-space id.
+
+    The suite generators place each process's id in the address bits at
+    ``pid_shift`` and above; externally captured traces can pass whatever
+    shift matches their layout.  Returns ``{pid: per-process trace}``;
+    per-process warmup markers count each process's own warmup records.
+    """
+    if not 0 <= pid_shift < 64:
+        raise ValueError("pid_shift must be a bit position below 64")
+    pids = (trace.addresses >> np.uint64(pid_shift)).astype(np.int64)
+    result = {}
+    for pid in np.unique(pids):
+        mask = pids == pid
+        warmup = int(np.count_nonzero(mask[: trace.warmup]))
+        result[int(pid)] = Trace(
+            trace.kinds[mask],
+            trace.addresses[mask],
+            name=f"{trace.name}-p{int(pid)}",
+            warmup=warmup,
+        )
+    return result
+
+
+def to_block_granularity(trace: Trace, block_bytes: int) -> Trace:
+    """Align every address down to a ``block_bytes`` boundary.
+
+    Useful before exporting to tools that work on block identifiers, or to
+    measure how much a metric owes to sub-block offsets.
+    """
+    check_power_of_two(block_bytes, "block_bytes")
+    mask = np.uint64(~(block_bytes - 1) & (2**64 - 1))
+    return Trace(
+        trace.kinds.copy(),
+        trace.addresses & mask,
+        name=f"{trace.name}-{block_bytes}B",
+        warmup=trace.warmup,
+    )
+
+
+def remap_compact(trace: Trace, block_bytes: int = 16) -> Tuple[Trace, int]:
+    """Compact a sparse address space into dense block numbers.
+
+    Every distinct ``block_bytes`` block is renumbered in order of first
+    appearance (addresses become ``block_number * block_bytes``).  Returns
+    the remapped trace and the number of distinct blocks.  Cache behaviour
+    is *not* generally preserved (set conflicts change); this is for
+    footprint analysis and for anonymising traces before export.
+    """
+    check_power_of_two(block_bytes, "block_bytes")
+    blocks = trace.addresses // np.uint64(block_bytes)
+    unique, inverse = np.unique(blocks, return_inverse=True)
+    # np.unique sorts; renumber by first appearance instead.
+    first_position = np.full(len(unique), len(trace), dtype=np.int64)
+    np.minimum.at(first_position, inverse, np.arange(len(trace), dtype=np.int64))
+    rank = np.argsort(np.argsort(first_position, kind="stable"), kind="stable")
+    dense = rank[inverse].astype(np.uint64) * np.uint64(block_bytes)
+    remapped = Trace(
+        trace.kinds.copy(),
+        dense,
+        name=f"{trace.name}-compact",
+        warmup=trace.warmup,
+    )
+    return remapped, int(len(unique))
+
+
+def interleave_round_robin(
+    traces: Sequence[Trace],
+    quantum: int,
+    name: str = "interleaved",
+    pid_shift: int = 44,
+) -> Trace:
+    """Deterministically interleave traces in fixed quanta.
+
+    This is the paper's construction for its MIPS traces ("randomly
+    interleaved to match the context switch intervals seen in the VAX
+    traces"), in its deterministic round-robin form; each input is moved
+    into its own address space at ``pid_shift``.  Traces that run out stop
+    participating; every record of every input appears exactly once.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    if quantum < 1:
+        raise ValueError("quantum must be at least 1")
+    kinds_parts: List[np.ndarray] = []
+    addr_parts: List[np.ndarray] = []
+    positions = [0] * len(traces)
+    remaining = [len(t) for t in traces]
+    while any(remaining):
+        for i, trace in enumerate(traces):
+            if not remaining[i]:
+                continue
+            take = min(quantum, remaining[i])
+            start = positions[i]
+            kinds_parts.append(trace.kinds[start : start + take])
+            base = np.uint64((i + 1) << pid_shift)
+            addr_parts.append(trace.addresses[start : start + take] + base)
+            positions[i] += take
+            remaining[i] -= take
+    return Trace(
+        np.concatenate(kinds_parts),
+        np.concatenate(addr_parts),
+        name=name,
+    )
+
+
+def concatenate_measured(trace: Trace, repeats: int) -> Trace:
+    """Repeat a trace's measured region to lengthen a run.
+
+    The warmup prefix appears once; the post-warmup region is repeated
+    ``repeats`` times.  Useful for stretching a short captured trace so a
+    timing simulation reaches steady state.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    head_kinds = trace.kinds[: trace.warmup]
+    head_addrs = trace.addresses[: trace.warmup]
+    tail_kinds = trace.kinds[trace.warmup :]
+    tail_addrs = trace.addresses[trace.warmup :]
+    kinds = np.concatenate([head_kinds] + [tail_kinds] * repeats)
+    addresses = np.concatenate([head_addrs] + [tail_addrs] * repeats)
+    return Trace(kinds, addresses, name=f"{trace.name}-x{repeats}",
+                 warmup=trace.warmup)

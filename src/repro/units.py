@@ -1,0 +1,47 @@
+"""Shared unit constants and helpers.
+
+The paper works in a small set of units: bytes for cache and block sizes
+(words are 4 bytes), nanoseconds for physical latencies, and CPU cycles for
+architectural costs.  Keeping the conversions in one place avoids the classic
+off-by-4 errors between "4-word block" and "16-byte block".
+"""
+
+from __future__ import annotations
+
+#: Bytes per machine word (the paper's VAX/R2000 context uses 4-byte words).
+WORD_BYTES = 4
+
+#: Convenience size multipliers.
+KB = 1024
+MB = 1024 * KB
+
+
+def words(n_words: int) -> int:
+    """Return the size in bytes of ``n_words`` machine words."""
+    return n_words * WORD_BYTES
+
+
+def is_power_of_two(value: int) -> bool:
+    """True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises ``ValueError`` for values that are not positive powers of two so
+    that misconfigured cache geometries fail loudly at construction time.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def check_power_of_two(value: int, what: str) -> int:
+    """Validate that ``value`` is a power of two, returning it unchanged.
+
+    ``what`` names the parameter for the error message.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value

@@ -1,0 +1,75 @@
+"""Tests for the Equation 3 break-even associativity times."""
+
+import pytest
+
+from repro.analytical.associativity import (
+    cumulative_breakeven_ns,
+    incremental_breakeven_ns,
+    l1_scaling_factor,
+)
+
+
+class TestIncremental:
+    def test_equation_three(self):
+        # Delta-M * t_MM / M_L1.
+        assert incremental_breakeven_ns(0.005, 270.0, 0.1) == pytest.approx(13.5)
+
+    def test_l1_filtering_multiplies_budget(self):
+        solo = incremental_breakeven_ns(0.005, 270.0, 1.0)
+        filtered = incremental_breakeven_ns(0.005, 270.0, 0.1)
+        assert filtered == pytest.approx(10.0 * solo)
+
+    def test_no_improvement_means_no_budget(self):
+        assert incremental_breakeven_ns(-0.001, 270.0, 0.1) == 0.0
+        assert incremental_breakeven_ns(0.0, 270.0, 0.1) == 0.0
+
+    def test_linear_in_memory_time(self):
+        """Section 5: break-even times increase linearly with the main
+        memory access time."""
+        base = incremental_breakeven_ns(0.004, 270.0, 0.1)
+        slow = incremental_breakeven_ns(0.004, 540.0, 0.1)
+        assert slow == pytest.approx(2.0 * base)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            incremental_breakeven_ns(0.01, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            incremental_breakeven_ns(0.01, 270.0, 0.0)
+
+
+class TestCumulative:
+    def test_sums_incremental_budgets(self):
+        # Chain 1 -> 2 -> 4 -> 8 way.
+        ratios = [0.020, 0.016, 0.014, 0.013]
+        cumulative = cumulative_breakeven_ns(ratios, 270.0, 0.1)
+        incremental = sum(
+            incremental_breakeven_ns(ratios[i] - ratios[i + 1], 270.0, 0.1)
+            for i in range(3)
+        )
+        assert cumulative == pytest.approx(incremental)
+
+    def test_paper_scale_example(self):
+        """With a 4 KB L1 (M_L1 ~ 0.1) typical global improvements of a few
+        tenths of a percent buy 10-20 ns -- one to two CPU cycles, as the
+        paper reports for most of the design space."""
+        budget = cumulative_breakeven_ns([0.020, 0.0155], 270.0, 0.1)
+        assert 10.0 <= budget <= 20.0
+
+    def test_needs_at_least_two_points(self):
+        with pytest.raises(ValueError):
+            cumulative_breakeven_ns([0.02], 270.0, 0.1)
+
+
+class TestL1Scaling:
+    def test_paper_factor(self):
+        """Each L1 doubling multiplies the break-even times by ~1.45."""
+        assert l1_scaling_factor(0.69) == pytest.approx(1.449, abs=0.01)
+
+    def test_inverse_relationship(self):
+        assert l1_scaling_factor(0.5) == pytest.approx(2.0)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            l1_scaling_factor(0.0)
+        with pytest.raises(ValueError):
+            l1_scaling_factor(1.0)

@@ -1,0 +1,94 @@
+"""Tests for the power-law miss-rate model and fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analytical.missrate import PowerLawMissModel, fit_power_law
+
+
+class TestModel:
+    def test_doubling_factor(self):
+        model = PowerLawMissModel.from_doubling_factor(0.69, 4096, 0.1)
+        assert model.doubling_factor == pytest.approx(0.69)
+        assert model.miss_ratio(8192) == pytest.approx(0.069)
+
+    def test_square_root_rule(self):
+        """alpha ~ 0.5 means miss ~ 1/sqrt(size), the paper's reading."""
+        model = PowerLawMissModel(reference_size=1024, reference_miss=0.2, alpha=0.5)
+        assert model.miss_ratio(4096) == pytest.approx(0.1)
+
+    def test_clamped_to_one(self):
+        model = PowerLawMissModel(reference_size=4096, reference_miss=0.5, alpha=1.0)
+        assert model.miss_ratio(16) == 1.0
+
+    def test_derivative_negative_and_consistent(self):
+        model = PowerLawMissModel.from_doubling_factor(0.69, 4096, 0.1)
+        size = 65536.0
+        h = 1.0
+        numeric = (model.miss_ratio(size + h) - model.miss_ratio(size - h)) / (2 * h)
+        assert model.derivative(size) == pytest.approx(numeric, rel=1e-4)
+        assert model.derivative(size) < 0
+
+    def test_size_for_miss_inverts_miss_ratio(self):
+        model = PowerLawMissModel.from_doubling_factor(0.69, 4096, 0.1)
+        target = 0.03
+        size = model.size_for_miss(target)
+        assert model.miss_ratio(size) == pytest.approx(target)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"reference_size": 0, "reference_miss": 0.1, "alpha": 0.5},
+            {"reference_size": 1024, "reference_miss": 0.0, "alpha": 0.5},
+            {"reference_size": 1024, "reference_miss": 0.1, "alpha": 0.0},
+        ],
+    )
+    def test_invalid_models_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerLawMissModel(**kwargs)
+
+    def test_invalid_queries_rejected(self):
+        model = PowerLawMissModel(reference_size=1024, reference_miss=0.1, alpha=0.5)
+        with pytest.raises(ValueError):
+            model.miss_ratio(0)
+        with pytest.raises(ValueError):
+            model.size_for_miss(0.0)
+
+
+class TestFit:
+    def test_exact_recovery_on_synthetic_data(self):
+        truth = PowerLawMissModel.from_doubling_factor(0.69, 4096, 0.12)
+        sizes = [4096 * 2**i for i in range(8)]
+        ratios = [truth.miss_ratio(s) for s in sizes]
+        model, r2 = fit_power_law(sizes, ratios)
+        assert model.doubling_factor == pytest.approx(0.69, rel=1e-6)
+        assert r2 == pytest.approx(1.0)
+        assert model.miss_ratio(65536) == pytest.approx(truth.miss_ratio(65536))
+
+    def test_noisy_fit_recovers_slope(self):
+        rng = np.random.default_rng(1)
+        truth = PowerLawMissModel.from_doubling_factor(0.7, 4096, 0.1)
+        sizes = [4096 * 2**i for i in range(10)]
+        ratios = [truth.miss_ratio(s) * rng.uniform(0.95, 1.05) for s in sizes]
+        model, r2 = fit_power_law(sizes, ratios)
+        assert model.doubling_factor == pytest.approx(0.7, abs=0.03)
+        assert r2 > 0.98
+
+    def test_zero_points_excluded(self):
+        truth = PowerLawMissModel.from_doubling_factor(0.69, 4096, 0.1)
+        sizes = [4096, 8192, 16384, 32768]
+        ratios = [truth.miss_ratio(s) for s in sizes[:-1]] + [0.0]
+        model, _ = fit_power_law(sizes, ratios)
+        assert model.doubling_factor == pytest.approx(0.69, rel=1e-6)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_power_law([4096], [0.1])
+
+    def test_increasing_ratios_rejected(self):
+        with pytest.raises(ValueError, match="power law"):
+            fit_power_law([1024, 2048, 4096], [0.01, 0.02, 0.04])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            fit_power_law([1024, 2048], [0.1])

@@ -1,0 +1,282 @@
+"""Behavioural tests for a single cache level."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache, CacheGeometry, FetchPolicy, WritePolicy
+from repro.units import KB
+
+
+def small_cache(**kwargs):
+    defaults = dict(
+        geometry=CacheGeometry(size_bytes=256, block_bytes=16, associativity=2)
+    )
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+class TestReadPath:
+    def test_first_read_misses_and_fetches(self):
+        cache = small_cache()
+        outcome = cache.read(0x1000)
+        assert not outcome.hit
+        assert outcome.fetched == [0x1000]
+        assert cache.stats.read_misses == 1
+
+    def test_second_read_hits(self):
+        cache = small_cache()
+        cache.read(0x1000)
+        outcome = cache.read(0x1008)  # same 16-byte block
+        assert outcome.hit
+        assert cache.stats.reads == 2
+        assert cache.stats.read_misses == 1
+
+    def test_fetched_address_is_block_aligned(self):
+        cache = small_cache()
+        outcome = cache.read(0x1237)
+        assert outcome.fetched == [0x1230]
+
+    def test_eviction_on_conflict(self):
+        # Direct-mapped 4-set cache: addresses 0x00 and 0x100 share set 0.
+        cache = Cache(CacheGeometry(64, 16, 1))
+        cache.read(0x00)
+        cache.read(0x100)
+        assert not cache.contains(0x00)
+        assert cache.contains(0x100)
+
+    def test_lru_keeps_recently_used(self):
+        cache = Cache(CacheGeometry(32, 16, 2))  # one set, two ways
+        cache.read(0x00)
+        cache.read(0x10)
+        cache.read(0x00)  # touch 0x00 so 0x10 is LRU
+        cache.read(0x20)  # evicts 0x10
+        assert cache.contains(0x00)
+        assert not cache.contains(0x10)
+        assert cache.contains(0x20)
+
+
+class TestWriteBack:
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache()
+        cache.read(0x40)
+        cache.write(0x40)
+        assert cache.is_dirty(0x40)
+
+    def test_write_miss_allocates_and_dirties(self):
+        cache = small_cache()
+        outcome = cache.write(0x40)
+        assert not outcome.hit
+        assert outcome.fetched == [0x40]  # fetch-on-write (write-allocate)
+        assert cache.is_dirty(0x40)
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = Cache(CacheGeometry(64, 16, 1))
+        cache.write(0x00)
+        outcome = cache.read(0x100)  # conflicts with 0x00
+        assert outcome.writebacks == [0x00]
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_is_silent(self):
+        cache = Cache(CacheGeometry(64, 16, 1))
+        cache.read(0x00)
+        outcome = cache.read(0x100)
+        assert outcome.writebacks == []
+
+    def test_no_forwarded_write_on_writeback_hit(self):
+        cache = small_cache()
+        cache.read(0x40)
+        assert cache.write(0x40).forwarded_write is None
+
+
+class TestWriteThrough:
+    def test_write_hit_forwards_downstream(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.read(0x40)
+        outcome = cache.write(0x44)
+        assert outcome.hit
+        assert outcome.forwarded_write == 0x40
+        assert not cache.is_dirty(0x40)
+
+    def test_write_miss_with_allocate_fetches_and_forwards(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        outcome = cache.write(0x40)
+        assert outcome.fetched == [0x40]
+        assert outcome.forwarded_write == 0x40
+
+    def test_write_miss_without_allocate_bypasses(self):
+        cache = small_cache(
+            write_policy=WritePolicy.WRITE_THROUGH,
+            fetch=FetchPolicy(write_allocate=False),
+        )
+        outcome = cache.write(0x40)
+        assert outcome.fetched == []
+        assert outcome.forwarded_write == 0x40
+        assert not cache.contains(0x40)
+
+    def test_evictions_never_write_back(self):
+        cache = Cache(
+            CacheGeometry(64, 16, 1), write_policy=WritePolicy.WRITE_THROUGH
+        )
+        cache.write(0x00)
+        outcome = cache.write(0x100)
+        assert outcome.writebacks == []
+
+    def test_policy_parse_accepts_strings(self):
+        cache = small_cache(write_policy="write-through")
+        assert cache.write_policy is WritePolicy.WRITE_THROUGH
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown write policy"):
+            small_cache(write_policy="write-sometimes")
+
+
+class TestFetchPolicy:
+    def test_fetch_group_brings_neighbours(self):
+        cache = Cache(
+            CacheGeometry(256, 16, 1), fetch=FetchPolicy(fetch_blocks=2)
+        )
+        outcome = cache.read(0x30)  # block 3; group = blocks 2,3
+        fetched = sorted(outcome.fetched)
+        assert fetched == [0x20, 0x30]
+        assert cache.contains(0x20)
+        assert cache.stats.prefetched_blocks == 1
+
+    def test_fetch_group_skips_resident_neighbours(self):
+        cache = Cache(
+            CacheGeometry(256, 16, 1), fetch=FetchPolicy(fetch_blocks=2)
+        )
+        cache.read(0x20)
+        cache.invalidate_all()
+        cache.read(0x20)  # group = 0x20,0x30
+        outcome = cache.read(0x1000)
+        assert 0x30 not in outcome.fetched or True  # sanity; detailed below
+        cache2 = Cache(CacheGeometry(256, 16, 1), fetch=FetchPolicy(fetch_blocks=2))
+        cache2.read(0x20)          # fills 0x20 and 0x30
+        outcome = cache2.read(0x30)
+        assert outcome.hit
+
+    def test_fetch_blocks_cannot_exceed_sets(self):
+        with pytest.raises(ValueError, match="fetch_blocks"):
+            Cache(CacheGeometry(32, 16, 1), fetch=FetchPolicy(fetch_blocks=4))
+
+    def test_fetch_group_alignment(self):
+        policy = FetchPolicy(fetch_blocks=4)
+        assert list(policy.fetch_group(6)) == [4, 5, 6, 7]
+        assert list(policy.fetch_group(4)) == [4, 5, 6, 7]
+
+
+class TestCountingControl:
+    def test_counting_disabled_updates_state_only(self):
+        cache = small_cache()
+        cache.counting = False
+        cache.read(0x40)
+        cache.write(0x80)
+        assert cache.stats.accesses == 0
+        assert cache.contains(0x40)
+        cache.counting = True
+        assert cache.read(0x40).hit
+        assert cache.stats.reads == 1
+
+
+class TestMaintenance:
+    def test_flush_returns_dirty_blocks_and_empties(self):
+        cache = small_cache()
+        cache.write(0x40)
+        cache.read(0x80)
+        dirty = cache.flush()
+        assert dirty == [0x40]
+        assert cache.occupancy() == 0.0
+
+    def test_invalidate_all_discards_dirty_data(self):
+        cache = small_cache()
+        cache.write(0x40)
+        cache.invalidate_all()
+        assert not cache.contains(0x40)
+
+    def test_resident_blocks_roundtrip(self):
+        cache = small_cache()
+        for address in (0x40, 0x80, 0x2000):
+            cache.read(address)
+        assert sorted(cache.resident_blocks()) == [0x40, 0x80, 0x2000]
+
+    def test_occupancy_bounds(self):
+        cache = Cache(CacheGeometry(64, 16, 2))
+        assert cache.occupancy() == 0.0
+        for i in range(32):
+            cache.read(i * 16)
+        assert cache.occupancy() == 1.0
+
+
+class ReferenceFullyAssociativeLRU:
+    """Oracle model: ordered dict as an LRU list."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.order = []
+
+    def access(self, block):
+        hit = block in self.order
+        if hit:
+            self.order.remove(block)
+        elif len(self.order) >= self.capacity:
+            self.order.pop()
+        self.order.insert(0, block)
+        return hit
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    refs=st.lists(st.integers(0, 63), min_size=1, max_size=400),
+    capacity_exp=st.integers(2, 5),
+)
+def test_fully_associative_lru_matches_oracle(refs, capacity_exp):
+    capacity = 2**capacity_exp
+    cache = Cache(CacheGeometry(capacity * 16, 16, capacity))
+    oracle = ReferenceFullyAssociativeLRU(capacity)
+    for block in refs:
+        outcome = cache.read(block * 16)
+        assert outcome.hit == oracle.access(block)
+
+
+@settings(max_examples=40, deadline=None)
+@given(refs=st.lists(st.integers(0, 255), min_size=1, max_size=400))
+def test_direct_mapped_matches_oracle(refs):
+    sets = 16
+    cache = Cache(CacheGeometry(sets * 16, 16, 1))
+    resident = {}
+    for block in refs:
+        index = block % sets
+        hit = resident.get(index) == block
+        assert cache.read(block * 16).hit == hit
+        resident[index] = block
+
+
+class TestPolicyBehaviouralDifferences:
+    def test_fifo_and_lru_diverge_on_reuse(self):
+        """A re-referenced block survives under LRU but not under FIFO."""
+        lru = Cache(CacheGeometry(32, 16, 2), replacement="lru")
+        fifo = Cache(CacheGeometry(32, 16, 2), replacement="fifo")
+        for cache in (lru, fifo):
+            cache.read(0x00)  # oldest
+            cache.read(0x10)
+            cache.read(0x00)  # reuse: protects it under LRU only
+            cache.read(0x20)  # eviction decision differs
+        assert lru.contains(0x00)
+        assert not lru.contains(0x10)
+        assert not fifo.contains(0x00)
+        assert fifo.contains(0x10)
+
+    def test_random_policy_is_seed_deterministic(self):
+        from repro.cache.replacement import RandomReplacement
+
+        def run(seed):
+            cache = Cache(
+                CacheGeometry(64, 16, 4),
+                replacement=RandomReplacement(seed=seed),
+            )
+            for i in range(32):
+                cache.read((i % 9) * 16 + (i // 3) * 256)
+            return sorted(cache.resident_blocks())
+
+        assert run(5) == run(5)

@@ -1,0 +1,86 @@
+"""Tests for cache geometry and address decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.units import KB
+
+
+class TestConstruction:
+    def test_basic_derived_quantities(self):
+        geometry = CacheGeometry(size_bytes=4 * KB, block_bytes=16, associativity=2)
+        assert geometry.blocks == 256
+        assert geometry.sets == 128
+        assert geometry.offset_bits == 4
+        assert geometry.index_bits == 7
+
+    def test_direct_mapped(self):
+        geometry = CacheGeometry(size_bytes=2 * KB, block_bytes=16)
+        assert geometry.is_direct_mapped
+        assert not geometry.is_fully_associative
+
+    def test_fully_associative(self):
+        geometry = CacheGeometry(size_bytes=1 * KB, block_bytes=16, associativity=64)
+        assert geometry.is_fully_associative
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 3000, "block_bytes": 16},
+            {"size_bytes": 4096, "block_bytes": 24},
+            {"size_bytes": 4096, "block_bytes": 16, "associativity": 3},
+            {"size_bytes": 16, "block_bytes": 32},
+            {"size_bytes": 64, "block_bytes": 32, "associativity": 4},
+        ],
+    )
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheGeometry(**kwargs)
+
+    def test_scaled_copies_fields(self):
+        geometry = CacheGeometry(size_bytes=4 * KB, block_bytes=32, associativity=2)
+        bigger = geometry.scaled(size_bytes=8 * KB)
+        assert bigger.size_bytes == 8 * KB
+        assert bigger.block_bytes == 32
+        assert bigger.associativity == 2
+        wider = geometry.scaled(associativity=4)
+        assert wider.associativity == 4
+        assert wider.size_bytes == 4 * KB
+
+
+class TestAddressDecomposition:
+    def test_known_values(self):
+        geometry = CacheGeometry(size_bytes=1 * KB, block_bytes=16, associativity=1)
+        # 64 sets, offset 4 bits, index 6 bits.
+        address = 0b1011_101101_0111
+        assert geometry.block_address(address) == address >> 4
+        assert geometry.set_index(address) == 0b101101
+        assert geometry.tag(address) == 0b1011
+
+    def test_rebuild_address_inverts_decomposition(self):
+        geometry = CacheGeometry(size_bytes=8 * KB, block_bytes=32, associativity=4)
+        for address in (0, 0x1234560, 0xFFFFFFE0, 0xDEADBEE0):
+            rebuilt = geometry.rebuild_address(
+                geometry.tag(address), geometry.set_index(address)
+            )
+            assert rebuilt == address & ~(geometry.block_bytes - 1)
+
+    @given(
+        address=st.integers(0, 2**48 - 1),
+        size_exp=st.integers(10, 22),
+        block_exp=st.integers(2, 7),
+        assoc_exp=st.integers(0, 3),
+    )
+    def test_decomposition_roundtrip_property(self, address, size_exp, block_exp, assoc_exp):
+        geometry = CacheGeometry(
+            size_bytes=2**size_exp,
+            block_bytes=2**block_exp,
+            associativity=2**assoc_exp,
+        )
+        tag = geometry.tag(address)
+        index = geometry.set_index(address)
+        assert 0 <= index < geometry.sets
+        rebuilt = geometry.rebuild_address(tag, index)
+        assert rebuilt == address >> geometry.offset_bits << geometry.offset_bits

@@ -1,0 +1,182 @@
+"""Tests for sequential prefetching."""
+
+import pytest
+
+from repro.cache import Cache, CacheGeometry
+from repro.cache.policy import PrefetchKind, PrefetchPolicy
+
+
+def cache_with(kind, distance=1, sets_kb=4):
+    return Cache(
+        CacheGeometry(size_bytes=sets_kb * 1024, block_bytes=16, associativity=1),
+        prefetch=PrefetchPolicy(kind=kind, distance=distance),
+    )
+
+
+class TestPolicy:
+    def test_parse_accepts_strings(self):
+        policy = PrefetchPolicy(kind="tagged")
+        assert policy.kind is PrefetchKind.TAGGED
+        assert policy.enabled
+
+    def test_none_is_disabled(self):
+        assert not PrefetchPolicy().enabled
+
+    def test_candidates_are_successors(self):
+        policy = PrefetchPolicy(kind="on-miss", distance=3)
+        assert list(policy.candidates(10)) == [11, 12, 13]
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown prefetch kind"):
+            PrefetchPolicy(kind="psychic")
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(kind="on-miss", distance=0)
+
+
+class TestOnMiss:
+    def test_miss_prefetches_next_block(self):
+        cache = cache_with("on-miss")
+        outcome = cache.read(0x100)
+        assert outcome.prefetched == [0x110]
+        assert cache.contains(0x110)
+        assert cache.stats.prefetches_issued == 1
+
+    def test_hit_does_not_prefetch(self):
+        cache = cache_with("on-miss")
+        cache.read(0x100)
+        outcome = cache.read(0x104)
+        assert outcome.hit
+        assert outcome.prefetched == []
+
+    def test_distance_brings_several_blocks(self):
+        cache = cache_with("on-miss", distance=3)
+        outcome = cache.read(0x100)
+        assert outcome.prefetched == [0x110, 0x120, 0x130]
+
+    def test_resident_successor_not_refetched(self):
+        cache = cache_with("on-miss")
+        cache.read(0x110)  # brings 0x110 (and prefetches 0x120)
+        outcome = cache.read(0x100)  # 0x110 already resident
+        assert outcome.prefetched == []
+
+    def test_demand_hit_on_prefetched_block_counts_useful(self):
+        cache = cache_with("on-miss")
+        cache.read(0x100)      # prefetches 0x110
+        outcome = cache.read(0x110)
+        assert outcome.hit
+        assert cache.stats.useful_prefetches == 1
+        assert cache.stats.prefetch_accuracy == 1.0
+
+    def test_useful_counted_once(self):
+        cache = cache_with("on-miss")
+        cache.read(0x100)
+        cache.read(0x110)
+        cache.read(0x110)
+        assert cache.stats.useful_prefetches == 1
+
+
+class TestTagged:
+    def test_first_touch_of_prefetched_block_triggers_more(self):
+        cache = cache_with("tagged")
+        cache.read(0x100)          # miss: prefetches 0x110
+        outcome = cache.read(0x110)  # first touch: prefetches 0x120
+        assert outcome.hit
+        assert outcome.prefetched == [0x120]
+
+    def test_second_touch_does_not_retrigger(self):
+        cache = cache_with("tagged")
+        cache.read(0x100)
+        cache.read(0x110)
+        outcome = cache.read(0x114)  # same block, already consumed
+        assert outcome.prefetched == []
+
+    def test_demand_fetched_block_does_not_trigger_on_hit(self):
+        cache = cache_with("tagged")
+        cache.read(0x100)          # demand miss (prefetches 0x110)
+        outcome = cache.read(0x104)  # hit on the demand-fetched block
+        assert outcome.prefetched == []
+
+
+class TestAlways:
+    def test_every_demand_read_prefetches(self):
+        cache = cache_with("always")
+        cache.read(0x100)
+        outcome = cache.read(0x104)  # hit, still prefetches
+        assert outcome.hit
+        # 0x110 already prefetched by the miss, so nothing new here...
+        assert outcome.prefetched == []
+        outcome = cache.read(0x200)
+        assert 0x210 in outcome.prefetched
+
+
+class TestIsolation:
+    def test_writes_do_not_trigger_prefetch(self):
+        cache = cache_with("always")
+        outcome = cache.write(0x300)
+        assert outcome.prefetched == []
+
+    def test_prefetch_bucket_reads_do_not_retrigger(self):
+        cache = cache_with("always")
+        outcome = cache.read(0x400, bucket="prefetch")
+        assert outcome.prefetched == []
+        assert cache.stats.prefetch_reads == 1
+        assert cache.stats.prefetch_read_misses == 1
+        assert cache.stats.reads == 0
+
+    def test_unknown_bucket_rejected(self):
+        cache = cache_with("none")
+        with pytest.raises(ValueError, match="unknown access bucket"):
+            cache.read(0x0, bucket="speculative")
+
+    def test_prefetch_eviction_writes_back_dirty_victims(self):
+        # One-set cache: a prefetch can evict a dirty block.
+        cache = Cache(
+            CacheGeometry(32, 16, 2),
+            prefetch=PrefetchPolicy(kind="on-miss"),
+        )
+        cache.write(0x00)          # dirty block 0 (prefetches 0x10: set full)
+        outcome = cache.read(0x40)  # miss: fill 0x40 evicts, prefetch 0x50 evicts
+        evicted = outcome.writebacks
+        assert 0x00 in evicted
+
+
+class TestHierarchyPropagation:
+    def test_l2_prefetches_fetch_from_memory(self):
+        from repro.sim.config import LevelConfig, SystemConfig
+        from repro.sim.hierarchy import CacheHierarchy
+        from repro.trace.record import READ
+
+        config = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=1024, block_bytes=16),
+                LevelConfig(size_bytes=64 * 1024, block_bytes=32,
+                            prefetch="on-miss"),
+            )
+        )
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access(READ, 0x1000)
+        l2 = hierarchy.lower[0]
+        assert l2.stats.prefetches_issued == 1
+        # Demand block + prefetched block both came from memory.
+        assert hierarchy.memory_traffic.reads == 2
+        # Demand miss ratios see only the demand read.
+        assert l2.stats.reads == 1
+
+    def test_l1_prefetch_read_counts_in_l2_prefetch_bucket(self):
+        from repro.sim.config import LevelConfig, SystemConfig
+        from repro.sim.hierarchy import CacheHierarchy
+        from repro.trace.record import READ
+
+        config = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=1024, block_bytes=16, prefetch="on-miss"),
+                LevelConfig(size_bytes=64 * 1024, block_bytes=32),
+            )
+        )
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access(READ, 0x1000)
+        l2 = hierarchy.lower[0]
+        assert l2.stats.prefetch_reads == 1
+        assert l2.stats.reads == 1  # the demand fetch

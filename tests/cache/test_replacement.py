@@ -1,0 +1,84 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+
+
+def entries_of(*tags):
+    return [[tag, False] for tag in tags]
+
+
+class TestLRU:
+    def test_hit_moves_to_front(self):
+        policy = LRUReplacement()
+        entries = entries_of(1, 2, 3)
+        policy.on_hit(entries, 2)
+        assert [e[0] for e in entries] == [3, 1, 2]
+
+    def test_hit_on_front_is_noop(self):
+        policy = LRUReplacement()
+        entries = entries_of(1, 2)
+        policy.on_hit(entries, 0)
+        assert [e[0] for e in entries] == [1, 2]
+
+    def test_insert_at_front(self):
+        policy = LRUReplacement()
+        entries = entries_of(1)
+        policy.on_insert(entries, [9, False])
+        assert [e[0] for e in entries] == [9, 1]
+
+    def test_victim_is_least_recent(self):
+        policy = LRUReplacement()
+        entries = entries_of(3, 2, 1)
+        assert policy.select_victim(entries) == 2
+
+
+class TestFIFO:
+    def test_hit_does_not_reorder(self):
+        policy = FIFOReplacement()
+        entries = entries_of(1, 2, 3)
+        policy.on_hit(entries, 2)
+        assert [e[0] for e in entries] == [1, 2, 3]
+
+    def test_victim_is_oldest(self):
+        policy = FIFOReplacement()
+        entries = entries_of(3, 2, 1)  # 1 inserted first
+        assert policy.select_victim(entries) == 2
+
+
+class TestRandom:
+    def test_victim_in_range_and_deterministic(self):
+        entries = entries_of(1, 2, 3, 4)
+        a = [RandomReplacement(seed=42).select_victim(entries) for _ in range(10)]
+        b = [RandomReplacement(seed=42).select_victim(entries) for _ in range(10)]
+        assert a == b
+        assert all(0 <= v < 4 for v in a)
+
+    def test_victims_spread_across_ways(self):
+        policy = RandomReplacement(seed=1)
+        entries = entries_of(1, 2, 3, 4)
+        victims = {policy.select_victim(entries) for _ in range(100)}
+        assert len(victims) == 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUReplacement), ("FIFO", FIFOReplacement), ("random", RandomReplacement)],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_replacement(name), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_replacement("plru")
+
+    def test_kwargs_forwarded(self):
+        policy = make_replacement("random", seed=7)
+        assert isinstance(policy, RandomReplacement)

@@ -1,0 +1,61 @@
+"""Tests for cache statistics."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestRatios:
+    def test_read_miss_ratio(self):
+        stats = CacheStats(reads=100, read_misses=15)
+        assert stats.read_miss_ratio == pytest.approx(0.15)
+
+    def test_write_miss_ratio(self):
+        stats = CacheStats(writes=50, write_misses=5)
+        assert stats.write_miss_ratio == pytest.approx(0.1)
+
+    def test_zero_accesses_give_zero_ratio(self):
+        stats = CacheStats()
+        assert stats.read_miss_ratio == 0.0
+        assert stats.write_miss_ratio == 0.0
+
+    def test_aggregates(self):
+        stats = CacheStats(reads=10, writes=5, read_misses=2, write_misses=1)
+        assert stats.accesses == 15
+        assert stats.misses == 3
+
+
+class TestMergeAndReset:
+    def test_merge_sums_every_counter(self):
+        a = CacheStats(
+            reads=1, read_misses=2, writes=3, write_misses=4,
+            writebacks=5, blocks_fetched=6, prefetched_blocks=7,
+            writes_forwarded=8,
+        )
+        b = CacheStats(
+            reads=10, read_misses=20, writes=30, write_misses=40,
+            writebacks=50, blocks_fetched=60, prefetched_blocks=70,
+            writes_forwarded=80,
+        )
+        merged = a.merge(b)
+        assert merged == CacheStats(
+            reads=11, read_misses=22, writes=33, write_misses=44,
+            writebacks=55, blocks_fetched=66, prefetched_blocks=77,
+            writes_forwarded=88,
+        )
+
+    def test_merge_leaves_operands_unchanged(self):
+        a = CacheStats(reads=1)
+        b = CacheStats(reads=2)
+        a.merge(b)
+        assert a.reads == 1
+        assert b.reads == 2
+
+    def test_reset_zeroes_everything(self):
+        stats = CacheStats(
+            reads=1, read_misses=1, writes=1, write_misses=1,
+            writebacks=1, blocks_fetched=1, prefetched_blocks=1,
+            writes_forwarded=1,
+        )
+        stats.reset()
+        assert stats == CacheStats()

@@ -1,0 +1,150 @@
+"""Tests for the inter-level write buffer timing model."""
+
+import pytest
+
+from repro.cache.write_buffer import WriteBuffer
+
+
+class TestPush:
+    def test_push_into_empty_buffer_is_free(self):
+        buffer = WriteBuffer(capacity=4, service_time=30.0)
+        assert buffer.push(0x100, now=0.0) == 0.0
+        assert len(buffer) == 1
+
+    def test_pushes_fill_capacity_without_stall(self):
+        buffer = WriteBuffer(capacity=4, service_time=1000.0)
+        for i in range(4):
+            assert buffer.push(i, now=0.0) == 0.0
+        assert len(buffer) == 4
+
+    def test_push_into_full_buffer_stalls_for_one_drain(self):
+        buffer = WriteBuffer(capacity=2, service_time=30.0)
+        buffer.push(1, now=0.0)
+        buffer.push(2, now=0.0)
+        completion = buffer.push(3, now=0.0)
+        assert completion == 30.0
+        assert buffer.full_stalls == 1
+
+    def test_background_drain_frees_slots(self):
+        buffer = WriteBuffer(capacity=2, service_time=30.0)
+        buffer.push(1, now=0.0)
+        buffer.push(2, now=0.0)
+        # By t=70 both entries have drained (finish at 30 and 60).
+        assert buffer.push(3, now=70.0) == 70.0
+        assert buffer.full_stalls == 0
+        assert len(buffer) == 1
+
+
+class TestReadFence:
+    def test_unrelated_read_bypasses(self):
+        buffer = WriteBuffer(capacity=4, service_time=30.0)
+        buffer.push(0x100, now=0.0)
+        # The first entry starts draining immediately (finishes at 30), so an
+        # unrelated read at t=5 waits only for the drain in progress.
+        assert buffer.read_fence(0x999, now=5.0) == 30.0
+        assert buffer.read_matches == 0
+
+    def test_unrelated_read_after_drain_is_free(self):
+        buffer = WriteBuffer(capacity=4, service_time=30.0)
+        buffer.push(0x100, now=0.0)
+        assert buffer.read_fence(0x999, now=100.0) == 100.0
+
+    def test_matching_read_waits_for_entry(self):
+        buffer = WriteBuffer(capacity=4, service_time=30.0)
+        buffer.push(0x100, now=0.0)
+        buffer.push(0x200, now=0.0)
+        fence = buffer.read_fence(0x200, now=0.0)
+        # Both entries must drain: 30 + 30.
+        assert fence == 60.0
+        assert buffer.read_matches == 1
+        assert len(buffer) == 0
+
+    def test_matching_read_only_drains_up_to_match(self):
+        buffer = WriteBuffer(capacity=4, service_time=30.0)
+        buffer.push(0x100, now=0.0)
+        buffer.push(0x200, now=0.0)
+        buffer.push(0x300, now=0.0)
+        buffer.read_fence(0x200, now=0.0)
+        assert len(buffer) == 1  # 0x300 still pending
+
+    def test_latest_matching_entry_wins(self):
+        """Two buffered writes to the same block: both must drain before the
+        read (FIFO order preserves write ordering)."""
+        buffer = WriteBuffer(capacity=4, service_time=10.0)
+        buffer.push(0x100, now=0.0)
+        buffer.push(0x200, now=0.0)
+        buffer.push(0x100, now=0.0)
+        assert buffer.read_fence(0x100, now=0.0) == 30.0
+        assert buffer.is_empty
+
+
+class TestFlush:
+    def test_flush_drains_everything(self):
+        buffer = WriteBuffer(capacity=4, service_time=25.0)
+        for i in range(3):
+            buffer.push(i, now=0.0)
+        finish = buffer.flush(now=0.0)
+        assert finish == 75.0
+        assert buffer.is_empty
+
+    def test_flush_empty_buffer_is_instant(self):
+        buffer = WriteBuffer()
+        assert buffer.flush(now=42.0) == 42.0
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(capacity=0)
+
+    def test_service_time_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(service_time=0.0)
+
+
+class TestStatistics:
+    def test_total_pushes_counted(self):
+        buffer = WriteBuffer(capacity=2, service_time=5.0)
+        for i in range(5):
+            buffer.push(i, now=i * 100.0)
+        assert buffer.total_pushes == 5
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["push", "fence", "drain"]),
+            st.integers(0, 7),       # block id
+            st.floats(0.0, 50.0),    # time increment
+        ),
+        max_size=60,
+    ),
+    capacity=st.integers(1, 6),
+)
+def test_write_buffer_invariants(ops, capacity):
+    """Time only moves forward, occupancy stays within capacity, and
+    results are never earlier than the request time."""
+    buffer = WriteBuffer(capacity=capacity, service_time=10.0)
+    now = 0.0
+    pushes = 0
+    for op, block, dt in ops:
+        now += dt
+        if op == "push":
+            done = buffer.push(block, now)
+            pushes += 1
+            assert done >= now - 1e-9
+        elif op == "fence":
+            fence = buffer.read_fence(block, now)
+            assert fence >= now - 1e-9
+        else:
+            buffer.drain_until(now)
+        assert 0 <= len(buffer) <= capacity
+    assert buffer.total_pushes == pushes
+    finish = buffer.flush(now)
+    assert finish >= now - 1e-9
+    assert buffer.is_empty

@@ -1,0 +1,45 @@
+"""Shared fixtures for the core-analysis tests.
+
+Traces are session-scoped: the core layer's tests all consume the same
+synthetic multiprogramming workloads, and regenerating them per test would
+dominate the suite's runtime.
+"""
+
+import pytest
+
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.trace.multiprogram import MultiprogramScheduler, ProcessSpec
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+
+@pytest.fixture(scope="session")
+def small_traces():
+    """Two small multiprogramming traces with distinct seeds."""
+    traces = []
+    for t in range(2):
+        processes = [
+            ProcessSpec(
+                name=f"p{i}",
+                workload=SyntheticWorkload(
+                    seed=1000 * t + 37 * i, address_base=i << 44
+                ),
+            )
+            for i in range(1, 4)
+        ]
+        scheduler = MultiprogramScheduler(processes, switch_interval=4000, seed=t)
+        traces.append(scheduler.trace(40_000, name=f"mix{t}", warmup=8_000))
+    return traces
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    """A scaled-down base machine (small L2 keeps tests responsive)."""
+    return SystemConfig(
+        levels=(
+            LevelConfig(size_bytes=4 * KB, block_bytes=16, split=True,
+                        cycle_cpu_cycles=1, write_hit_cycles=2),
+            LevelConfig(size_bytes=64 * KB, block_bytes=32,
+                        cycle_cpu_cycles=3, write_hit_cycles=2),
+        )
+    )

@@ -1,0 +1,148 @@
+"""Tests for lines of constant performance and slope analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.constant_performance import (
+    horizontal_shift,
+    lines_of_constant_performance,
+    slope_field,
+    slope_region_boundary,
+)
+from repro.core.design_space import AffineTimeModel, SpeedSizeGrid, execution_time_grid
+from repro.units import KB
+
+
+def synthetic_grid(bases, events, sizes=None, cycles=(1.0, 3.0, 5.0)):
+    """A SpeedSizeGrid built from hand-picked affine models."""
+    sizes = sizes or [2 ** (12 + i) for i in range(len(bases))]
+    models = [
+        AffineTimeModel(base=b, events_per_cycle=e, cpu_reads=1, cpu_writes=0)
+        for b, e in zip(bases, events)
+    ]
+    grid = np.array([[m.total_cycles(c) for c in cycles] for m in models])
+    return SpeedSizeGrid(
+        sizes=sizes, cycle_times=list(cycles), total_cycles=grid, models=models
+    )
+
+
+class TestLines:
+    def test_exact_inversion_on_synthetic_models(self):
+        # Sizes halve the miss contribution: base falls, events constant.
+        grid = synthetic_grid(bases=[2000.0, 1500.0, 1250.0], events=[100.0] * 3)
+        lines = lines_of_constant_performance(grid, levels=[2.0])
+        reference = grid.total_cycles.min()  # 1250 + 100*1 = 1350
+        target = 2.0 * reference
+        for i, base in enumerate([2000.0, 1500.0, 1250.0]):
+            expected = (target - base) / 100.0
+            assert lines.line(2.0)[i] == pytest.approx(expected)
+
+    def test_larger_size_allows_longer_cycle(self):
+        grid = synthetic_grid(bases=[2000.0, 1500.0, 1250.0], events=[100.0] * 3)
+        line = lines_of_constant_performance(grid, levels=[1.5]).line(1.5)
+        assert np.all(np.diff(line) > 0)
+
+    def test_unreachable_levels_are_nan(self):
+        grid = synthetic_grid(bases=[2000.0, 1500.0], events=[100.0] * 2)
+        # A performance level better than the best achievable at size 0.
+        lines = lines_of_constant_performance(grid, levels=[0.5])
+        assert np.isnan(lines.line(0.5)).any()
+
+    def test_slopes_positive_and_shrinking_with_size(self, small_traces, base_config):
+        sizes = [8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB]
+        grid = execution_time_grid(small_traces, base_config, sizes, [1.0, 3.0, 6.0])
+        lines = lines_of_constant_performance(grid, levels=[1.4])
+        slopes = lines.slopes(1.4)
+        finite = slopes[np.isfinite(slopes)]
+        assert np.all(finite > 0)
+        # Diminishing returns: later doublings buy less cycle time.
+        assert finite[-1] < finite[0]
+
+    def test_validation(self):
+        grid = synthetic_grid(bases=[2000.0], events=[100.0])
+        with pytest.raises(ValueError):
+            lines_of_constant_performance(grid, levels=[])
+        with pytest.raises(ValueError):
+            lines_of_constant_performance(grid, levels=[-1.0])
+        with pytest.raises(ValueError):
+            lines_of_constant_performance(grid, levels=[1.1], reference_cycles=0.0)
+
+
+class TestSlopeField:
+    def test_synthetic_slope_value(self):
+        # One doubling between sizes; iso-line slope = (a0 - a1)/b.
+        grid = synthetic_grid(
+            bases=[2000.0, 1600.0], events=[100.0, 100.0],
+            sizes=[4096, 8192],
+        )
+        field = slope_field(grid)
+        assert field.shape == (1, 3)
+        assert np.allclose(field, 4.0)  # (2000-1600)/100
+
+    def test_slope_accounts_for_event_count_changes(self):
+        grid = synthetic_grid(
+            bases=[2000.0, 1600.0], events=[100.0, 80.0], sizes=[4096, 8192]
+        )
+        field = slope_field(grid)
+        # c' = (2000 + 100c - 1600)/80; at c=1: c'=6.25, slope 5.25.
+        assert field[0, 0] == pytest.approx(5.25)
+
+    def test_measured_field_decreases_with_size(self, small_traces, base_config):
+        sizes = [8 * KB, 32 * KB, 128 * KB]
+        grid = execution_time_grid(small_traces, base_config, sizes, [3.0])
+        field = slope_field(grid)
+        assert field[0, 0] > field[1, 0]
+
+
+class TestRegionBoundary:
+    def make_grid(self, scale=1.0):
+        # Slopes per doubling: 6, 3, 1.2, 0.4 (divided between 5 sizes).
+        bases = np.array([3000.0, 2400.0, 2100.0, 1980.0, 1940.0]) * scale
+        sizes = [int(4096 * 2**i * scale) if False else 4096 * 2**i for i in range(5)]
+        return synthetic_grid(bases=list(bases), events=[100.0 * scale] * 5, sizes=sizes)
+
+    def test_boundary_found_between_sizes(self):
+        grid = self.make_grid()
+        boundary = slope_region_boundary(grid, threshold=2.0, cycle_time=3.0)
+        # Slopes: 6 (4K->8K), 3 (8K->16K), 1.2 (16K->32K): threshold 2.0
+        # crossed between the 8-16K and 16-32K midpoints.
+        assert 8192 * np.sqrt(2) < boundary < 16384 * np.sqrt(2)
+
+    def test_boundary_none_when_slope_stays_high(self):
+        grid = self.make_grid()
+        assert slope_region_boundary(grid, threshold=0.1, cycle_time=3.0) is None
+
+    def test_boundary_left_edge_when_already_flat(self):
+        grid = self.make_grid()
+        assert slope_region_boundary(grid, threshold=10.0, cycle_time=3.0) == 4096.0
+
+    def test_invalid_threshold(self):
+        grid = self.make_grid()
+        with pytest.raises(ValueError):
+            slope_region_boundary(grid, threshold=0.0, cycle_time=3.0)
+
+
+class TestHorizontalShift:
+    def test_shift_of_identical_grids_is_one(self):
+        bases = [3000.0, 2400.0, 2100.0, 1980.0, 1940.0]
+        a = synthetic_grid(bases=bases, events=[100.0] * 5)
+        b = synthetic_grid(bases=bases, events=[100.0] * 5)
+        assert horizontal_shift(a, b, threshold=2.0, cycle_time=3.0) == pytest.approx(1.0)
+
+    def test_shifted_grid_reports_ratio(self):
+        bases = [3000.0, 2400.0, 2100.0, 1980.0, 1940.0, 1925.0]
+        sizes = [4096 * 2**i for i in range(6)]
+        a = synthetic_grid(bases=bases, events=[100.0] * 6, sizes=sizes)
+        # Same surface shifted one size to the right (each size behaves
+        # like the previous one did).
+        b = synthetic_grid(
+            bases=[3600.0] + bases[:-1], events=[100.0] * 6, sizes=sizes
+        )
+        shift = horizontal_shift(a, b, threshold=2.0, cycle_time=3.0)
+        assert shift == pytest.approx(2.0, rel=0.05)
+
+    def test_none_when_boundary_escapes(self):
+        bases = [3000.0, 2400.0, 2100.0, 1980.0, 1940.0]
+        a = synthetic_grid(bases=bases, events=[100.0] * 5)
+        b = synthetic_grid(bases=bases, events=[100.0] * 5)
+        assert horizontal_shift(a, b, threshold=0.01, cycle_time=3.0) is None

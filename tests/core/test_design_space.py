@@ -1,0 +1,125 @@
+"""Tests for the speed-size sweep engine, including the affine-vs-timing
+validation that underwrites every Figure 4 and 5 reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import (
+    AffineTimeModel,
+    affine_model_for,
+    execution_time_grid,
+)
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.timing import TimingSimulator
+from repro.units import KB
+
+
+class TestAffineTimeModel:
+    def test_linearity(self):
+        model = AffineTimeModel(base=1000.0, events_per_cycle=50.0, cpu_reads=1, cpu_writes=0)
+        assert model.total_cycles(3.0) == pytest.approx(1150.0)
+        assert model.total_cycles(5.0) - model.total_cycles(4.0) == pytest.approx(50.0)
+
+    def test_inversion(self):
+        model = AffineTimeModel(base=1000.0, events_per_cycle=50.0, cpu_reads=1, cpu_writes=0)
+        assert model.cycle_for_total(model.total_cycles(3.7)) == pytest.approx(3.7)
+
+    def test_invalid_cycle_rejected(self):
+        model = AffineTimeModel(base=1.0, events_per_cycle=1.0, cpu_reads=0, cpu_writes=0)
+        with pytest.raises(ValueError):
+            model.total_cycles(0.0)
+
+    def test_flat_model_cannot_invert(self):
+        model = AffineTimeModel(base=1.0, events_per_cycle=0.0, cpu_reads=0, cpu_writes=0)
+        with pytest.raises(ValueError):
+            model.cycle_for_total(1.0)
+
+
+class TestAffineAgainstTiming:
+    """The affine counts method must track the timing simulator."""
+
+    @pytest.mark.parametrize("l2_kb,cycle", [(16, 3.0), (64, 3.0), (64, 6.0)])
+    def test_absolute_agreement(self, small_traces, base_config, l2_kb, cycle):
+        config = base_config.with_level(1, size_bytes=l2_kb * KB, cycle_cpu_cycles=cycle)
+        trace = small_traces[0]
+        functional = FunctionalSimulator(config).run(trace)
+        model = affine_model_for(functional, config)
+        predicted = model.total_cycles(cycle)
+        measured = TimingSimulator(config).run(trace).total_cycles
+        assert predicted == pytest.approx(measured, rel=0.15)
+
+    def test_relative_agreement_across_cycle_times(self, small_traces, base_config):
+        """Ratios along the cycle-time axis are what Figure 4 plots; they
+        must agree more tightly than the absolute values."""
+        trace = small_traces[0]
+        ratios = {}
+        for method in ("affine", "timing"):
+            times = []
+            for cycle in (3.0, 6.0):
+                config = base_config.with_level(1, cycle_cpu_cycles=cycle)
+                if method == "affine":
+                    functional = FunctionalSimulator(config).run(trace)
+                    times.append(affine_model_for(functional, config).total_cycles(cycle))
+                else:
+                    times.append(TimingSimulator(config).run(trace).total_cycles)
+            ratios[method] = times[1] / times[0]
+        # The affine model omits write-buffer congestion, which grows with
+        # the cycle time; the validated envelope is ~15% on the sensitivity
+        # (see the affine-vs-timing ablation benchmark).
+        assert ratios["affine"] == pytest.approx(ratios["timing"], rel=0.15)
+
+    def test_counts_do_not_depend_on_cycle_time(self, small_traces, base_config):
+        trace = small_traces[0]
+        fast = FunctionalSimulator(base_config.with_level(1, cycle_cpu_cycles=1.0)).run(trace)
+        slow = FunctionalSimulator(base_config.with_level(1, cycle_cpu_cycles=9.0)).run(trace)
+        assert fast.level_stats[1].read_misses == slow.level_stats[1].read_misses
+
+
+class TestExecutionTimeGrid:
+    def test_grid_shape_and_models(self, small_traces, base_config):
+        sizes = [16 * KB, 64 * KB]
+        cycles = [1.0, 3.0, 5.0]
+        grid = execution_time_grid(small_traces, base_config, sizes, cycles)
+        assert grid.total_cycles.shape == (2, 3)
+        assert len(grid.models) == 2
+
+    def test_time_increases_with_cycle_time(self, small_traces, base_config):
+        grid = execution_time_grid(
+            small_traces, base_config, [32 * KB], [1.0, 3.0, 5.0, 10.0]
+        )
+        row = grid.total_cycles[0]
+        assert np.all(np.diff(row) > 0)
+
+    def test_time_decreases_with_size_at_fixed_cycle(self, small_traces, base_config):
+        grid = execution_time_grid(
+            small_traces, base_config, [8 * KB, 32 * KB, 128 * KB], [3.0]
+        )
+        column = grid.column(3.0)
+        assert column[0] > column[-1]
+
+    def test_relative_normalises_to_best(self, small_traces, base_config):
+        grid = execution_time_grid(
+            small_traces, base_config, [16 * KB, 64 * KB], [1.0, 5.0]
+        )
+        assert grid.relative.min() == pytest.approx(1.0)
+
+    def test_relative_to_point(self, small_traces, base_config):
+        grid = execution_time_grid(
+            small_traces, base_config, [16 * KB, 64 * KB], [1.0, 5.0]
+        )
+        rel = grid.relative_to_point(64 * KB, 1.0)
+        assert rel[1, 0] == pytest.approx(1.0)
+
+    def test_validation(self, small_traces, base_config):
+        with pytest.raises(ValueError):
+            execution_time_grid([], base_config, [16 * KB], [3.0])
+        with pytest.raises(ValueError):
+            execution_time_grid(small_traces, base_config, [], [3.0])
+        with pytest.raises(ValueError):
+            execution_time_grid(small_traces, base_config, [16 * KB], [0.0])
+
+    def test_affine_method_requires_two_levels(self, small_traces, base_config):
+        single = base_config.without_level(0)
+        functional = FunctionalSimulator(single).run(small_traces[0])
+        with pytest.raises(ValueError, match="two-level"):
+            affine_model_for(functional, single)

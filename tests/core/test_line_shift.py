@@ -1,0 +1,89 @@
+"""Tests for the iso-performance line-shift measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core.constant_performance import (
+    iso_line_shift,
+    lines_of_constant_performance,
+)
+from repro.core.design_space import AffineTimeModel, SpeedSizeGrid
+
+
+def grid_from(bases, events, sizes, cycles=(1.0, 3.0, 5.0)):
+    models = [
+        AffineTimeModel(base=b, events_per_cycle=e, cpu_reads=1, cpu_writes=0)
+        for b, e in zip(bases, events)
+    ]
+    values = np.array([[m.total_cycles(c) for c in cycles] for m in models])
+    return SpeedSizeGrid(
+        sizes=list(sizes), cycle_times=list(cycles),
+        total_cycles=values, models=models,
+    )
+
+
+SIZES = [4096 * 2**i for i in range(5)]
+BASES = [3000.0, 2400.0, 2100.0, 1980.0, 1940.0]
+
+
+class TestIsoLineShift:
+    def test_identical_families_have_unit_shift(self):
+        a = lines_of_constant_performance(
+            grid_from(BASES, [100.0] * 5, SIZES), levels=[1.5, 2.0]
+        )
+        b = lines_of_constant_performance(
+            grid_from(BASES, [100.0] * 5, SIZES), levels=[1.5, 2.0]
+        )
+        assert iso_line_shift(a, b) == pytest.approx(1.0)
+
+    def test_one_size_right_shift_measured(self):
+        # Pin a common normalisation so family b is an exact one-size
+        # translate of family a (size i behaves like a's size i-1); the
+        # families' own best machines differ, which is the normalisation
+        # freedom the paper's measurement also carries.
+        reference = 2040.0
+        a = lines_of_constant_performance(
+            grid_from(BASES, [100.0] * 5, SIZES), levels=[2.0],
+            reference_cycles=reference,
+        )
+        shifted_bases = [3600.0] + BASES[:-1]
+        b = lines_of_constant_performance(
+            grid_from(shifted_bases, [100.0] * 5, SIZES), levels=[2.0],
+            reference_cycles=reference,
+        )
+        shift = iso_line_shift(a, b)
+        assert shift == pytest.approx(2.0, rel=0.05)
+
+    def test_left_shift_below_one(self):
+        reference = 2040.0
+        a = lines_of_constant_performance(
+            grid_from(BASES, [100.0] * 5, SIZES), levels=[2.0],
+            reference_cycles=reference,
+        )
+        shifted_bases = BASES[1:] + [1930.0]
+        b = lines_of_constant_performance(
+            grid_from(shifted_bases, [100.0] * 5, SIZES), levels=[2.0],
+            reference_cycles=reference,
+        )
+        shift = iso_line_shift(a, b)
+        assert shift < 1.0
+
+    def test_none_when_no_cycle_overlap(self):
+        a = lines_of_constant_performance(
+            grid_from(BASES, [100.0] * 5, SIZES), levels=[2.0]
+        )
+        # A family whose cycle times at level 2.0 sit far above a's range.
+        b = lines_of_constant_performance(
+            grid_from([b - 1900 for b in BASES], [1.0] * 5, SIZES),
+            levels=[2.0],
+        )
+        assert iso_line_shift(a, b) is None or iso_line_shift(a, b) > 0
+
+    def test_disjoint_levels_give_none(self):
+        a = lines_of_constant_performance(
+            grid_from(BASES, [100.0] * 5, SIZES), levels=[1.4]
+        )
+        b = lines_of_constant_performance(
+            grid_from(BASES, [100.0] * 5, SIZES), levels=[2.2]
+        )
+        assert iso_line_shift(a, b) is None

@@ -1,0 +1,80 @@
+"""Tests for the local/global/solo miss-ratio triad (section 3)."""
+
+import pytest
+
+from repro.core.metrics import MissRatioTriad, measure_triad, sweep_triads
+from repro.units import KB
+
+
+class TestTriadDataclass:
+    def test_filtering_complements_traffic(self):
+        triad = MissRatioTriad(level=2, local=0.3, global_=0.03, solo=0.028, traffic=0.1)
+        assert triad.filtering == pytest.approx(0.9)
+
+    def test_global_solo_gap(self):
+        triad = MissRatioTriad(level=2, local=0.3, global_=0.033, solo=0.03, traffic=0.1)
+        assert triad.global_solo_gap == pytest.approx(0.1)
+
+    def test_gap_with_zero_solo(self):
+        triad = MissRatioTriad(level=2, local=0.0, global_=0.0, solo=0.0, traffic=0.1)
+        assert triad.global_solo_gap == 0.0
+
+
+class TestMeasureTriad:
+    def test_local_exceeds_global_under_filtering(self, small_traces, base_config):
+        triad = measure_triad(small_traces, base_config, level=2)
+        assert triad.local > triad.global_
+        assert 0.0 < triad.traffic < 1.0
+
+    def test_traffic_equals_l1_global_miss(self, small_traces, base_config):
+        """The L2 input stream is the L1 read-miss stream, so the traffic
+        ratio at level 2 equals the L1 global read miss ratio."""
+        l2 = measure_triad(small_traces, base_config, level=2)
+        l1 = measure_triad(small_traces, base_config, level=1)
+        assert l2.traffic == pytest.approx(l1.global_, rel=1e-9)
+
+    def test_level_one_solo_equals_global(self, small_traces, base_config):
+        triad = measure_triad(small_traces, base_config, level=1)
+        assert triad.solo == pytest.approx(triad.global_)
+
+    def test_layer_independence_for_large_l2(self, small_traces, base_config):
+        """Section 3: with L2 >> L1, the global miss ratio approaches the
+        solo miss ratio (the paper's independence result)."""
+        big = base_config.with_level(1, size_bytes=128 * KB)
+        triad = measure_triad(small_traces, big, level=2)
+        assert triad.global_solo_gap < 0.25
+
+    def test_small_l2_perturbed_by_l1(self, small_traces, base_config):
+        """When L2 is close to L1 in size, the upstream cache disturbs the
+        global/solo agreement far more than for a large L2."""
+        small = base_config.with_level(1, size_bytes=8 * KB)
+        large = base_config.with_level(1, size_bytes=256 * KB)
+        gap_small = measure_triad(small_traces, small, level=2).global_solo_gap
+        gap_large = measure_triad(small_traces, large, level=2).global_solo_gap
+        assert gap_large < gap_small
+
+    def test_validation(self, small_traces, base_config):
+        with pytest.raises(ValueError):
+            measure_triad([], base_config, level=2)
+        with pytest.raises(ValueError):
+            measure_triad(small_traces, base_config, level=3)
+
+
+class TestSweepTriads:
+    def test_one_triad_per_size(self, small_traces, base_config):
+        sizes = [16 * KB, 64 * KB]
+        triads = sweep_triads(small_traces, base_config, sizes)
+        assert len(triads) == 2
+
+    def test_ratios_fall_with_size(self, small_traces, base_config):
+        sizes = [8 * KB, 32 * KB, 128 * KB]
+        triads = sweep_triads(small_traces, base_config, sizes)
+        globals_ = [t.global_ for t in triads]
+        solos = [t.solo for t in triads]
+        assert globals_[0] > globals_[-1]
+        assert solos[0] > solos[-1]
+
+    def test_traffic_independent_of_l2_size(self, small_traces, base_config):
+        """L1 filtering does not depend on what sits below it."""
+        triads = sweep_triads(small_traces, base_config, [8 * KB, 128 * KB])
+        assert triads[0].traffic == pytest.approx(triads[1].traffic, rel=1e-9)

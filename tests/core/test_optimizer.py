@@ -1,0 +1,184 @@
+"""Tests for the hierarchy optimiser."""
+
+import pytest
+
+from repro.core.optimizer import (
+    HierarchyOptimizer,
+    TechnologyModel,
+    single_level_ceiling,
+)
+from repro.units import KB
+
+
+def technology(ns_per_doubling=2.0, ns_per_way=11.0):
+    return TechnologyModel(
+        base_size=16 * KB,
+        base_ns=25.0,
+        ns_per_doubling=ns_per_doubling,
+        ns_per_way_doubling=ns_per_way,
+    )
+
+
+class TestTechnologyModel:
+    def test_cycle_grows_with_size_and_ways(self):
+        tech = technology()
+        assert tech.cycle_ns(16 * KB) == pytest.approx(25.0)
+        assert tech.cycle_ns(64 * KB) == pytest.approx(29.0)
+        assert tech.cycle_ns(16 * KB, associativity=2) == pytest.approx(36.0)
+
+    def test_smaller_than_base_is_faster(self):
+        tech = technology()
+        assert tech.cycle_ns(8 * KB) == pytest.approx(23.0)
+
+    def test_invalid_queries_rejected(self):
+        with pytest.raises(ValueError):
+            technology().cycle_ns(0)
+        with pytest.raises(ValueError):
+            technology().cycle_ns(16 * KB, associativity=0)
+
+
+class TestOptimizer:
+    SIZES = [8 * KB, 32 * KB, 128 * KB]
+
+    def test_best_is_minimum_of_evaluations(self, small_traces, base_config):
+        optimizer = HierarchyOptimizer(base_config, technology(), small_traces)
+        result = optimizer.optimize(self.SIZES, set_sizes=(1, 2))
+        assert result.best.total_cycles == min(
+            e.total_cycles for e in result.evaluations
+        )
+        assert result.sorted_by_time()[0] is result.best
+
+    def test_free_growth_picks_largest(self, small_traces, base_config):
+        tech = technology(ns_per_doubling=0.0, ns_per_way=0.0)
+        optimizer = HierarchyOptimizer(base_config, tech, small_traces)
+        result = optimizer.optimize(self.SIZES, set_sizes=(1,))
+        assert result.best.l2_size == self.SIZES[-1]
+
+    def test_punitive_growth_picks_smallest(self, small_traces, base_config):
+        tech = technology(ns_per_doubling=200.0)
+        optimizer = HierarchyOptimizer(base_config, tech, small_traces)
+        result = optimizer.optimize(self.SIZES, set_sizes=(1,))
+        assert result.best.l2_size == self.SIZES[0]
+
+    def test_cycle_times_rounded_to_whole_cpu_cycles(self, small_traces, base_config):
+        optimizer = HierarchyOptimizer(base_config, technology(), small_traces)
+        evaluation = optimizer.evaluate(32 * KB, 1)
+        assert evaluation.l2_cycle_cpu_cycles == float(
+            int(evaluation.l2_cycle_cpu_cycles)
+        )
+
+    def test_degenerate_geometries_skipped(self, small_traces, base_config):
+        optimizer = HierarchyOptimizer(base_config, technology(), small_traces)
+        # 8-way with 32-byte blocks needs >= 256 bytes; 128B candidates drop.
+        result = optimizer.optimize([128, 8 * KB], set_sizes=(8,))
+        assert all(e.l2_size == 8 * KB for e in result.evaluations)
+
+    def test_validation(self, small_traces, base_config):
+        with pytest.raises(ValueError):
+            HierarchyOptimizer(base_config, technology(), [])
+        optimizer = HierarchyOptimizer(base_config, technology(), small_traces)
+        with pytest.raises(ValueError):
+            optimizer.optimize([], set_sizes=(1,))
+
+
+class TestPaperClaims:
+    def test_better_l1_grows_optimal_l2(self, small_traces, base_config):
+        """Section 4/6: improving the upstream cache moves the optimal
+        downstream cache toward larger (and slower)."""
+        tech = technology(ns_per_doubling=6.0, ns_per_way=11.0)
+        sizes = [8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB]
+        small_l1 = base_config.with_level(0, size_bytes=2 * KB)
+        large_l1 = base_config.with_level(0, size_bytes=32 * KB)
+        best_small = (
+            HierarchyOptimizer(small_l1, tech, small_traces)
+            .optimize(sizes, set_sizes=(1,))
+            .best.l2_size
+        )
+        best_large = (
+            HierarchyOptimizer(large_l1, tech, small_traces)
+            .optimize(sizes, set_sizes=(1,))
+            .best.l2_size
+        )
+        assert best_large >= best_small
+
+
+class TestSingleLevelCeiling:
+    def test_interior_optimum_under_costly_growth(self, small_traces, base_config):
+        """The single-level performance barrier: with cycle time growing in
+        size, the best single-level cache is not the largest one."""
+        tech = TechnologyModel(
+            base_size=4 * KB, base_ns=10.0, ns_per_doubling=5.0,
+            ns_per_way_doubling=11.0,
+        )
+        sizes = [4 * KB, 16 * KB, 64 * KB, 256 * KB]
+        result = single_level_ceiling(base_config, tech, small_traces, sizes)
+        assert result.best.config.levels[0].size_bytes < sizes[-1]
+
+    def test_two_level_beats_single_level_ceiling(self, small_traces, base_config):
+        """The paper's motivation: a two-level hierarchy breaks the
+        single-level bound under the same technology."""
+        tech = TechnologyModel(
+            base_size=4 * KB, base_ns=10.0, ns_per_doubling=5.0,
+            ns_per_way_doubling=11.0,
+        )
+        sizes = [4 * KB, 16 * KB, 64 * KB, 256 * KB]
+        ceiling = single_level_ceiling(base_config, tech, small_traces, sizes)
+        two_level = HierarchyOptimizer(
+            base_config, technology(ns_per_doubling=4.0), small_traces
+        ).optimize([32 * KB, 128 * KB, 512 * KB], set_sizes=(1, 2))
+        assert two_level.best.total_cycles < ceiling.best.total_cycles
+
+    def test_validation(self, small_traces, base_config):
+        tech = technology()
+        with pytest.raises(ValueError):
+            single_level_ceiling(base_config, tech, [], [4 * KB])
+
+
+class TestOptimalL1Sweep:
+    from repro.units import KB as _KB
+
+    def _sweep(self, small_traces, base_config, l2_speeds):
+        from repro.core.optimizer import optimal_l1_sweep
+
+        l1_tech = TechnologyModel(
+            base_size=4 * KB, base_ns=10.0, ns_per_doubling=1.5,
+            ns_per_way_doubling=0.0,
+        )
+        return optimal_l1_sweep(
+            base_config, l1_tech, small_traces,
+            l1_sizes=[2 * KB, 4 * KB, 8 * KB, 16 * KB],
+            l2_cycle_ns_values=l2_speeds,
+        )
+
+    def test_one_candidate_list_per_l2_speed(self, small_traces, base_config):
+        sweeps = self._sweep(small_traces, base_config, [30.0, 90.0])
+        assert len(sweeps) == 2
+        assert all(len(candidates) == 4 for candidates in sweeps)
+
+    def test_cpu_cycle_follows_l1_technology(self, small_traces, base_config):
+        sweeps = self._sweep(small_traces, base_config, [30.0])
+        by_size = {c.l1_size: c for c in sweeps[0]}
+        assert by_size[4 * KB].cpu_cycle_ns == pytest.approx(10.0)
+        assert by_size[8 * KB].cpu_cycle_ns == pytest.approx(11.5)
+        assert by_size[2 * KB].cpu_cycle_ns == pytest.approx(8.5)
+
+    def test_l2_cycles_rounded_up_to_cpu_cycles(self, small_traces, base_config):
+        sweeps = self._sweep(small_traces, base_config, [35.0])
+        by_size = {c.l1_size: c for c in sweeps[0]}
+        assert by_size[4 * KB].l2_cycle_cpu_cycles == 4.0  # 35/10 -> ceil
+
+    def test_slow_l2_grows_optimal_l1(self, small_traces, base_config):
+        """Section 6: a slow L2 pushes the optimal L1 above its minimum."""
+        sweeps = self._sweep(small_traces, base_config, [20.0, 150.0])
+        fast_best = min(sweeps[0], key=lambda c: c.total_ns).l1_size
+        slow_best = min(sweeps[1], key=lambda c: c.total_ns).l1_size
+        assert slow_best >= fast_best
+
+    def test_validation(self, small_traces, base_config):
+        from repro.core.optimizer import optimal_l1_sweep
+
+        tech = technology()
+        with pytest.raises(ValueError):
+            optimal_l1_sweep(base_config, tech, [], [4 * KB], [30.0])
+        with pytest.raises(ValueError):
+            optimal_l1_sweep(base_config, tech, small_traces, [], [30.0])

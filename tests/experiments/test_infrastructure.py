@@ -1,0 +1,184 @@
+"""Tests for the experiment framework: rendering, registry, baseline."""
+
+import pytest
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.baseline import (
+    L2_CYCLE_TIMES,
+    L2_SIZES,
+    base_machine,
+    l2_sweep_sizes,
+    solo_l2_machine,
+)
+from repro.experiments.registry import experiment_ids, make_experiment
+from repro.experiments.render import format_ns, format_ratio, format_size, render_table
+from repro.units import KB, MB
+
+
+class TestRender:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(4 * KB, "4KB"), (512 * KB, "512KB"), (4 * MB, "4MB"), (64, "64B")],
+    )
+    def test_format_size(self, size, expected):
+        assert format_size(size) == expected
+
+    def test_format_ratio_and_ns(self):
+        assert format_ratio(0.12344) == "0.1234"
+        assert format_ns(12.34) == "12.3"
+
+    def test_render_table_alignment(self):
+        table = render_table(["a", "bb"], [["1", "2"], ["10", "200"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_empty_table(self):
+        table = render_table(["x"], [])
+        assert "x" in table
+
+
+class TestExperimentReport:
+    def test_render_includes_checks_and_notes(self):
+        report = ExperimentReport(
+            experiment_id="T-1",
+            title="test",
+            headers=["h"],
+            rows=[["v"]],
+            checks={"something holds": True, "something fails": False},
+            notes=["a note"],
+        )
+        text = report.render()
+        assert "T-1" in text
+        assert "[ok] something holds" in text
+        assert "[FAIL] something fails" in text
+        assert "note: a note" in text
+        assert not report.all_checks_pass
+
+    def test_all_checks_pass_when_empty(self):
+        report = ExperimentReport("T", "t", ["h"], [])
+        assert report.all_checks_pass
+
+
+class TestBaseline:
+    def test_base_machine_matches_paper_section_two(self):
+        config = base_machine()
+        assert config.cpu.cycle_ns == 10.0
+        l1, l2 = config.levels
+        assert l1.size_bytes == 4 * KB and l1.split and l1.block_bytes == 16
+        assert l1.write_hit_cycles == 2
+        assert l2.size_bytes == 512 * KB and l2.block_bytes == 32
+        assert l2.cycle_cpu_cycles == 3.0
+        assert config.memory.read_ns == 180.0
+        assert config.write_buffer_entries == 4
+        assert config.effective_backplane_ns == 30.0
+
+    def test_memory_scale(self):
+        slow = base_machine(memory_scale=2.0)
+        assert slow.memory.read_ns == 360.0
+
+    def test_solo_machine_is_single_level(self):
+        solo = solo_l2_machine(l2_size=64 * KB)
+        assert solo.depth == 1
+        assert solo.levels[0].size_bytes == 64 * KB
+
+    def test_l2_sizes_span_paper_range(self):
+        assert L2_SIZES[0] == 4 * KB
+        assert L2_SIZES[-1] == 4 * MB
+        assert len(L2_CYCLE_TIMES) == 10
+
+    def test_sweep_sizes_respect_minimum(self):
+        sizes = l2_sweep_sizes(minimum=32 * KB)
+        assert min(sizes) == 32 * KB
+
+    def test_sweep_sizes_full_range_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert max(l2_sweep_sizes()) == 4 * MB
+        monkeypatch.delenv("REPRO_FULL")
+        assert max(l2_sweep_sizes()) == 512 * KB
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        ids = experiment_ids()
+        for figure in ("F3-1", "F3-2", "F4-1", "F4-2", "F4-3", "F4-4",
+                       "F5-1", "F5-2", "F5-3"):
+            assert figure in ids
+        for claim in ("E-EQ1", "E-EQ2", "E-EQ3", "E-R5", "E-CONC", "E-3L"):
+            assert claim in ids
+
+    def test_make_experiment_case_insensitive(self):
+        assert make_experiment("f3-1").experiment_id == "F3-1"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            make_experiment("F9-9")
+
+    def test_every_id_instantiates(self):
+        for experiment_id in experiment_ids():
+            experiment = make_experiment(experiment_id)
+            assert experiment.experiment_id == experiment_id
+
+
+class TestShadedPlane:
+    def test_shading_by_thresholds(self):
+        from repro.experiments.render import render_shaded_plane
+
+        text = render_shaded_plane(
+            col_labels=["a", "b"],
+            row_labels=["r1", "r2"],
+            values=[[0.0, 15.0], [25.0, 45.0]],
+            thresholds=[10.0, 20.0, 40.0],
+        )
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert lines[1].endswith("..")     # 0 -> ' ', 15 -> '.'
+        assert "::" in lines[2] and "**" in lines[2]  # 25 -> ':', 45 -> '*'
+        assert "legend" in lines[-1]
+
+    def test_title_included(self):
+        from repro.experiments.render import render_shaded_plane
+
+        text = render_shaded_plane(["x"], ["y"], [[1.0]], [0.5], title="map:")
+        assert text.splitlines()[0] == "map:"
+
+    def test_too_many_thresholds_rejected(self):
+        import pytest as _pytest
+
+        from repro.experiments.render import render_shaded_plane
+
+        with _pytest.raises(ValueError):
+            render_shaded_plane(["x"], ["y"], [[1.0]], list(range(10)))
+
+
+class TestExpectations:
+    def test_every_registered_experiment_has_an_expectation(self):
+        from repro.experiments.expectations import EXPECTATIONS
+
+        for experiment_id in experiment_ids():
+            assert experiment_id in EXPECTATIONS, experiment_id
+
+    def test_no_orphan_expectations(self):
+        from repro.experiments.expectations import EXPECTATIONS
+
+        registered = set(experiment_ids())
+        assert set(EXPECTATIONS) <= registered
+
+    def test_report_command_assembles_markdown(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "F3-1.txt").write_text("== F3-1: demo ==\n")
+        output = tmp_path / "EXPERIMENTS.md"
+        assert main(
+            ["report", "--results", str(results), "-o", str(output)]
+        ) == 0
+        text = output.read_text()
+        assert "## F3-1" in text
+        assert "== F3-1: demo ==" in text
+        assert "no saved report" in text  # the other experiments

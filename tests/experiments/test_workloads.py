@@ -1,0 +1,81 @@
+"""Tests for the paper workload suite."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import build_trace, paper_trace_suite
+from repro.trace.record import IFETCH, WRITE
+from repro.trace.stats import TraceStatistics
+
+
+class TestBuildTrace:
+    def test_record_count(self):
+        trace = build_trace("t", index=0, records=20_000, kernel=False)
+        assert len(trace) == 20_000
+
+    def test_warmup_marked(self):
+        trace = build_trace("t", index=0, records=60_000, kernel=False)
+        assert 0 < trace.warmup <= len(trace) // 2
+
+    def test_kernel_traces_touch_kernel_space(self):
+        trace = build_trace("vms", index=0, records=60_000, kernel=True)
+        spaces = set((trace.addresses >> np.uint64(44)).tolist())
+        assert 0xF in spaces
+
+    def test_interleaved_traces_have_no_kernel(self):
+        trace = build_trace("mix", index=1, records=60_000, kernel=False)
+        spaces = set((trace.addresses >> np.uint64(44)).tolist())
+        assert 0xF not in spaces
+
+    def test_cpu_mix_matches_section_two(self):
+        trace = build_trace("t", index=2, records=80_000, kernel=False)
+        stats = TraceStatistics.measure(trace)
+        assert stats.data_ref_per_ifetch == pytest.approx(0.5, abs=0.05)
+        assert stats.data_read_fraction == pytest.approx(0.65, abs=0.05)
+
+    def test_deterministic_by_index(self):
+        a = build_trace("t", index=3, records=10_000, kernel=False)
+        b = build_trace("t", index=3, records=10_000, kernel=False)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_different_indices_differ(self):
+        a = build_trace("t", index=3, records=10_000, kernel=False)
+        b = build_trace("t", index=4, records=10_000, kernel=False)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+
+class TestSuite:
+    def test_suite_size_and_names(self):
+        suite = paper_trace_suite(records=5_000, count=4)
+        assert len(suite) == 4
+        assert suite[0].name.startswith("vms")
+        assert suite[1].name.startswith("mix")
+
+    def test_suite_memoised(self):
+        a = paper_trace_suite(records=5_000, count=2)
+        b = paper_trace_suite(records=5_000, count=2)
+        assert a is b
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECORDS", "6000")
+        monkeypatch.setenv("REPRO_TRACES", "2")
+        suite = paper_trace_suite()
+        assert len(suite) == 2
+        assert len(suite[0]) == 6000
+
+    def test_trace_count_clamped_to_eight(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACES", "99")
+        monkeypatch.setenv("REPRO_RECORDS", "2000")
+        assert len(paper_trace_suite()) == 8
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        first = paper_trace_suite(records=4_000, count=1)
+        assert len(list(tmp_path.glob("trace-*.npz"))) == 1
+        # Clear the memory cache and reload from disk.
+        from repro.experiments import workloads
+
+        workloads._memory_cache.clear()
+        second = paper_trace_suite(records=4_000, count=1)
+        assert np.array_equal(first[0].addresses, second[0].addresses)
+        assert second[0].warmup == first[0].warmup

@@ -1,0 +1,56 @@
+"""Tests for the bus model."""
+
+import pytest
+
+from repro.memory.bus import Bus
+
+
+class TestTransferTimes:
+    def test_width_bytes(self):
+        assert Bus(width_words=4, cycle_ns=30.0).width_bytes == 16
+
+    def test_data_cycles_rounds_up(self):
+        bus = Bus(width_words=4, cycle_ns=30.0)
+        assert bus.data_cycles(16) == 1
+        assert bus.data_cycles(17) == 2
+        assert bus.data_cycles(32) == 2
+        assert bus.data_cycles(0) == 0
+
+    def test_base_machine_l2_block_takes_two_cycles(self):
+        """8-word L2 block over the 4-word memory bus: 2 data cycles."""
+        bus = Bus(width_words=4, cycle_ns=30.0)
+        assert bus.data_time(32) == pytest.approx(60.0)
+
+    def test_address_time_is_one_cycle(self):
+        assert Bus(width_words=4, cycle_ns=25.0).address_time() == pytest.approx(25.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bus(width_words=4, cycle_ns=30.0).data_time(-1)
+
+
+class TestContention:
+    def test_acquire_when_idle(self):
+        bus = Bus(width_words=4, cycle_ns=30.0)
+        assert bus.acquire(now=100.0, duration=60.0) == 160.0
+
+    def test_acquire_queues_behind_transfer(self):
+        bus = Bus(width_words=4, cycle_ns=30.0)
+        bus.acquire(now=0.0, duration=60.0)
+        assert bus.acquire(now=10.0, duration=30.0) == 90.0
+
+    def test_reset_clears_occupancy(self):
+        bus = Bus(width_words=4, cycle_ns=30.0)
+        bus.acquire(now=0.0, duration=500.0)
+        bus.reset()
+        assert bus.acquire(now=0.0, duration=30.0) == 30.0
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Bus(width_words=0, cycle_ns=30.0)
+
+    def test_nonpositive_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Bus(width_words=4, cycle_ns=0.0)

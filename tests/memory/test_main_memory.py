@@ -1,0 +1,108 @@
+"""Tests for the DRAM timing model."""
+
+import pytest
+
+from repro.memory.main_memory import MainMemory, MemoryTiming
+
+
+class TestMemoryTiming:
+    def test_defaults_match_paper(self):
+        timing = MemoryTiming()
+        assert timing.read_ns == 180.0
+        assert timing.write_ns == 100.0
+        assert timing.recovery_ns == 120.0
+
+    def test_scaled_doubles_everything(self):
+        slow = MemoryTiming().scaled(2.0)
+        assert slow.read_ns == 360.0
+        assert slow.write_ns == 200.0
+        assert slow.recovery_ns == 240.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_ns": 0.0},
+            {"write_ns": -1.0},
+            {"recovery_ns": -0.1},
+        ],
+    )
+    def test_invalid_timing_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MemoryTiming(**kwargs)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTiming().scaled(0.0)
+
+
+class TestMainMemory:
+    def test_idle_read_takes_read_time(self):
+        memory = MainMemory()
+        assert memory.read(ready=1000.0) == 1180.0
+
+    def test_idle_write_takes_write_time(self):
+        memory = MainMemory()
+        assert memory.write(ready=1000.0) == 1100.0
+
+    def test_recovery_enforced_between_operations(self):
+        memory = MainMemory()
+        first_end = memory.read(ready=0.0)  # ends at 180
+        second_end = memory.read(ready=first_end)  # must wait 120
+        assert second_end == 180.0 + 120.0 + 180.0
+
+    def test_recovery_not_charged_when_enough_time_elapsed(self):
+        memory = MainMemory()
+        memory.read(ready=0.0)  # ends at 180
+        assert memory.read(ready=500.0) == 680.0
+        assert memory.recovery_wait_ns == 0.0
+
+    def test_partial_recovery_wait(self):
+        memory = MainMemory()
+        memory.write(ready=0.0)  # ends at 100
+        # Arrives at 150; recovery window ends at 220.
+        assert memory.read(ready=150.0) == 220.0 + 180.0
+        assert memory.recovery_wait_ns == pytest.approx(70.0)
+
+    def test_operation_counters(self):
+        memory = MainMemory()
+        memory.read(0.0)
+        memory.write(1000.0)
+        memory.read(2000.0)
+        assert memory.reads == 2
+        assert memory.writes == 1
+
+    def test_reset_clears_state(self):
+        memory = MainMemory()
+        memory.read(0.0)
+        memory.reset()
+        assert memory.reads == 0
+        assert memory.read(ready=0.0) == 180.0
+
+    def test_first_operation_never_waits(self):
+        memory = MainMemory()
+        memory.read(ready=0.0)
+        assert memory.recovery_wait_ns == 0.0
+
+
+class TestPaperPenaltyRange:
+    """The base machine's L2 miss penalty should span roughly 270-390 ns."""
+
+    def test_miss_penalty_bounds(self):
+        from repro.memory.bus import Bus
+
+        l2_cycle = 30.0
+        bus = Bus(width_words=4, cycle_ns=l2_cycle)
+        memory = MainMemory()
+
+        def l2_miss_penalty(now):
+            addr_done = now + bus.address_time()
+            data_at_pins = memory.read(ready=addr_done)
+            return (data_at_pins + bus.data_time(32)) - now
+
+        # Idle memory: the paper's nominal 270 ns.
+        assert l2_miss_penalty(10_000.0) == pytest.approx(270.0)
+        # Back-to-back: recovery makes it worse, bounded by +recovery.
+        memory.reset()
+        first_end = memory.read(ready=0.0)
+        worst = l2_miss_penalty(first_end - bus.address_time())
+        assert 270.0 < worst <= 270.0 + memory.timing.recovery_ns

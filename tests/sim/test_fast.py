@@ -1,0 +1,207 @@
+"""Cross-validation of the vectorised simulator against the reference.
+
+The fast path must produce *identical* counts -- these tests are the
+correctness contract that lets experiments dispatch to it blindly.
+"""
+
+import pytest
+
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.fast import FastFunctionalSimulator, fast_eligible, run_functional
+from repro.sim.functional import FunctionalSimulator
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+
+def two_level(split=True, l1_kb=4, l2_kb=32):
+    return SystemConfig(
+        levels=(
+            LevelConfig(size_bytes=l1_kb * KB, block_bytes=16, split=split),
+            LevelConfig(size_bytes=l2_kb * KB, block_bytes=32, cycle_cpu_cycles=3),
+        )
+    )
+
+
+def assert_same_counts(trace, config):
+    fast = FastFunctionalSimulator(config).run(trace)
+    reference = FunctionalSimulator(config).run(trace)
+    assert fast.cpu_reads == reference.cpu_reads
+    assert fast.cpu_writes == reference.cpu_writes
+    assert fast.cpu_ifetches == reference.cpu_ifetches
+    for level, (f, r) in enumerate(
+        zip(fast.level_stats, reference.level_stats), start=1
+    ):
+        for field in ("reads", "read_misses", "writes", "write_misses",
+                      "writebacks", "blocks_fetched"):
+            assert getattr(f, field) == getattr(r, field), (
+                f"level {level} {field}: fast={getattr(f, field)} "
+                f"reference={getattr(r, field)}"
+            )
+    assert fast.memory_reads == reference.memory_reads
+    assert fast.memory_writes == reference.memory_writes
+
+
+class TestExactEquivalence:
+    def test_split_two_level(self):
+        trace = SyntheticWorkload(seed=31).trace(25_000)
+        assert_same_counts(trace, two_level())
+
+    def test_unified_two_level(self):
+        trace = SyntheticWorkload(seed=32).trace(25_000)
+        assert_same_counts(trace, two_level(split=False))
+
+    def test_with_warmup(self):
+        trace = SyntheticWorkload(seed=33).trace(25_000, warmup=8_000)
+        assert_same_counts(trace, two_level())
+
+    def test_single_level(self):
+        trace = SyntheticWorkload(seed=34).trace(15_000)
+        config = SystemConfig(
+            levels=(LevelConfig(size_bytes=2 * KB, block_bytes=16),)
+        )
+        assert_same_counts(trace, config)
+
+    def test_three_levels(self):
+        trace = SyntheticWorkload(seed=35).trace(25_000)
+        config = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=2 * KB, block_bytes=16, split=True),
+                LevelConfig(size_bytes=8 * KB, block_bytes=32, cycle_cpu_cycles=3),
+                LevelConfig(size_bytes=64 * KB, block_bytes=64, cycle_cpu_cycles=6),
+            )
+        )
+        assert_same_counts(trace, config)
+
+    def test_tiny_pathological_caches(self):
+        trace = SyntheticWorkload(seed=36).trace(8_000)
+        config = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=64, block_bytes=16),
+                LevelConfig(size_bytes=128, block_bytes=32),
+            )
+        )
+        assert_same_counts(trace, config)
+
+    def test_equal_block_sizes_across_levels(self):
+        trace = SyntheticWorkload(seed=37).trace(10_000)
+        config = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=1 * KB, block_bytes=32),
+                LevelConfig(size_bytes=16 * KB, block_bytes=32),
+            )
+        )
+        assert_same_counts(trace, config)
+
+    def test_multiprogram_trace(self):
+        from repro.trace.multiprogram import MultiprogramScheduler, ProcessSpec
+
+        processes = [
+            ProcessSpec(
+                name=f"p{i}",
+                workload=SyntheticWorkload(seed=40 + i, address_base=i << 44),
+            )
+            for i in range(1, 3)
+        ]
+        trace = MultiprogramScheduler(processes, switch_interval=2_000, seed=3).trace(
+            30_000, warmup=5_000
+        )
+        assert_same_counts(trace, two_level())
+
+
+class TestEligibility:
+    def test_base_machine_is_eligible(self):
+        from repro.experiments import base_machine
+
+        assert fast_eligible(base_machine())
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"associativity": 2},
+            {"write_policy": "write-through"},
+            {"write_allocate": False},
+            {"fetch_blocks": 2},
+            {"prefetch": "on-miss"},
+        ],
+    )
+    def test_variations_fall_back(self, changes):
+        config = two_level().with_level(1, **changes)
+        assert not fast_eligible(config)
+
+    def test_inclusion_falls_back(self):
+        import dataclasses
+
+        config = dataclasses.replace(two_level(), enforce_inclusion=True)
+        assert not fast_eligible(config)
+
+    def test_constructor_rejects_ineligible(self):
+        with pytest.raises(ValueError, match="vectorised"):
+            FastFunctionalSimulator(two_level().with_level(1, associativity=2))
+
+
+class TestDispatch:
+    def test_run_functional_picks_fast_when_possible(self):
+        trace = SyntheticWorkload(seed=50).trace(10_000)
+        config = two_level()
+        result = run_functional(trace, config)
+        reference = FunctionalSimulator(config).run(trace)
+        assert result.level_stats[1].read_misses == (
+            reference.level_stats[1].read_misses
+        )
+
+    def test_run_functional_falls_back_for_associative(self):
+        trace = SyntheticWorkload(seed=51).trace(10_000)
+        config = two_level().with_level(1, associativity=4)
+        result = run_functional(trace, config)
+        assert result.level_stats[1].reads > 0
+
+
+class TestSpeed:
+    def test_fast_path_is_meaningfully_faster(self):
+        import time
+
+        trace = SyntheticWorkload(seed=60).trace(120_000)
+        config = two_level()
+        start = time.perf_counter()
+        FastFunctionalSimulator(config).run(trace)
+        fast_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        FunctionalSimulator(config).run(trace)
+        reference_elapsed = time.perf_counter() - start
+        assert fast_elapsed < reference_elapsed / 3
+
+
+class TestTraceEligibility:
+    def test_high_addresses_fall_back_to_reference(self):
+        import numpy as np
+
+        from repro.sim.fast import trace_eligible
+        from repro.trace.record import READ, Trace
+
+        high = Trace(
+            np.array([READ], dtype=np.uint8),
+            np.array([2**63 + 16], dtype=np.uint64),
+        )
+        assert not trace_eligible(high)
+        # run_functional must still produce correct counts via the
+        # reference engine.
+        result = run_functional(high, two_level())
+        assert result.level_stats[0].read_misses == 1
+
+    def test_normal_addresses_eligible(self):
+        from repro.sim.fast import trace_eligible
+        from repro.trace.workload import SyntheticWorkload
+
+        assert trace_eligible(SyntheticWorkload(seed=1).trace(100))
+
+    def test_empty_trace_eligible_and_simulates(self):
+        import numpy as np
+
+        from repro.sim.fast import trace_eligible
+        from repro.trace.record import Trace
+
+        empty = Trace(np.empty(0, dtype=np.uint8), np.empty(0, dtype=np.uint64))
+        assert trace_eligible(empty)
+        result = FastFunctionalSimulator(two_level()).run(empty)
+        assert result.cpu_reads == 0
+        assert result.memory_reads == 0

@@ -1,0 +1,126 @@
+"""Tests for the functional (miss-ratio) simulator."""
+
+import pytest
+
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.functional import FunctionalSimulator, simulate_miss_ratios
+from repro.trace.record import IFETCH, READ, WRITE, Trace
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+
+def two_level(l1_kb=4, l2_kb=64):
+    return SystemConfig(
+        levels=(
+            LevelConfig(size_bytes=l1_kb * KB, block_bytes=16, split=True),
+            LevelConfig(size_bytes=l2_kb * KB, block_bytes=32, cycle_cpu_cycles=3),
+        )
+    )
+
+
+def trace_of(records, warmup=0):
+    return Trace.from_records(records, warmup=warmup)
+
+
+class TestKnownAnswers:
+    def test_single_cold_read(self):
+        result = simulate_miss_ratios(trace_of([(READ, 0x1000)]), two_level())
+        assert result.cpu_reads == 1
+        assert result.local_read_miss_ratio(1) == 1.0
+        assert result.local_read_miss_ratio(2) == 1.0
+        assert result.global_read_miss_ratio(2) == 1.0
+        assert result.memory_reads == 1
+
+    def test_l1_filtering_shows_in_traffic_ratio(self):
+        # Same address referenced 10 times: 1 miss, 9 hits.
+        records = [(READ, 0x1000)] * 10
+        result = simulate_miss_ratios(trace_of(records), two_level())
+        assert result.global_read_miss_ratio(1) == pytest.approx(0.1)
+        assert result.traffic_ratio(2) == pytest.approx(0.1)
+
+    def test_local_vs_global_l2_ratio(self):
+        # Two L1-conflicting addresses alternate: every access misses L1,
+        # but after the cold pass both live in L2.
+        config = two_level()
+        l1_bytes = 2 * KB  # split halves
+        a, b = 0x0, l1_bytes
+        records = [(READ, a), (READ, b)] * 6
+        result = simulate_miss_ratios(trace_of(records), config)
+        assert result.local_read_miss_ratio(1) == pytest.approx(1.0)
+        # L2: 12 reads, 2 cold misses.
+        assert result.local_read_miss_ratio(2) == pytest.approx(2 / 12)
+        assert result.global_read_miss_ratio(2) == pytest.approx(2 / 12)
+
+    def test_writes_counted_separately(self):
+        records = [(WRITE, 0x0), (READ, 0x0), (WRITE, 0x10)]
+        result = simulate_miss_ratios(trace_of(records), two_level())
+        assert result.cpu_writes == 2
+        assert result.cpu_reads == 1
+
+
+class TestWarmupHandling:
+    def test_warmup_excluded_from_counts(self):
+        # Warmup loads the block; the measured region only hits.
+        records = [(READ, 0x1000)] + [(READ, 0x1000)] * 5
+        result = simulate_miss_ratios(trace_of(records, warmup=1), two_level())
+        assert result.cpu_reads == 5
+        assert result.global_read_miss_ratio(1) == 0.0
+        assert result.memory_reads == 0
+
+    def test_warmup_affects_state_not_stats(self):
+        records = [(WRITE, 0x1000), (READ, 0x1000)]
+        result = simulate_miss_ratios(trace_of(records, warmup=1), two_level())
+        assert result.cpu_writes == 0
+        assert result.global_read_miss_ratio(1) == 0.0
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_trace(self):
+        result = simulate_miss_ratios(trace_of([]), two_level())
+        assert result.cpu_reads == 0
+        assert result.global_read_miss_ratio(1) == 0.0
+        assert result.traffic_ratio(2) == 0.0
+
+    def test_single_level_system(self):
+        config = SystemConfig(levels=(LevelConfig(size_bytes=4 * KB, block_bytes=16),))
+        result = simulate_miss_ratios(trace_of([(READ, 0)] * 3), config)
+        assert result.depth == 1
+        assert result.global_read_miss_ratio(1) == pytest.approx(1 / 3)
+        assert result.memory_reads == 1
+
+
+class TestConsistencyProperties:
+    def test_global_ratio_never_exceeds_local(self):
+        trace = SyntheticWorkload(seed=3).trace(30_000)
+        result = simulate_miss_ratios(trace, two_level())
+        for level in (1, 2):
+            assert result.global_read_miss_ratio(level) <= (
+                result.local_read_miss_ratio(level) + 1e-12
+            )
+
+    def test_l2_reads_equal_l1_read_misses(self):
+        """The L2 read stream is exactly the L1 read-miss stream."""
+        trace = SyntheticWorkload(seed=4).trace(30_000)
+        result = simulate_miss_ratios(trace, two_level())
+        l1, l2 = result.level_stats
+        assert l2.reads == l1.read_misses
+
+    def test_memory_reads_match_l2_demand_fetches(self):
+        trace = SyntheticWorkload(seed=5).trace(30_000)
+        result = simulate_miss_ratios(trace, two_level())
+        l2 = result.level_stats[1]
+        assert result.memory_reads == l2.blocks_fetched
+
+    def test_miss_ratio_decreases_with_l2_size(self):
+        trace = SyntheticWorkload(seed=6).trace(40_000)
+        ratios = [
+            simulate_miss_ratios(trace, two_level(l2_kb=size)).global_read_miss_ratio(2)
+            for size in (8, 32, 128)
+        ]
+        assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_simulator_reusable_across_traces(self):
+        sim = FunctionalSimulator(two_level())
+        a = sim.run(SyntheticWorkload(seed=7).trace(5_000))
+        b = sim.run(SyntheticWorkload(seed=7).trace(5_000))
+        assert a.level_stats[0].reads == b.level_stats[0].reads

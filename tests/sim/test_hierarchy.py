@@ -1,0 +1,157 @@
+"""Tests for functional access propagation through the hierarchy."""
+
+import pytest
+
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.hierarchy import CacheHierarchy
+from repro.trace.record import IFETCH, READ, WRITE
+from repro.units import KB
+
+
+def split_two_level(l1_kb=4, l2_kb=64):
+    return SystemConfig(
+        levels=(
+            LevelConfig(size_bytes=l1_kb * KB, block_bytes=16, split=True),
+            LevelConfig(size_bytes=l2_kb * KB, block_bytes=32, cycle_cpu_cycles=3),
+        )
+    )
+
+
+class TestConstruction:
+    def test_split_first_level(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        assert hierarchy.icache is not None
+        assert hierarchy.icache.geometry.size_bytes == 2 * KB
+        assert hierarchy.dcache.geometry.size_bytes == 2 * KB
+        assert len(hierarchy.lower) == 1
+
+    def test_unified_first_level(self):
+        config = SystemConfig(levels=(LevelConfig(size_bytes=4 * KB, block_bytes=16),))
+        hierarchy = CacheHierarchy(config)
+        assert hierarchy.icache is None
+
+    def test_level_caches_grouping(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        groups = hierarchy.level_caches
+        assert len(groups) == 2
+        assert len(groups[0]) == 2
+        assert groups[1][0].name == "L2"
+
+
+class TestRouting:
+    def test_ifetch_goes_to_icache(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(IFETCH, 0x1000)
+        assert hierarchy.icache.stats.reads == 1
+        assert hierarchy.dcache.stats.reads == 0
+
+    def test_load_goes_to_dcache(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(READ, 0x1000)
+        assert hierarchy.dcache.stats.reads == 1
+        assert hierarchy.icache.stats.reads == 0
+
+    def test_unified_l1_takes_everything(self):
+        config = SystemConfig(levels=(LevelConfig(size_bytes=4 * KB, block_bytes=16),))
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access(IFETCH, 0x0)
+        hierarchy.access(READ, 0x1000)
+        hierarchy.access(WRITE, 0x2000)
+        assert hierarchy.dcache.stats.accesses == 3
+
+
+class TestMissPropagation:
+    def test_l1_miss_reaches_l2_then_memory(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(READ, 0x1000)
+        l2 = hierarchy.lower[0]
+        assert hierarchy.dcache.stats.read_misses == 1
+        assert l2.stats.reads == 1
+        assert l2.stats.read_misses == 1
+        assert hierarchy.memory_traffic.reads == 1
+
+    def test_l2_hit_stops_propagation(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(READ, 0x1000)   # cold: reaches memory
+        hierarchy.access(READ, 0x2000)   # evicts nothing relevant in L1? different set
+        # Evict 0x1000 from the tiny L1 by touching a conflicting line.
+        conflict = 0x1000 + hierarchy.dcache.geometry.size_bytes
+        hierarchy.access(READ, conflict)
+        before = hierarchy.memory_traffic.reads
+        hierarchy.access(READ, 0x1000)   # L1 miss, L2 hit
+        assert hierarchy.memory_traffic.reads == before
+
+    def test_l2_sees_l1_block_granularity(self):
+        """An L1 miss asks L2 for the 16-byte L1 block (one L2 read)."""
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(READ, 0x1008)
+        assert hierarchy.lower[0].stats.reads == 1
+
+    def test_two_l1_blocks_in_same_l2_block(self):
+        """Adjacent 16B L1 blocks share a 32B L2 block: second is an L2 hit."""
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(READ, 0x1000)
+        hierarchy.access(READ, 0x1010)
+        l2 = hierarchy.lower[0]
+        assert l2.stats.reads == 2
+        assert l2.stats.read_misses == 1
+
+
+class TestWritePropagation:
+    def test_store_counts_in_write_buckets_downstream(self):
+        """A store's allocation fetch must not appear in L2 read stats."""
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(WRITE, 0x1000)
+        l2 = hierarchy.lower[0]
+        assert l2.stats.reads == 0
+        assert l2.stats.writes == 1  # the allocation fetch, write bucket
+        assert hierarchy.dcache.stats.write_misses == 1
+
+    def test_dirty_l1_victim_written_to_l2(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(WRITE, 0x1000)
+        conflict = 0x1000 + hierarchy.dcache.geometry.size_bytes
+        hierarchy.access(READ, conflict)  # evicts dirty 0x1000
+        l2 = hierarchy.lower[0]
+        assert hierarchy.dcache.stats.writebacks == 1
+        assert l2.is_dirty(0x1000)
+
+    def test_dirty_l2_victim_reaches_memory(self):
+        config = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=64, block_bytes=16),
+                LevelConfig(size_bytes=128, block_bytes=32),
+            )
+        )
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access(WRITE, 0x0)
+        # March far enough to evict block 0 from both tiny caches.
+        for i in range(1, 9):
+            hierarchy.access(READ, i * 32)
+        assert hierarchy.memory_traffic.writes >= 1
+
+
+class TestInclusionBehaviour:
+    def test_hierarchy_is_not_strictly_inclusive(self):
+        """Like the paper's machine, nothing enforces inclusion: an L2
+        victim may stay resident in L1 (mostly-inclusive behaviour)."""
+        hierarchy = CacheHierarchy(split_two_level(l1_kb=4, l2_kb=64))
+        hierarchy.access(READ, 0x0)
+        assert hierarchy.dcache.contains(0x0)
+
+
+class TestCountingControl:
+    def test_warmup_counting_disabled_everywhere(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.set_counting(False)
+        hierarchy.access(READ, 0x1000)
+        assert hierarchy.dcache.stats.accesses == 0
+        assert hierarchy.lower[0].stats.accesses == 0
+        assert hierarchy.memory_traffic.reads == 0
+
+    def test_reset_stats_clears_all_levels(self):
+        hierarchy = CacheHierarchy(split_two_level())
+        hierarchy.access(READ, 0x1000)
+        hierarchy.reset_stats()
+        assert hierarchy.lower[0].stats.accesses == 0
+        assert hierarchy.memory_traffic.reads == 0

@@ -1,0 +1,126 @@
+"""Tests for multi-level inclusion enforcement."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.functional import simulate_miss_ratios
+from repro.sim.hierarchy import CacheHierarchy
+from repro.trace.record import READ, WRITE, Trace
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+
+def tiny_system(enforce_inclusion=True):
+    """A deliberately tiny L2 under a roomy L1.
+
+    The L1 (4 KB, 256 sets) spreads the 1 KB-stride march across distinct
+    sets, so dropping the L1 copy of block 0 can only come from L2
+    back-invalidation, never from a natural L1 conflict.
+    """
+    return SystemConfig(
+        levels=(
+            LevelConfig(size_bytes=4 * KB, block_bytes=16),
+            LevelConfig(size_bytes=1024, block_bytes=32),
+        ),
+        enforce_inclusion=enforce_inclusion,
+    )
+
+
+class TestBackInvalidation:
+    def test_l2_eviction_invalidates_l1_copy(self):
+        hierarchy = CacheHierarchy(tiny_system())
+        hierarchy.access(READ, 0x0)
+        assert hierarchy.dcache.contains(0x0)
+        # March addresses that land in L2 set 0 (1024B DM, 32B blocks:
+        # 32 sets; stride 1024) until block 0 is evicted from L2.
+        for i in range(1, 4):
+            hierarchy.access(READ, i * 1024)
+        assert not hierarchy.lower[0].contains(0x0)
+        assert not hierarchy.dcache.contains(0x0)
+        assert hierarchy.inclusion.invalidations >= 1
+
+    def test_without_enforcement_l1_keeps_copy(self):
+        hierarchy = CacheHierarchy(tiny_system(enforce_inclusion=False))
+        hierarchy.access(READ, 0x0)
+        for i in range(1, 4):
+            hierarchy.access(READ, i * 1024)
+        assert not hierarchy.lower[0].contains(0x0)
+        assert hierarchy.dcache.contains(0x0)
+        assert hierarchy.inclusion.invalidations == 0
+
+    def test_dirty_upstream_data_written_to_memory(self):
+        hierarchy = CacheHierarchy(tiny_system())
+        hierarchy.access(WRITE, 0x0)  # dirty in L1
+        before = hierarchy.memory_traffic.writes
+        for i in range(1, 4):
+            hierarchy.access(READ, i * 1024)
+        assert not hierarchy.dcache.contains(0x0)
+        assert hierarchy.inclusion.dirty_invalidations >= 1
+        assert hierarchy.memory_traffic.writes > before
+
+    def test_invalidation_covers_whole_downstream_block(self):
+        """Evicting one 32B L2 block must drop both 16B L1 blocks in it."""
+        hierarchy = CacheHierarchy(tiny_system())
+        hierarchy.access(READ, 0x0)
+        hierarchy.access(READ, 0x10)  # second half of the same L2 block
+        for i in range(1, 4):
+            hierarchy.access(READ, i * 1024)
+        assert not hierarchy.dcache.contains(0x0)
+        assert not hierarchy.dcache.contains(0x10)
+
+    def test_split_l1_instruction_side_invalidated(self):
+        config = dataclasses.replace(
+            tiny_system(),
+            levels=(
+                LevelConfig(size_bytes=1024, block_bytes=16, split=True),
+                LevelConfig(size_bytes=1024, block_bytes=32),
+            ),
+        )
+        hierarchy = CacheHierarchy(config)
+        from repro.trace.record import IFETCH
+
+        hierarchy.access(IFETCH, 0x0)
+        for i in range(1, 4):
+            hierarchy.access(IFETCH, i * 1024)
+        assert not hierarchy.icache.contains(0x0)
+
+
+class TestInclusionCost:
+    def test_inclusion_never_reduces_l1_hits(self):
+        """Enforced inclusion can only add L1 misses (back-invalidation
+        victims), never remove them."""
+        workload = SyntheticWorkload(seed=17)
+        trace = workload.trace(30_000)
+        base = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=4 * KB, block_bytes=16, split=True),
+                LevelConfig(size_bytes=8 * KB, block_bytes=32),
+            )
+        )
+        incl = dataclasses.replace(base, enforce_inclusion=True)
+        free = simulate_miss_ratios(trace, base)
+        forced = simulate_miss_ratios(trace, incl)
+        assert forced.global_read_miss_ratio(1) >= free.global_read_miss_ratio(1)
+
+    def test_stats_reset_clears_inclusion_counters(self):
+        hierarchy = CacheHierarchy(tiny_system())
+        hierarchy.access(WRITE, 0x0)
+        for i in range(1, 4):
+            hierarchy.access(READ, i * 1024)
+        hierarchy.reset_stats()
+        assert hierarchy.inclusion.invalidations == 0
+
+
+class TestCacheInvalidate:
+    def test_invalidate_states(self):
+        from repro.cache import Cache, CacheGeometry
+
+        cache = Cache(CacheGeometry(256, 16, 2))
+        assert cache.invalidate(0x0) == "absent"
+        cache.read(0x0)
+        assert cache.invalidate(0x0) == "clean"
+        cache.write(0x10)
+        assert cache.invalidate(0x10) == "dirty"
+        assert not cache.contains(0x10)

@@ -1,0 +1,133 @@
+"""Property-based invariants of the functional hierarchy.
+
+These hold for *any* trace and any (eligible) configuration, so hypothesis
+explores random combinations.  Each invariant is a conservation law of the
+hierarchy's plumbing:
+
+* the reads arriving at level i+1 are exactly level i's demand read misses;
+* every block fetched at the deepest level came from memory;
+* a cache's misses never exceed its accesses;
+* counts are reproducible (simulation is deterministic).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.fast import fast_eligible, run_functional
+from repro.sim.functional import FunctionalSimulator
+from repro.trace.record import IFETCH, READ, WRITE, Trace
+
+
+@st.composite
+def random_trace(draw):
+    n = draw(st.integers(20, 400))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    # A small footprint keeps hits and misses both plentiful.
+    addresses = (rng.integers(0, 64, size=n) * 16).astype(np.uint64)
+    kinds = rng.choice(
+        [IFETCH, READ, WRITE], size=n, p=[0.6, 0.25, 0.15]
+    ).astype(np.uint8)
+    warmup = draw(st.integers(0, n // 2))
+    return Trace(kinds, addresses, warmup=warmup)
+
+
+@st.composite
+def random_config(draw):
+    l1_size = 2 ** draw(st.integers(7, 10))
+    l2_size = 2 ** draw(st.integers(9, 13))
+    split = draw(st.booleans()) and l1_size >= 64
+    l1_assoc = 2 ** draw(st.integers(0, 2))
+    l2_assoc = 2 ** draw(st.integers(0, 2))
+    return SystemConfig(
+        levels=(
+            LevelConfig(
+                size_bytes=l1_size, block_bytes=16,
+                associativity=min(l1_assoc, (l1_size // 2 if split else l1_size) // 16),
+                split=split,
+            ),
+            LevelConfig(
+                size_bytes=l2_size, block_bytes=32,
+                associativity=min(l2_assoc, l2_size // 32),
+                cycle_cpu_cycles=3,
+            ),
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=random_trace(), config=random_config())
+def test_l2_read_stream_is_l1_read_miss_stream(trace, config):
+    result = FunctionalSimulator(config).run(trace)
+    l1, l2 = result.level_stats
+    assert l2.reads == l1.read_misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=random_trace(), config=random_config())
+def test_memory_reads_equal_deepest_fetches(trace, config):
+    result = FunctionalSimulator(config).run(trace)
+    assert result.memory_reads == result.level_stats[-1].blocks_fetched
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=random_trace(), config=random_config())
+def test_misses_bounded_by_accesses(trace, config):
+    result = FunctionalSimulator(config).run(trace)
+    for stats in result.level_stats:
+        assert 0 <= stats.read_misses <= stats.reads
+        assert 0 <= stats.write_misses <= stats.writes
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=random_trace(), config=random_config())
+def test_global_ratio_never_exceeds_local(trace, config):
+    result = FunctionalSimulator(config).run(trace)
+    for level in range(1, result.depth + 1):
+        assert (
+            result.global_read_miss_ratio(level)
+            <= result.local_read_miss_ratio(level) + 1e-12
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_trace(), config=random_config())
+def test_simulation_is_deterministic(trace, config):
+    first = FunctionalSimulator(config).run(trace)
+    second = FunctionalSimulator(config).run(trace)
+    assert first.level_stats == second.level_stats
+    assert first.memory_reads == second.memory_reads
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=random_trace(), config=random_config())
+def test_fast_path_matches_reference_when_eligible(trace, config):
+    """The strongest oracle: the vectorised engine agrees exactly."""
+    if not fast_eligible(config):
+        return
+    fast = run_functional(trace, config)
+    reference = FunctionalSimulator(config).run(trace)
+    assert fast.level_stats == reference.level_stats
+    assert fast.memory_reads == reference.memory_reads
+    assert fast.memory_writes == reference.memory_writes
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_trace())
+def test_bigger_l2_never_misses_more(trace):
+    """Direct-mapped caches are not strictly monotone in general, but a
+    doubled cache keeping the same block size dominates on this footprint
+    (<= 1 KB of distinct blocks, fully contained in the 4 KB L2)."""
+    small = SystemConfig(
+        levels=(
+            LevelConfig(size_bytes=256, block_bytes=16),
+            LevelConfig(size_bytes=1024, block_bytes=32),
+        )
+    )
+    # With the whole footprint resident, only cold misses remain.
+    big = small.with_level(1, size_bytes=4096)
+    misses_small = FunctionalSimulator(small).run(trace).level_stats[1].read_misses
+    misses_big = FunctionalSimulator(big).run(trace).level_stats[1].read_misses
+    assert misses_big <= misses_small

@@ -1,0 +1,73 @@
+"""Tests for Dinero trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro.trace import IFETCH, READ, WRITE, Trace, read_dinero, write_dinero
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        trace = Trace.from_records(
+            [(IFETCH, 0x1000), (READ, 0xFF), (WRITE, 0xDEADBEEF)], name="rt"
+        )
+        path = tmp_path / "rt.din"
+        write_dinero(trace, path)
+        loaded = read_dinero(path)
+        assert list(loaded.records()) == list(trace.records())
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        trace = Trace.from_records([(READ, 1)])
+        path = tmp_path / "mytrace.din"
+        write_dinero(trace, path)
+        assert read_dinero(path).name == "mytrace"
+
+    def test_explicit_name_overrides(self, tmp_path):
+        trace = Trace.from_records([(READ, 1)])
+        path = tmp_path / "t.din"
+        write_dinero(trace, path)
+        assert read_dinero(path, name="other").name == "other"
+
+
+class TestFormat:
+    def test_labels_follow_dinero_convention(self, tmp_path):
+        trace = Trace.from_records([(READ, 0x10), (WRITE, 0x20), (IFETCH, 0x30)])
+        path = tmp_path / "labels.din"
+        write_dinero(trace, path)
+        lines = path.read_text().splitlines()
+        assert lines == ["0 10", "1 20", "2 30"]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "blank.din"
+        path.write_text("0 10\n\n2 20\n")
+        trace = read_dinero(path)
+        assert list(trace.records()) == [(READ, 0x10), (IFETCH, 0x20)]
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.din"
+        path.write_text("0 10\nnot a record\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_dinero(path)
+
+    def test_unknown_label_rejected(self, tmp_path):
+        path = tmp_path / "lbl.din"
+        path.write_text("9 10\n")
+        with pytest.raises(ValueError, match="unknown Dinero label"):
+            read_dinero(path)
+
+    def test_unparseable_address_rejected(self, tmp_path):
+        path = tmp_path / "addr.din"
+        path.write_text("0 zz!!\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            read_dinero(path)
+
+    def test_large_trace_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        kinds = rng.integers(0, 3, size=5000).astype(np.uint8)
+        addrs = rng.integers(0, 1 << 40, size=5000).astype(np.uint64)
+        trace = Trace(kinds, addrs)
+        path = tmp_path / "big.din"
+        write_dinero(trace, path)
+        loaded = read_dinero(path)
+        assert np.array_equal(loaded.kinds, trace.kinds)
+        assert np.array_equal(loaded.addresses, trace.addresses)

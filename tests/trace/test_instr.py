@@ -1,0 +1,74 @@
+"""Tests for the instruction-fetch stream model."""
+
+import numpy as np
+import pytest
+
+from repro.trace.instr import InstructionStreamGenerator
+from repro.units import WORD_BYTES
+
+
+class TestInstructionStream:
+    def test_exact_record_count(self):
+        gen = InstructionStreamGenerator(seed=0)
+        assert len(gen.addresses(12_345)) == 12_345
+
+    def test_zero_count(self):
+        gen = InstructionStreamGenerator(seed=0)
+        assert len(gen.addresses(0)) == 0
+
+    def test_addresses_word_aligned(self):
+        gen = InstructionStreamGenerator(address_base=0x40000, seed=1)
+        addrs = gen.addresses(5_000)
+        assert np.all(addrs % WORD_BYTES == 0)
+
+    def test_addresses_within_code_segment(self):
+        gen = InstructionStreamGenerator(
+            function_count=32, function_words=16, address_base=0x1000, seed=2
+        )
+        addrs = gen.addresses(10_000)
+        assert addrs.min() >= 0x1000
+        assert addrs.max() < 0x1000 + gen.footprint_bytes
+
+    def test_footprint_bytes(self):
+        gen = InstructionStreamGenerator(function_count=10, function_words=8)
+        assert gen.footprint_bytes == 10 * 8 * WORD_BYTES
+
+    def test_mostly_sequential(self):
+        """The stream should be dominated by +4 byte steps (sequential runs)."""
+        gen = InstructionStreamGenerator(mean_run_length=12.0, seed=3)
+        addrs = gen.addresses(20_000).astype(np.int64)
+        sequential = np.mean(np.diff(addrs) == WORD_BYTES)
+        assert sequential > 0.75
+
+    def test_mean_run_length_controls_sequentiality(self):
+        short = InstructionStreamGenerator(mean_run_length=2.0, seed=4)
+        long = InstructionStreamGenerator(mean_run_length=30.0, seed=4)
+        frac = lambda g: np.mean(np.diff(g.addresses(20_000).astype(np.int64)) == 4)
+        assert frac(long) > frac(short)
+
+    def test_hot_functions_dominate(self):
+        gen = InstructionStreamGenerator(
+            function_count=256, function_words=32, zipf_alpha=1.4, seed=5
+        )
+        addrs = gen.addresses(30_000)
+        funcs = addrs // (32 * WORD_BYTES)
+        _, counts = np.unique(funcs, return_counts=True)
+        top_share = np.sort(counts)[::-1][:8].sum() / counts.sum()
+        assert top_share > 0.3
+
+    def test_deterministic_given_seed(self):
+        a = InstructionStreamGenerator(seed=6).addresses(4000)
+        b = InstructionStreamGenerator(seed=6).addresses(4000)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"function_count": 0},
+            {"function_words": 0},
+            {"mean_run_length": 0.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            InstructionStreamGenerator(**kwargs)

@@ -1,0 +1,95 @@
+"""Unit and property tests for the indexable move-to-front list."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.mtf import IndexableMTFList
+
+
+class TestBasics:
+    def test_push_and_len(self):
+        mtf = IndexableMTFList(chunk_size=4)
+        for i in range(10):
+            mtf.push_front(i)
+        assert len(mtf) == 10
+        assert mtf.to_list() == list(reversed(range(10)))
+
+    def test_pop_at_front(self):
+        mtf = IndexableMTFList(chunk_size=4)
+        for i in range(5):
+            mtf.push_front(i)
+        assert mtf.pop_at(0) == 4
+        assert len(mtf) == 4
+
+    def test_pop_at_deep(self):
+        mtf = IndexableMTFList(chunk_size=2)
+        for i in range(20):
+            mtf.push_front(i)
+        assert mtf.pop_at(19) == 0
+        assert mtf.pop_at(18) == 1
+
+    def test_touch_moves_to_front(self):
+        mtf = IndexableMTFList(chunk_size=4)
+        for i in range(6):
+            mtf.push_front(i)
+        assert mtf.touch(5) == 0
+        assert mtf.to_list() == [0, 5, 4, 3, 2, 1]
+
+    def test_peek_does_not_modify(self):
+        mtf = IndexableMTFList(chunk_size=4)
+        for i in range(6):
+            mtf.push_front(i)
+        before = mtf.to_list()
+        assert mtf.peek_at(3) == before[3]
+        assert mtf.to_list() == before
+
+    def test_out_of_range_raises(self):
+        mtf = IndexableMTFList()
+        mtf.push_front(1)
+        with pytest.raises(IndexError):
+            mtf.pop_at(1)
+        with pytest.raises(IndexError):
+            mtf.peek_at(-1)
+
+    def test_small_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            IndexableMTFList(chunk_size=1)
+
+    def test_iteration_matches_to_list(self):
+        mtf = IndexableMTFList(chunk_size=3)
+        for i in range(11):
+            mtf.push_front(i)
+        assert list(mtf) == mtf.to_list()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(0, 1000)),
+            st.tuples(st.just("pop"), st.floats(0, 1)),
+            st.tuples(st.just("touch"), st.floats(0, 1)),
+        ),
+        max_size=200,
+    ),
+    chunk_size=st.integers(2, 8),
+)
+def test_matches_reference_list_model(ops, chunk_size):
+    """The chunked structure must behave exactly like a plain list."""
+    mtf = IndexableMTFList(chunk_size=chunk_size)
+    model = []
+    for op, value in ops:
+        if op == "push":
+            mtf.push_front(value)
+            model.insert(0, value)
+        elif model:
+            depth = int(value * (len(model) - 1))
+            if op == "pop":
+                assert mtf.pop_at(depth) == model.pop(depth)
+            else:
+                item = model.pop(depth)
+                model.insert(0, item)
+                assert mtf.touch(depth) == item
+        assert len(mtf) == len(model)
+    assert mtf.to_list() == model

@@ -1,0 +1,107 @@
+"""Tests for the multiprogramming scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.trace.multiprogram import MultiprogramScheduler, ProcessSpec
+from repro.trace.workload import SyntheticWorkload
+
+
+def make_process(index, seed_offset=0):
+    base = index << 44
+    return ProcessSpec(
+        name=f"p{index}",
+        workload=SyntheticWorkload(seed=100 * index + seed_offset, address_base=base),
+    )
+
+
+class TestScheduling:
+    def test_exact_record_count(self):
+        sched = MultiprogramScheduler(
+            [make_process(1), make_process(2)], switch_interval=500, seed=0
+        )
+        trace = sched.trace(10_000)
+        assert len(trace) == 10_000
+
+    def test_all_processes_appear(self):
+        processes = [make_process(i) for i in range(1, 5)]
+        sched = MultiprogramScheduler(processes, switch_interval=200, seed=1)
+        trace = sched.trace(20_000)
+        spaces = set((trace.addresses >> np.uint64(44)).tolist())
+        assert spaces == {1, 2, 3, 4}
+
+    def test_address_spaces_disjoint_by_construction(self):
+        processes = [make_process(i) for i in range(1, 4)]
+        sched = MultiprogramScheduler(processes, switch_interval=300, seed=2)
+        trace = sched.trace(9_000)
+        # Every address maps back to exactly one process id in the top bits.
+        spaces = trace.addresses >> np.uint64(44)
+        assert np.all((spaces >= 1) & (spaces <= 3))
+
+    def test_context_switches_alternate_processes(self):
+        """With two processes the stream must alternate address spaces."""
+        processes = [make_process(1), make_process(2)]
+        sched = MultiprogramScheduler(processes, switch_interval=100, seed=3)
+        trace = sched.trace(5_000)
+        spaces = (trace.addresses >> np.uint64(44)).astype(np.int64)
+        switches = np.count_nonzero(np.diff(spaces) != 0)
+        # Mean quantum 100 over 5000 records: expect on the order of 50
+        # switches; demand at least a handful and no degenerate single run.
+        assert switches >= 10
+
+    def test_switch_interval_controls_switch_rate(self):
+        processes = lambda: [make_process(1), make_process(2)]
+        fine = MultiprogramScheduler(processes(), switch_interval=50, seed=4)
+        coarse = MultiprogramScheduler(processes(), switch_interval=2000, seed=4)
+        count_switches = lambda t: int(
+            np.count_nonzero(np.diff((t.addresses >> np.uint64(44)).astype(np.int64)))
+        )
+        assert count_switches(fine.trace(20_000)) > 4 * count_switches(
+            coarse.trace(20_000)
+        )
+
+    def test_kernel_bursts_injected(self):
+        kernel = SyntheticWorkload(seed=9, address_base=15 << 44)
+        sched = MultiprogramScheduler(
+            [make_process(1), make_process(2)],
+            switch_interval=500,
+            kernel=kernel,
+            kernel_burst=50,
+            seed=5,
+        )
+        trace = sched.trace(20_000)
+        spaces = set((trace.addresses >> np.uint64(44)).tolist())
+        assert 15 in spaces
+
+    def test_warmup_marker_applied(self):
+        sched = MultiprogramScheduler([make_process(1)], seed=6)
+        trace = sched.trace(4_000, warmup=1_000)
+        assert trace.warmup == 1_000
+
+    def test_deterministic_given_seed(self):
+        build = lambda: MultiprogramScheduler(
+            [make_process(1), make_process(2)], switch_interval=300, seed=7
+        )
+        a = build().trace(8_000)
+        b = build().trace(8_000)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.kinds, b.kinds)
+
+
+class TestValidation:
+    def test_empty_process_list_rejected(self):
+        with pytest.raises(ValueError):
+            MultiprogramScheduler([])
+
+    def test_nonpositive_count_rejected(self):
+        sched = MultiprogramScheduler([make_process(1)])
+        with pytest.raises(ValueError):
+            sched.trace(0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessSpec(name="x", workload=SyntheticWorkload(), weight=0.0)
+
+    def test_invalid_switch_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MultiprogramScheduler([make_process(1)], switch_interval=0)

@@ -1,0 +1,101 @@
+"""Unit tests for the trace representation."""
+
+import numpy as np
+import pytest
+
+from repro.trace import IFETCH, READ, WRITE, Trace, concat_traces
+
+
+def make_trace(records, **kwargs):
+    return Trace.from_records(records, **kwargs)
+
+
+class TestTraceConstruction:
+    def test_from_records_roundtrip(self):
+        records = [(IFETCH, 0x1000), (READ, 0x2000), (WRITE, 0x3000)]
+        trace = make_trace(records)
+        assert list(trace.records()) == records
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        assert len(trace) == 0
+        assert trace.read_count == 0
+        assert trace.write_count == 0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            Trace(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint64))
+
+    def test_multidimensional_arrays_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Trace(np.zeros((2, 2), dtype=np.uint8), np.zeros((2, 2), dtype=np.uint64))
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="invalid record kinds"):
+            Trace(np.array([7], dtype=np.uint8), np.array([0], dtype=np.uint64))
+
+    def test_warmup_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            make_trace([(READ, 0)], warmup=2)
+
+    def test_dtypes_coerced(self):
+        trace = Trace([IFETCH, WRITE], [1, 2])
+        assert trace.kinds.dtype == np.uint8
+        assert trace.addresses.dtype == np.uint64
+
+
+class TestTraceCounts:
+    def test_reads_include_ifetches(self):
+        trace = make_trace(
+            [(IFETCH, 0), (IFETCH, 4), (READ, 8), (WRITE, 12), (WRITE, 16)]
+        )
+        assert trace.read_count == 3
+        assert trace.write_count == 2
+        assert trace.ifetch_count == 2
+        assert trace.load_count == 1
+
+    def test_len_matches_record_count(self):
+        trace = make_trace([(READ, i) for i in range(17)])
+        assert len(trace) == 17
+
+
+class TestTraceSlicing:
+    def test_getitem_single(self):
+        trace = make_trace([(IFETCH, 0x10), (WRITE, 0x20)])
+        assert trace[1] == (WRITE, 0x20)
+
+    def test_slice_preserves_residual_warmup(self):
+        trace = make_trace([(READ, i) for i in range(10)], warmup=6)
+        tail = trace[4:]
+        assert len(tail) == 6
+        assert tail.warmup == 2
+
+    def test_slice_past_warmup_has_zero_warmup(self):
+        trace = make_trace([(READ, i) for i in range(10)], warmup=3)
+        assert trace[5:].warmup == 0
+
+
+class TestTracePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make_trace(
+            [(IFETCH, 0xDEAD), (WRITE, 0xBEEF)], name="x", warmup=1
+        )
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded.records()) == list(trace.records())
+        assert loaded.name == "x"
+        assert loaded.warmup == 1
+
+
+class TestConcat:
+    def test_concat_appends_records(self):
+        a = make_trace([(READ, 1)], warmup=1)
+        b = make_trace([(WRITE, 2)])
+        joined = concat_traces([a, b])
+        assert list(joined.records()) == [(READ, 1), (WRITE, 2)]
+        assert joined.warmup == 1
+
+    def test_concat_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            concat_traces([])

@@ -1,0 +1,168 @@
+"""Tests for trace transformations."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import IFETCH, READ, WRITE, Trace
+from repro.trace.transforms import (
+    concatenate_measured,
+    data_references,
+    filter_kinds,
+    instruction_fetches,
+    interleave_round_robin,
+    remap_compact,
+    split_by_process,
+    to_block_granularity,
+)
+
+
+def mixed_trace(warmup=0):
+    return Trace.from_records(
+        [
+            (IFETCH, 0x1000),
+            (READ, 0x2000),
+            (WRITE, 0x3000),
+            (IFETCH, 0x1004),
+            (READ, 0x2010),
+        ],
+        name="mix",
+        warmup=warmup,
+    )
+
+
+class TestFilterKinds:
+    def test_data_references(self):
+        data = data_references(mixed_trace())
+        assert list(data.kinds) == [READ, WRITE, READ]
+
+    def test_instruction_fetches(self):
+        instr = instruction_fetches(mixed_trace())
+        assert list(instr.kinds) == [IFETCH, IFETCH]
+        assert instr.name.endswith("-ifetch")
+
+    def test_warmup_remapped(self):
+        # Warmup covers the first 3 records: 2 data refs among them.
+        data = data_references(mixed_trace(warmup=3))
+        assert data.warmup == 2
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            filter_kinds(mixed_trace(), [])
+
+
+class TestSplitByProcess:
+    def test_splits_address_spaces(self):
+        records = [
+            (READ, (1 << 44) | 0x10),
+            (READ, (2 << 44) | 0x20),
+            (WRITE, (1 << 44) | 0x30),
+        ]
+        parts = split_by_process(Trace.from_records(records))
+        assert set(parts) == {1, 2}
+        assert len(parts[1]) == 2
+        assert len(parts[2]) == 1
+
+    def test_per_process_warmup(self):
+        records = [
+            (READ, (1 << 44) | 0x10),
+            (READ, (2 << 44) | 0x20),
+            (READ, (1 << 44) | 0x30),
+        ]
+        parts = split_by_process(Trace.from_records(records, warmup=2))
+        assert parts[1].warmup == 1
+        assert parts[2].warmup == 1
+
+    def test_roundtrip_with_interleave(self):
+        a = Trace.from_records([(READ, i * 16) for i in range(6)], name="a")
+        b = Trace.from_records([(WRITE, i * 16) for i in range(4)], name="b")
+        merged = interleave_round_robin([a, b], quantum=2)
+        parts = split_by_process(merged)
+        assert len(parts[1]) == 6
+        assert len(parts[2]) == 4
+        # Relative order within each process is preserved.
+        assert list(parts[2].kinds) == [WRITE] * 4
+
+    def test_invalid_shift(self):
+        with pytest.raises(ValueError):
+            split_by_process(mixed_trace(), pid_shift=64)
+
+
+class TestBlockGranularity:
+    def test_aligns_addresses(self):
+        trace = Trace.from_records([(READ, 0x1234), (WRITE, 0x1010)])
+        aligned = to_block_granularity(trace, 16)
+        assert list(aligned.addresses) == [0x1230, 0x1010]
+
+    def test_preserves_warmup_and_kinds(self):
+        aligned = to_block_granularity(mixed_trace(warmup=2), 64)
+        assert aligned.warmup == 2
+        assert np.array_equal(aligned.kinds, mixed_trace().kinds)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            to_block_granularity(mixed_trace(), 24)
+
+
+class TestRemapCompact:
+    def test_first_appearance_numbering(self):
+        trace = Trace.from_records(
+            [(READ, 0x9990), (READ, 0x10), (READ, 0x9990), (READ, 0x5000)]
+        )
+        remapped, unique = remap_compact(trace, block_bytes=16)
+        assert unique == 3
+        assert list(remapped.addresses) == [0, 16, 0, 32]
+
+    def test_miss_pattern_preserved_for_fully_associative(self):
+        """Compaction preserves reuse structure (stack distances)."""
+        from repro.trace.stats import stack_distance_profile
+
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 40, size=300, dtype=np.uint64) & ~np.uint64(15)
+        trace = Trace(np.full(300, READ, dtype=np.uint8), addrs)
+        remapped, _ = remap_compact(trace, block_bytes=16)
+        original = stack_distance_profile(trace, block_bytes=16)
+        compacted = stack_distance_profile(remapped, block_bytes=16)
+        assert sorted(original.distances.tolist()) == sorted(
+            compacted.distances.tolist()
+        )
+
+
+class TestInterleave:
+    def test_quantum_structure(self):
+        a = Trace.from_records([(READ, i) for i in range(4)])
+        b = Trace.from_records([(WRITE, i) for i in range(4)])
+        merged = interleave_round_robin([a, b], quantum=2)
+        assert list(merged.kinds) == [READ, READ, WRITE, WRITE] * 2
+
+    def test_exhausted_traces_drop_out(self):
+        a = Trace.from_records([(READ, i) for i in range(5)])
+        b = Trace.from_records([(WRITE, i) for i in range(1)])
+        merged = interleave_round_robin([a, b], quantum=2)
+        assert len(merged) == 6
+        assert list(merged.kinds).count(WRITE) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleave_round_robin([], quantum=2)
+        with pytest.raises(ValueError):
+            interleave_round_robin([mixed_trace()], quantum=0)
+
+
+class TestConcatenateMeasured:
+    def test_repeats_measured_region_only(self):
+        trace = Trace.from_records(
+            [(READ, 1), (READ, 2), (READ, 3)], warmup=1
+        )
+        longer = concatenate_measured(trace, repeats=3)
+        assert len(longer) == 1 + 2 * 3
+        assert longer.warmup == 1
+        assert list(longer.addresses) == [1, 2, 3, 2, 3, 2, 3]
+
+    def test_single_repeat_is_identity(self):
+        trace = mixed_trace(warmup=2)
+        same = concatenate_measured(trace, repeats=1)
+        assert np.array_equal(same.addresses, trace.addresses)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concatenate_measured(mixed_trace(), repeats=0)

@@ -1,0 +1,61 @@
+"""Tests for cold-start handling."""
+
+import pytest
+
+from repro.trace.record import READ, Trace
+from repro.trace.warmup import mark_warmup, skip_warmup, warmup_boundary
+
+
+def trace_of(n, warmup=0):
+    return Trace.from_records([(READ, i * 16) for i in range(n)], warmup=warmup)
+
+
+class TestWarmupBoundary:
+    def test_scales_with_cache_size(self):
+        trace = trace_of(1_000_000)
+        small = warmup_boundary(trace, 4 * 1024)
+        large = warmup_boundary(trace, 64 * 1024)
+        assert large == 16 * small
+
+    def test_capped_at_half_the_trace(self):
+        trace = trace_of(100)
+        assert warmup_boundary(trace, 1 << 30) == 50
+
+    def test_fill_factor(self):
+        trace = trace_of(1_000_000)
+        base = warmup_boundary(trace, 16 * 1024, fill_factor=1.0)
+        assert warmup_boundary(trace, 16 * 1024, fill_factor=4.0) == 4 * base
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"largest_cache_bytes": 0},
+            {"largest_cache_bytes": 1024, "block_bytes": 0},
+            {"largest_cache_bytes": 1024, "fill_factor": 0.0},
+        ],
+    )
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            warmup_boundary(trace_of(10), **kwargs)
+
+
+class TestMarkAndSkip:
+    def test_mark_warmup_sets_marker(self):
+        trace = trace_of(100)
+        assert mark_warmup(trace, 30).warmup == 30
+
+    def test_mark_warmup_clamps(self):
+        trace = trace_of(10)
+        assert mark_warmup(trace, 50).warmup == 10
+        assert mark_warmup(trace, -5).warmup == 0
+
+    def test_skip_warmup_returns_suffix(self):
+        trace = trace_of(10, warmup=4)
+        tail = skip_warmup(trace)
+        assert len(tail) == 6
+        assert tail[0] == (READ, 4 * 16)
+        assert tail.warmup == 0
+
+    def test_skip_warmup_noop_without_marker(self):
+        trace = trace_of(5)
+        assert len(skip_warmup(trace)) == 5

@@ -1,0 +1,76 @@
+"""Tests for per-process workload composition."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import IFETCH, READ, WRITE
+from repro.trace.stats import TraceStatistics
+from repro.trace.workload import SyntheticWorkload
+
+
+class TestRecordProduction:
+    def test_exact_count(self):
+        workload = SyntheticWorkload(seed=0)
+        for count in (1, 7, 1000, 99_991):
+            kinds, addrs = workload.records(count)
+            assert len(kinds) == count
+            assert len(addrs) == count
+
+    def test_zero_and_negative_counts(self):
+        workload = SyntheticWorkload(seed=0)
+        assert len(workload.records(0)[0]) == 0
+        assert len(workload.records(-5)[0]) == 0
+
+    def test_trace_helper_sets_name_and_warmup(self):
+        workload = SyntheticWorkload(seed=1)
+        trace = workload.trace(5000, name="proc", warmup=100)
+        assert trace.name == "proc"
+        assert trace.warmup == 100
+        assert len(trace) == 5000
+
+
+class TestStreamStructure:
+    def test_starts_with_ifetch(self):
+        kinds, _ = SyntheticWorkload(seed=2).records(1000)
+        assert kinds[0] == IFETCH
+
+    def test_no_two_consecutive_data_records(self):
+        """At most one data access per instruction fetch."""
+        kinds, _ = SyntheticWorkload(seed=3).records(20_000)
+        is_data = kinds != IFETCH
+        assert not np.any(is_data[1:] & is_data[:-1])
+
+    def test_data_reference_fraction_near_configured(self):
+        workload = SyntheticWorkload(seed=4, data_ref_fraction=0.5)
+        trace = workload.trace(60_000)
+        stats = TraceStatistics.measure(trace)
+        assert stats.data_ref_per_ifetch == pytest.approx(0.5, abs=0.03)
+
+    def test_data_read_fraction_near_configured(self):
+        workload = SyntheticWorkload(seed=5, data_read_fraction=0.65)
+        trace = workload.trace(60_000)
+        stats = TraceStatistics.measure(trace)
+        assert stats.data_read_fraction == pytest.approx(0.65, abs=0.03)
+
+    def test_data_ref_fraction_zero_gives_pure_ifetch_stream(self):
+        kinds, _ = SyntheticWorkload(seed=6, data_ref_fraction=0.0).records(5000)
+        assert np.all(kinds == IFETCH)
+
+    def test_code_and_data_regions_disjoint(self):
+        workload = SyntheticWorkload(seed=7)
+        kinds, addrs = workload.records(30_000)
+        code = addrs[kinds == IFETCH]
+        data = addrs[kinds != IFETCH]
+        assert code.max() < data.min()
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5])
+    def test_invalid_data_ref_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(data_ref_fraction=fraction)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5])
+    def test_invalid_data_read_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(data_read_fraction=fraction)
