@@ -1,0 +1,124 @@
+"""BENCH-SWEEP: the sweep engine versus the seed-level per-cell loop.
+
+Times a Figure-5-shaped sweep -- L2 sizes x set sizes 1/2/4/8 over the
+standard trace suite -- two ways:
+
+* **seed path**: the engines the repository shipped with before the sweep
+  engine landed, driven cell by cell: the vectorised simulator for
+  direct-mapped configurations, the reference event-driven
+  ``FunctionalSimulator`` for associative ones (the old fast path refused
+  anything but direct-mapped), serially.
+* **sweep path**: :func:`repro.core.sweep.sweep_functional` from a cold
+  memoisation cache -- the set-associative vectorised kernel plus the
+  shared executor.
+
+Both paths must produce identical counts; the speedup is the headline
+number (the acceptance bar is >= 5x at the full 250k-record scale).  A
+``BENCH`` summary line goes to stdout for CI job summaries.
+"""
+
+import sys
+import time
+
+from repro.core.sweep import sweep_functional
+from repro.experiments.base import ExperimentReport
+from repro.experiments.baseline import base_machine
+from repro.experiments.render import format_size
+from repro.sim import memo
+from repro.sim.fast import FastFunctionalSimulator
+from repro.sim.functional import FunctionalSimulator
+from repro.units import KB
+
+#: The Figure 5 axes, trimmed to two sizes so the reference engine's half
+#: of the comparison stays bounded.
+L2_SIZES = [16 * KB, 64 * KB]
+SET_SIZES = [1, 2, 4, 8]
+
+
+def _grid_configs():
+    return [
+        (size, ways, base_machine(l2_size=size).with_level(1, associativity=ways))
+        for size in L2_SIZES
+        for ways in SET_SIZES
+    ]
+
+
+def _seed_engine(trace, config):
+    """What the seed repository would have run for this cell."""
+    if all(level.associativity == 1 for level in config.levels):
+        return FastFunctionalSimulator(config).run(trace)
+    return FunctionalSimulator(config).run(trace)
+
+
+def _counts(result):
+    return tuple(
+        (s.reads, s.read_misses, s.writes, s.write_misses, s.writebacks,
+         s.blocks_fetched)
+        for s in result.level_stats
+    )
+
+
+def test_sweep_engine_speedup(traces, emit):
+    grid = _grid_configs()
+    records = sum(len(t) for t in traces)
+
+    seed_results = {}
+    seed_seconds = {}
+    for size, ways, config in grid:
+        start = time.perf_counter()
+        seed_results[(size, ways)] = [
+            _seed_engine(trace, config) for trace in traces
+        ]
+        seed_seconds[(size, ways)] = time.perf_counter() - start
+    seed_total = sum(seed_seconds.values())
+
+    memo.clear_memo_cache()
+    start = time.perf_counter()
+    sweep_rows = sweep_functional(traces, [config for _, _, config in grid])
+    sweep_total = time.perf_counter() - start
+
+    identical = all(
+        _counts(new) == _counts(old)
+        for (size, ways, _), row in zip(grid, sweep_rows)
+        for new, old in zip(row, seed_results[(size, ways)])
+    )
+    speedup = seed_total / sweep_total if sweep_total else float("inf")
+    full_scale = records >= len(traces) * 200_000
+
+    headers = ["L2 config", "seed path (s)", "engine"]
+    rows = [
+        [
+            f"{format_size(size)} {ways}-way",
+            f"{seed_seconds[(size, ways)]:.2f}",
+            "vectorised" if ways == 1 else "reference",
+        ]
+        for size, ways, _ in grid
+    ]
+    rows.append(["total (seed path)", f"{seed_total:.2f}", "serial"])
+    rows.append(["total (sweep engine)", f"{sweep_total:.2f}", "vectorised"])
+
+    checks = {
+        "sweep engine counts identical to seed engines": identical,
+        "sweep engine faster than the seed path": speedup > 1.0,
+    }
+    if full_scale:
+        checks["speedup >= 5x at full 250k-record scale"] = speedup >= 5.0
+
+    bench_line = (
+        f"BENCH sweep-engine: seed {seed_total:.2f}s sweep {sweep_total:.2f}s "
+        f"speedup {speedup:.1f}x "
+        f"({len(grid)} configs x {len(traces)} traces x "
+        f"{records // len(traces)} records/trace)"
+    )
+    print(bench_line, file=sys.__stdout__, flush=True)
+
+    report = ExperimentReport(
+        experiment_id="BENCH-SWEEP",
+        title="Sweep engine vs seed per-cell loop (Figure-5-shaped grid)",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        notes=[bench_line],
+    )
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -24,8 +24,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.core.sweep import sweep_functional
 from repro.sim.config import SystemConfig
-from repro.sim.fast import run_functional
 from repro.sim.functional import FunctionalResult
 from repro.trace.record import Trace
 
@@ -156,8 +156,10 @@ def execution_time_grid(
 ) -> SpeedSizeGrid:
     """Sweep the (size, cycle time) plane of ``level`` (1-based).
 
-    One functional simulation per (size, trace); the cycle-time axis is
-    evaluated through the affine model.
+    At most one functional simulation per (size, trace) -- the grid goes
+    through the shared sweep executor, so cells cached by earlier sweeps
+    (or duplicated across figure variants) are not re-simulated -- and the
+    cycle-time axis is evaluated through the affine model for free.
     """
     if not traces:
         raise ValueError("need at least one trace")
@@ -167,13 +169,15 @@ def execution_time_grid(
         raise ValueError("cycle times must be positive")
     grid = np.zeros((len(sizes), len(cycle_times)))
     models: List[AffineTimeModel] = []
-    for i, size in enumerate(sizes):
-        sized = config.with_level(level - 1, size_bytes=size)
+    sized_configs = [
+        config.with_level(level - 1, size_bytes=size) for size in sizes
+    ]
+    results = sweep_functional(traces, sized_configs)
+    for i, (sized, row) in enumerate(zip(sized_configs, results)):
         base_sum = 0.0
         events_sum = 0.0
         reads = writes = 0
-        for trace in traces:
-            result = run_functional(trace, sized)
+        for result in row:
             model = affine_model_for(result, sized)
             base_sum += model.base
             events_sum += model.events_per_cycle

@@ -17,10 +17,10 @@ levels removed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.core.sweep import sweep_functional
 from repro.sim.config import SystemConfig
-from repro.sim.fast import run_functional
 from repro.sim.functional import FunctionalResult
 from repro.trace.record import Trace
 
@@ -73,26 +73,17 @@ def _aggregate(
     }
 
 
-def measure_triad(
-    traces: Sequence[Trace], config: SystemConfig, level: int = 2
+def _triad_from_rows(
+    full_row: Sequence[FunctionalResult],
+    solo_row: Optional[Sequence[FunctionalResult]],
+    level: int,
 ) -> MissRatioTriad:
-    """Measure the local/global/solo triad of ``level`` over ``traces``.
-
-    Runs the full hierarchy and the solo machine on every trace and
-    aggregates by counts.
-    """
-    if not traces:
-        raise ValueError("need at least one trace")
-    if not 1 <= level <= config.depth:
-        raise ValueError(f"level {level} outside the hierarchy (depth {config.depth})")
-    full = [run_functional(trace, config) for trace in traces]
-    ratios = _aggregate(full, level)
-    if level == 1:
+    """Assemble a triad from one hierarchy row and its solo companion."""
+    ratios = _aggregate(full_row, level)
+    if solo_row is None:
         solo_ratio = ratios["global"]  # L1 is already alone at the top
     else:
-        solo_config = _solo_config(config, level)
-        solo_runs = [run_functional(trace, solo_config) for trace in traces]
-        solo_ratio = _aggregate(solo_runs, 1)["global"]
+        solo_ratio = _aggregate(solo_row, 1)["global"]
     return MissRatioTriad(
         level=level,
         local=ratios["local"],
@@ -100,6 +91,20 @@ def measure_triad(
         solo=solo_ratio,
         traffic=ratios["traffic"],
     )
+
+
+def measure_triad(
+    traces: Sequence[Trace], config: SystemConfig, level: int = 2
+) -> MissRatioTriad:
+    """Measure the local/global/solo triad of ``level`` over ``traces``.
+
+    Runs the full hierarchy and the solo machine on every trace (through
+    the shared sweep executor) and aggregates by counts.
+    """
+    if not 1 <= level <= config.depth:
+        raise ValueError(f"level {level} outside the hierarchy (depth {config.depth})")
+    return sweep_triads(traces, config, [config.levels[level - 1].size_bytes],
+                        level)[0]
 
 
 def sweep_triads(
@@ -111,9 +116,26 @@ def sweep_triads(
     """Measure the triad for each ``level`` size in ``sizes``.
 
     This regenerates the data behind Figures 3-1 and 3-2 (with the level's
-    other parameters held at the base configuration).
+    other parameters held at the base configuration).  The whole
+    (hierarchy + solo) x sizes grid goes through the sweep executor in one
+    fan-out.
     """
+    if not traces:
+        raise ValueError("need at least one trace")
+    if not 1 <= level <= config.depth:
+        raise ValueError(f"level {level} outside the hierarchy (depth {config.depth})")
+    if not sizes:
+        raise ValueError("need at least one size")
+    full_configs = [
+        config.with_level(level - 1, size_bytes=size) for size in sizes
+    ]
+    solo_configs = []
+    if level > 1:
+        solo_configs = [_solo_config(c, level) for c in full_configs]
+    results = sweep_functional(traces, full_configs + solo_configs)
+    full_rows = results[:len(full_configs)]
+    solo_rows = results[len(full_configs):] or [None] * len(full_configs)
     return [
-        measure_triad(traces, config.with_level(level - 1, size_bytes=size), level)
-        for size in sizes
+        _triad_from_rows(full_row, solo_row, level)
+        for full_row, solo_row in zip(full_rows, solo_rows)
     ]

@@ -20,9 +20,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.design_space import affine_model_for
+from repro.core.sweep import sweep_functional, sweep_timing
 from repro.sim.config import LevelConfig, SystemConfig
-from repro.sim.fast import run_functional
-from repro.sim.timing import TimingSimulator
 from repro.trace.record import Trace
 
 
@@ -105,8 +104,10 @@ class HierarchyOptimizer:
         self.traces = list(traces)
         self.level = level
 
-    def evaluate(self, size: int, associativity: int) -> CandidateEvaluation:
-        """Evaluate one candidate using the affine counts method."""
+    def _candidate_config(
+        self, size: int, associativity: int
+    ) -> Tuple[SystemConfig, float]:
+        """The candidate's configuration and its rounded cycle time."""
         cycle_ns = self.technology.cycle_ns(size, associativity)
         cpu = self.base_config.cpu.cycle_ns
         cycle_cpu = max(1.0, math.ceil(cycle_ns / cpu))
@@ -116,18 +117,38 @@ class HierarchyOptimizer:
             associativity=associativity,
             cycle_cpu_cycles=cycle_cpu,
         )
-        total = 0.0
-        for trace in self.traces:
-            result = run_functional(trace, config)
-            model = affine_model_for(result, config)
-            total += model.total_cycles(cycle_cpu)
-        return CandidateEvaluation(
-            config=config,
-            total_cycles=total,
-            l2_size=size,
-            l2_associativity=associativity,
-            l2_cycle_cpu_cycles=cycle_cpu,
-        )
+        return config, cycle_cpu
+
+    def _evaluate_grid(
+        self, candidates: Sequence[Tuple[int, int]]
+    ) -> List[CandidateEvaluation]:
+        """Evaluate (size, ways) candidates through the sweep executor."""
+        prepared = [
+            self._candidate_config(size, ways) for size, ways in candidates
+        ]
+        results = sweep_functional(self.traces, [c for c, _ in prepared])
+        evaluations = []
+        for (size, ways), (config, cycle_cpu), row in zip(
+            candidates, prepared, results
+        ):
+            total = sum(
+                affine_model_for(result, config).total_cycles(cycle_cpu)
+                for result in row
+            )
+            evaluations.append(
+                CandidateEvaluation(
+                    config=config,
+                    total_cycles=total,
+                    l2_size=size,
+                    l2_associativity=ways,
+                    l2_cycle_cpu_cycles=cycle_cpu,
+                )
+            )
+        return evaluations
+
+    def evaluate(self, size: int, associativity: int) -> CandidateEvaluation:
+        """Evaluate one candidate using the affine counts method."""
+        return self._evaluate_grid([(size, associativity)])[0]
 
     def optimize(
         self,
@@ -137,14 +158,16 @@ class HierarchyOptimizer:
         """Exhaustive search over the candidate grid."""
         if not sizes or not set_sizes:
             raise ValueError("need candidate sizes and set sizes")
-        evaluations = []
-        for size in sizes:
-            for ways in set_sizes:
-                if ways * self.base_config.levels[self.level - 1].block_bytes > size:
-                    continue  # degenerate geometry
-                evaluations.append(self.evaluate(size, ways))
-        if not evaluations:
+        block = self.base_config.levels[self.level - 1].block_bytes
+        candidates = [
+            (size, ways)
+            for size in sizes
+            for ways in set_sizes
+            if ways * block <= size  # skip degenerate geometries
+        ]
+        if not candidates:
             raise ValueError("no feasible candidates")
+        evaluations = self._evaluate_grid(candidates)
         best = min(evaluations, key=lambda e: e.total_cycles)
         return OptimizationResult(best=best, evaluations=evaluations)
 
@@ -183,27 +206,33 @@ def optimal_l1_sweep(
         raise ValueError("need at least one trace")
     if not l1_sizes or not l2_cycle_ns_values:
         raise ValueError("need candidate L1 sizes and L2 speeds")
-    # One functional run per (L1 size, trace); models are per L1 size.
-    models = {}
+    # At most one functional run per (L1 size, trace) -- the executor
+    # memoises, and the CPU-cycle variation across candidates is timing
+    # only, so a repeated L1 size costs nothing.  Models are per L1 size.
+    sized_configs = []
     for l1_size in l1_sizes:
         cpu_ns = l1_technology.cycle_ns(l1_size, 1)
-        config = SystemConfig(
-            levels=(
-                base_config.levels[0].with_(size_bytes=l1_size),
-            ) + base_config.levels[1:],
-            cpu=type(base_config.cpu)(cycle_ns=cpu_ns),
-            memory=base_config.memory,
-            bus_width_words=base_config.bus_width_words,
-            write_buffer_entries=base_config.write_buffer_entries,
-            backplane_cycle_ns=base_config.effective_backplane_ns,
+        sized_configs.append(
+            SystemConfig(
+                levels=(
+                    base_config.levels[0].with_(size_bytes=l1_size),
+                ) + base_config.levels[1:],
+                cpu=type(base_config.cpu)(cycle_ns=cpu_ns),
+                memory=base_config.memory,
+                bus_width_words=base_config.bus_width_words,
+                write_buffer_entries=base_config.write_buffer_entries,
+                backplane_cycle_ns=base_config.effective_backplane_ns,
+            )
         )
+    results = sweep_functional(traces, sized_configs)
+    models = {}
+    for l1_size, config, row in zip(l1_sizes, sized_configs, results):
         base_sum = events_sum = 0.0
-        for trace in traces:
-            result = run_functional(trace, config)
+        for result in row:
             model = affine_model_for(result, config)
             base_sum += model.base
             events_sum += model.events_per_cycle
-        models[l1_size] = (config, base_sum, events_sum, cpu_ns)
+        models[l1_size] = (config, base_sum, events_sum, config.cpu.cycle_ns)
     sweeps: List[List[JointCandidate]] = []
     for l2_ns in l2_cycle_ns_values:
         candidates = []
@@ -237,31 +266,32 @@ def single_level_ceiling(
     """
     if not traces:
         raise ValueError("need at least one trace")
-    evaluations = []
+    configs = []
     for size in sizes:
         cycle_ns = technology.cycle_ns(size, 1)
         cycle_cpu = max(1.0, math.ceil(cycle_ns / base_config.cpu.cycle_ns))
         level = base_config.levels[0].with_(
             size_bytes=size, cycle_cpu_cycles=cycle_cpu
         )
-        config = SystemConfig(
-            levels=(level,),
-            cpu=base_config.cpu,
-            memory=base_config.memory,
-            bus_width_words=base_config.bus_width_words,
-            write_buffer_entries=base_config.write_buffer_entries,
-        )
-        total = sum(
-            TimingSimulator(config).run(trace).total_cycles for trace in traces
-        )
-        evaluations.append(
-            CandidateEvaluation(
-                config=config,
-                total_cycles=total,
-                l2_size=None,
-                l2_associativity=None,
-                l2_cycle_cpu_cycles=None,
+        configs.append(
+            SystemConfig(
+                levels=(level,),
+                cpu=base_config.cpu,
+                memory=base_config.memory,
+                bus_width_words=base_config.bus_width_words,
+                write_buffer_entries=base_config.write_buffer_entries,
             )
         )
+    results = sweep_timing(traces, configs)
+    evaluations = [
+        CandidateEvaluation(
+            config=config,
+            total_cycles=sum(timing.total_cycles for timing in row),
+            l2_size=None,
+            l2_associativity=None,
+            l2_cycle_cpu_cycles=None,
+        )
+        for config, row in zip(configs, results)
+    ]
     best = min(evaluations, key=lambda e: e.total_cycles)
     return OptimizationResult(best=best, evaluations=evaluations)

@@ -1,0 +1,221 @@
+"""The shared sweep executor.
+
+Every sweep in the repository evaluates a grid of configurations against a
+trace suite.  This module is the single fan-out point for that work:
+:func:`sweep_functional` and :func:`sweep_timing` take ``(traces,
+configs)`` and return a dense ``results[config][trace]`` grid, and every
+sweep site (``core/design_space.py``, ``core/optimizer.py``,
+``core/metrics.py``, ``experiments/equations.py``,
+``experiments/extensions.py``) routes through them instead of rolling its
+own loop.
+
+What the executor layers on top of a plain double loop:
+
+* **Memoisation** (functional sweeps): cells are first deduplicated
+  through :mod:`repro.sim.memo`, so timing-only configuration variations
+  and repeated sub-sweeps (e.g. the shared direct-mapped baseline of the
+  three Figure 5 maps) simulate each distinct functional configuration
+  exactly once per trace.
+* **Parallelism**: outstanding cells are chunked and fanned out over a
+  process pool.  Traces ship to each worker once (pool initialiser), not
+  per cell.  Results come back in deterministic cell order regardless of
+  worker scheduling.
+* **Graceful degradation**: one worker (the default on a single-CPU
+  host), tiny workloads, or a pool that cannot be created at all (e.g. a
+  sandbox that forbids ``fork``) all fall back to the same serial path
+  with identical results.
+
+The worker count comes from ``REPRO_SWEEP_WORKERS`` when set (``0``/``1``
+force serial), otherwise from ``os.cpu_count()``; see
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sim import memo
+from repro.sim.config import SystemConfig
+from repro.sim.fast import run_functional
+from repro.sim.functional import FunctionalResult
+from repro.sim.timing import TimingResult, TimingSimulator
+from repro.trace.record import Trace
+
+#: Environment knob for the pool size (0 or 1 disables the pool).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Don't spin up a pool for fewer cells than this; pool startup plus
+#: trace pickling costs more than the simulation it would parallelise.
+MIN_CELLS_FOR_POOL = 4
+
+#: Chunks per worker: small enough to amortise dispatch, large enough to
+#: balance uneven cell costs (big caches simulate faster than small ones).
+_CHUNKS_PER_WORKER = 4
+
+#: Worker-process globals, installed by the pool initialiser so traces
+#: are pickled once per worker instead of once per cell.
+_worker_traces: Optional[List[Trace]] = None
+
+
+def sweep_workers(explicit: Optional[int] = None) -> int:
+    """Resolve the worker count (explicit arg > env knob > CPU count)."""
+    if explicit is not None:
+        return max(1, int(explicit))
+    env = os.environ.get(WORKERS_ENV)
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return max(1, os.cpu_count() or 1)
+
+
+def _init_worker(traces: List[Trace]) -> None:
+    global _worker_traces
+    _worker_traces = traces
+
+
+def _run_functional_chunk(
+    chunk: List[Tuple[int, SystemConfig]]
+) -> List[FunctionalResult]:
+    assert _worker_traces is not None
+    return [
+        run_functional(_worker_traces[trace_index], config)
+        for trace_index, config in chunk
+    ]
+
+
+def _run_timing_chunk(
+    chunk: List[Tuple[int, SystemConfig]]
+) -> List[TimingResult]:
+    assert _worker_traces is not None
+    return [
+        TimingSimulator(config).run(_worker_traces[trace_index])
+        for trace_index, config in chunk
+    ]
+
+
+def _chunked(jobs: List, chunks: int) -> List[List]:
+    """Split ``jobs`` into at most ``chunks`` contiguous, balanced runs."""
+    chunks = max(1, min(chunks, len(jobs)))
+    size, remainder = divmod(len(jobs), chunks)
+    out = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < remainder else 0)
+        out.append(jobs[start:end])
+        start = end
+    return out
+
+
+def _pool_map(
+    runner: Callable[[List], List],
+    jobs: List[Tuple[int, SystemConfig]],
+    traces: List[Trace],
+    workers: int,
+) -> Optional[List]:
+    """Fan ``jobs`` out over a process pool; ``None`` if no pool could be
+    created (the caller falls back to the serial path)."""
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        context = multiprocessing.get_context()
+    chunks = _chunked(jobs, workers * _CHUNKS_PER_WORKER)
+    try:
+        with context.Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(traces,),
+        ) as pool:
+            chunk_results = pool.map(runner, chunks)
+    except (OSError, ValueError, ImportError, PermissionError):
+        return None
+    return [result for chunk in chunk_results for result in chunk]
+
+
+def _run_jobs(
+    runner: Callable[[List], List],
+    jobs: List[Tuple[int, SystemConfig]],
+    traces: List[Trace],
+    workers: Optional[int],
+) -> List:
+    """Evaluate ``jobs`` (deterministic order) in parallel when it pays."""
+    count = sweep_workers(workers)
+    if count > 1 and len(jobs) >= MIN_CELLS_FOR_POOL:
+        results = _pool_map(runner, jobs, traces, count)
+        if results is not None:
+            return results
+    _init_worker(traces)
+    return runner(jobs)
+
+
+def sweep_functional(
+    traces: Sequence[Trace],
+    configs: Sequence[SystemConfig],
+    workers: Optional[int] = None,
+) -> List[List[FunctionalResult]]:
+    """Functional-simulate every (config, trace) cell of the grid.
+
+    Returns ``results`` with ``results[i][j]`` the
+    :class:`~repro.sim.functional.FunctionalResult` of ``configs[i]`` on
+    ``traces[j]``.  Cells sharing a memoisation key (timing-only config
+    differences, or results already cached by an earlier sweep) are
+    simulated once; the rest are fanned out over the worker pool.
+    """
+    traces = list(traces)
+    configs = list(configs)
+    if not traces or not configs:
+        raise ValueError("need at least one trace and one configuration")
+    keys = [
+        [memo.memo_key(trace, config) for trace in traces]
+        for config in configs
+    ]
+    # One representative job per distinct un-cached key, in first-seen
+    # (config-major) order so results are reproducible cell by cell.
+    pending: List[Tuple[int, SystemConfig]] = []
+    pending_keys: List[Tuple] = []
+    seen = set()
+    for i, config in enumerate(configs):
+        for j in range(len(traces)):
+            key = keys[i][j]
+            if key in seen or memo.lookup(key) is not None:
+                continue
+            seen.add(key)
+            pending.append((j, config))
+            pending_keys.append(key)
+    if pending:
+        fresh = _run_jobs(_run_functional_chunk, pending, traces, workers)
+        for key, result in zip(pending_keys, fresh):
+            memo.store(key, result)
+    return [
+        [memo.run_functional_memo(trace, config) for trace in traces]
+        for config in configs
+    ]
+
+
+def sweep_timing(
+    traces: Sequence[Trace],
+    configs: Sequence[SystemConfig],
+    workers: Optional[int] = None,
+) -> List[List[TimingResult]]:
+    """Timing-simulate every (config, trace) cell of the grid.
+
+    Returns ``results[i][j]`` for ``configs[i]`` on ``traces[j]``.  Timing
+    results depend on every configuration field, so there is no
+    memoisation -- just the shared fan-out.
+    """
+    traces = list(traces)
+    configs = list(configs)
+    if not traces or not configs:
+        raise ValueError("need at least one trace and one configuration")
+    jobs = [
+        (j, config) for config in configs for j in range(len(traces))
+    ]
+    flat = _run_jobs(_run_timing_chunk, jobs, traces, workers)
+    width = len(traces)
+    return [flat[i * width:(i + 1) * width] for i in range(len(configs))]

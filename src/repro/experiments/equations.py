@@ -20,12 +20,10 @@ from repro.analytical.tradeoff import optimal_size_shift_per_l1_doubling
 from repro.core.breakeven import breakeven_map
 from repro.core.metrics import measure_triad, sweep_triads
 from repro.core.optimizer import HierarchyOptimizer, TechnologyModel
+from repro.core.sweep import sweep_functional, sweep_timing
 from repro.experiments.base import Experiment, ExperimentReport
 from repro.experiments.baseline import base_machine, l2_sweep_sizes, solo_l2_machine
 from repro.experiments.render import format_ratio, format_size
-from repro.sim.fast import run_functional
-from repro.sim.functional import FunctionalSimulator
-from repro.sim.timing import TimingSimulator
 from repro.trace.record import Trace
 from repro.units import KB
 
@@ -40,9 +38,9 @@ class EquationOneValidation(Experiment):
         config = base_machine(l2_size=128 * KB)
         rows: List[List[str]] = []
         errors = []
-        for trace in traces:
-            functional = FunctionalSimulator(config).run(trace)
-            timing = TimingSimulator(config).run(trace)
+        functional_row = sweep_functional(traces, [config])[0]
+        timing_row = sweep_timing(traces, [config])[0]
+        for trace, functional, timing in zip(traces, functional_row, timing_row):
             model = model_from_functional(functional, config)
             predicted = model.total_cycles(functional.cpu_reads)
             measured = (timing.total_ns - timing.write_stall_ns) / config.cpu.cycle_ns
@@ -207,13 +205,11 @@ class MissRatePowerLaw(Experiment):
         sizes = l2_sweep_sizes(minimum=4 * KB)
         ratios = []
         rows = []
-        for size in sizes:
-            config = solo_l2_machine(l2_size=size)
-            misses = reads = 0
-            for trace in traces:
-                result = run_functional(trace, config)
-                misses += result.level_stats[0].read_misses
-                reads += result.cpu_reads
+        configs = [solo_l2_machine(l2_size=size) for size in sizes]
+        results = sweep_functional(traces, configs)
+        for size, row_results in zip(sizes, results):
+            misses = sum(r.level_stats[0].read_misses for r in row_results)
+            reads = sum(r.cpu_reads for r in row_results)
             ratio = misses / reads
             ratios.append(ratio)
             rows.append([format_size(size), format_ratio(ratio)])

@@ -17,12 +17,11 @@ import numpy as np
 
 from repro.core.design_space import affine_model_for
 from repro.core.metrics import measure_triad
+from repro.core.sweep import sweep_functional, sweep_timing
 from repro.experiments.base import Experiment, ExperimentReport
 from repro.experiments.baseline import base_machine
 from repro.experiments.render import format_ratio, format_size
 from repro.sim.config import LevelConfig, SystemConfig
-from repro.sim.functional import FunctionalSimulator
-from repro.sim.timing import TimingSimulator
 from repro.trace.record import READ, Trace
 from repro.trace.stats import stack_distance_profile
 from repro.trace.synthetic import StackDistanceGenerator, ZipfGenerator
@@ -65,10 +64,9 @@ class ThreeLevelHierarchy(Experiment):
         l3 = measure_triad(traces, config, level=3)
         l2 = measure_triad(traces, config, level=2)
         two_level = base_machine(l2_size=16 * KB)
-        cpi_two = cpi_three = 0.0
-        for trace in traces:
-            cpi_two += TimingSimulator(two_level).run(trace).total_cycles
-            cpi_three += TimingSimulator(config).run(trace).total_cycles
+        two_row, three_row = sweep_timing(traces, [two_level, config])
+        cpi_two = sum(t.total_cycles for t in two_row)
+        cpi_three = sum(t.total_cycles for t in three_row)
         rows = [
             ["L2 triad", format_ratio(l2.local), format_ratio(l2.global_),
              format_ratio(l2.solo)],
@@ -106,13 +104,20 @@ class AffineVersusTiming(Experiment):
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
         rows = []
         errors = []
-        for size, cycle in self.POINTS:
-            config = base_machine(l2_size=size, l2_cycle_cpu_cycles=cycle)
-            predicted = measured = 0.0
-            for trace in traces:
-                functional = FunctionalSimulator(config).run(trace)
-                predicted += affine_model_for(functional, config).total_cycles(cycle)
-                measured += TimingSimulator(config).run(trace).total_cycles
+        configs = [
+            base_machine(l2_size=size, l2_cycle_cpu_cycles=cycle)
+            for size, cycle in self.POINTS
+        ]
+        functional_grid = sweep_functional(traces, configs)
+        timing_grid = sweep_timing(traces, configs)
+        for (size, cycle), config, functional_row, timing_row in zip(
+            self.POINTS, configs, functional_grid, timing_grid
+        ):
+            predicted = sum(
+                affine_model_for(functional, config).total_cycles(cycle)
+                for functional in functional_row
+            )
+            measured = sum(timing.total_cycles for timing in timing_row)
             error = predicted / measured - 1.0
             errors.append(error)
             rows.append(
@@ -150,13 +155,14 @@ class WriteBufferAblation(Experiment):
 
         rows = []
         totals = []
-        for depth in self.DEPTHS:
-            config = dataclasses.replace(
+        configs = [
+            dataclasses.replace(
                 base_machine(l2_size=64 * KB), write_buffer_entries=depth
             )
-            total = sum(
-                TimingSimulator(config).run(trace).total_cycles for trace in traces
-            )
+            for depth in self.DEPTHS
+        ]
+        for depth, row in zip(self.DEPTHS, sweep_timing(traces, configs)):
+            total = sum(timing.total_cycles for timing in row)
             totals.append(total)
             rows.append([str(depth), f"{total:.0f}"])
         spread = (max(totals) - min(totals)) / min(totals)
@@ -199,24 +205,23 @@ class BlockSizeAblation(Experiment):
     BLOCK_SIZES = [32, 64, 128]
 
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
-        from repro.core.design_space import affine_model_for
-        from repro.sim.fast import run_functional
-
         rows = []
         times = []
         ratios = []
-        for block in self.BLOCK_SIZES:
-            config = base_machine(l2_size=64 * KB).with_level(
-                1, block_bytes=block
+        configs = [
+            base_machine(l2_size=64 * KB).with_level(1, block_bytes=block)
+            for block in self.BLOCK_SIZES
+        ]
+        results = sweep_functional(traces, configs)
+        for block, config, row_results in zip(
+            self.BLOCK_SIZES, configs, results
+        ):
+            misses = sum(r.level_stats[1].read_misses for r in row_results)
+            reads = sum(r.cpu_reads for r in row_results)
+            total_cycles = sum(
+                affine_model_for(result, config).total_cycles(3.0)
+                for result in row_results
             )
-            misses = reads = 0
-            total_cycles = 0.0
-            for trace in traces:
-                result = run_functional(trace, config)
-                misses += result.level_stats[1].read_misses
-                reads += result.cpu_reads
-                model = affine_model_for(result, config)
-                total_cycles += model.total_cycles(3.0)
             ratio = misses / reads
             ratios.append(ratio)
             times.append(total_cycles)
@@ -264,15 +269,16 @@ class WritePolicyAblation(Experiment):
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
         rows = []
         measurements = {}
-        for policy in ("write-back", "write-through"):
-            config = base_machine(l2_size=64 * KB).with_level(
-                0, write_policy=policy
-            )
+        policies = ("write-back", "write-through")
+        configs = [
+            base_machine(l2_size=64 * KB).with_level(0, write_policy=policy)
+            for policy in policies
+        ]
+        for policy, row in zip(policies, sweep_timing(traces, configs)):
             downstream_writes = 0
             total_cycles = 0.0
             stores = 0
-            for trace in traces:
-                timing = TimingSimulator(config).run(trace)
+            for timing in row:
                 stats = timing.level_stats[0]
                 downstream_writes += stats.writebacks + stats.writes_forwarded
                 total_cycles += timing.total_cycles
@@ -327,18 +333,24 @@ class InclusionAblation(Experiment):
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
         import dataclasses
 
+        free_configs = [
+            base_machine(l2_size=l2_kb * KB) for l2_kb in self.L2_SIZES_KB
+        ]
+        incl_configs = [
+            dataclasses.replace(base, enforce_inclusion=True)
+            for base in free_configs
+        ]
+        results = sweep_functional(traces, free_configs + incl_configs)
+        free_rows = results[:len(free_configs)]
+        incl_rows = results[len(free_configs):]
         rows = []
         costs = []
-        for l2_kb in self.L2_SIZES_KB:
-            base = base_machine(l2_size=l2_kb * KB)
-            incl = dataclasses.replace(base, enforce_inclusion=True)
-            free_misses = incl_misses = reads = invalidations = 0
-            for trace in traces:
-                free = FunctionalSimulator(base).run(trace)
-                forced = FunctionalSimulator(incl).run(trace)
-                free_misses += free.level_stats[0].read_misses
-                incl_misses += forced.level_stats[0].read_misses
-                reads += free.cpu_reads
+        for l2_kb, free_row, incl_row in zip(
+            self.L2_SIZES_KB, free_rows, incl_rows
+        ):
+            free_misses = sum(r.level_stats[0].read_misses for r in free_row)
+            incl_misses = sum(r.level_stats[0].read_misses for r in incl_row)
+            reads = sum(r.cpu_reads for r in free_row)
             cost = (incl_misses - free_misses) / reads
             costs.append(cost)
             rows.append(
@@ -387,13 +399,16 @@ class PrefetchAblation(Experiment):
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
         rows = []
         miss_ratios = []
-        for kind in self.KINDS:
-            config = base_machine(l2_size=64 * KB).with_level(
+        configs = [
+            base_machine(l2_size=64 * KB).with_level(
                 1, prefetch=kind, prefetch_distance=1
             )
+            for kind in self.KINDS
+        ]
+        results = sweep_functional(traces, configs)
+        for kind, row_results in zip(self.KINDS, results):
             misses = reads = issued = useful = memory_reads = 0
-            for trace in traces:
-                result = FunctionalSimulator(config).run(trace)
+            for result in row_results:
                 l2 = result.level_stats[1]
                 misses += l2.read_misses
                 reads += result.cpu_reads

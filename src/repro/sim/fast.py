@@ -1,20 +1,33 @@
-"""Vectorised functional simulation for direct-mapped hierarchies.
+"""Vectorised functional simulation for write-back LRU hierarchies.
 
-The paper's headline sweeps all use direct-mapped caches, and a
-direct-mapped cache has a delightfully vectorisable property: an access
-hits exactly when the *previous access to the same set* carried the same
-tag.  Sorting the reference stream stably by set index turns hit detection,
-dirty tracking and eviction detection into array operations, making this
-simulator one to two orders of magnitude faster than the reference
-per-record loop -- fast enough for the paper's full 4 KB - 4 MB axis at
-million-reference trace lengths.
+Two NumPy kernels cover the paper's sweep axes:
 
-Scope: direct-mapped levels, write-back with write-allocate, single-block
-fetch, no prefetching, no enforced inclusion -- the base machine.  Anything
-else falls outside :func:`fast_eligible` and uses the reference
+* **Direct-mapped** (:func:`_simulate_dm_level`): a direct-mapped cache
+  has a delightfully vectorisable property -- an access hits exactly when
+  the *previous access to the same set* carried the same tag.  Sorting the
+  reference stream stably by set index turns hit detection, dirty tracking
+  and eviction detection into array operations.
+
+* **Set-associative LRU** (:func:`_simulate_lru_level`): a Mattson-style
+  per-set stack kernel.  Accesses are bucketed by set and replayed in
+  per-set time order; every set's *t*-th access is processed in one
+  vectorised step over a ``(sets_touched, associativity)`` LRU state, so
+  the Python-level loop length is the deepest per-set access count rather
+  than the trace length.  This puts the Figure 5 / Equation 3 associativity
+  sweeps on the fast path.
+
+Together they make this simulator one to two orders of magnitude faster
+than the reference per-record loop -- fast enough for the paper's full
+4 KB - 4 MB axis at million-reference trace lengths.
+
+Scope: write-back LRU levels of associativity 1-16 with write-allocate,
+single-block fetch, no prefetching, no enforced inclusion -- the base
+machine and every Figure 3/4/5 variation of it.  Anything else falls
+outside :func:`fast_eligible` and uses the reference
 :class:`~repro.sim.functional.FunctionalSimulator`; the two are validated
 to produce *identical* counts on eligible configurations
-(``tests/sim/test_fast.py``).
+(``tests/sim/test_fast.py``).  The eligibility matrix is documented in
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -34,13 +47,20 @@ from repro.units import log2_int
 _BUCKET_READ = 0
 _BUCKET_WRITE = 1
 
+#: Largest set size the vectorised LRU kernel accepts.  The kernel is
+#: exact for any associativity, but beyond this the per-step state
+#: matrices stop paying for themselves against the reference loop.
+MAX_FAST_ASSOCIATIVITY = 16
+
 
 def fast_eligible(config: SystemConfig) -> bool:
     """True when the vectorised path reproduces the reference simulator."""
     if config.enforce_inclusion:
         return False
     for level in config.levels:
-        if level.associativity != 1:
+        if not 1 <= level.associativity <= MAX_FAST_ASSOCIATIVITY:
+            return False
+        if level.associativity > 1 and level.replacement != "lru":
             return False
         if level.write_policy is not WritePolicy.WRITE_BACK:
             return False
@@ -54,26 +74,24 @@ def fast_eligible(config: SystemConfig) -> bool:
 def _simulate_dm_level(
     blocks: np.ndarray,
     is_write: np.ndarray,
-    bucket: np.ndarray,
     order_keys: np.ndarray,
     sets: int,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One direct-mapped write-back level, fully vectorised.
 
     ``blocks`` are block identifiers (byte address >> offset bits);
-    ``is_write`` marks accesses that dirty the block; ``bucket`` carries
-    the statistics bucket; ``order_keys`` is a strictly increasing key per
-    access (original record index scaled to make room for same-record
-    ordering).
+    ``is_write`` marks accesses that dirty the block; ``order_keys`` is a
+    strictly increasing key per access (original record index scaled to
+    make room for same-record ordering).
 
-    Returns ``(miss_mask, victim_blocks, victim_keys, victim_count)`` where
-    the victims are dirty evictions, each stamped with the order key of the
-    evicting miss (so downstream streams interleave correctly).
+    Returns ``(miss_mask, victim_blocks, victim_keys)`` where the victims
+    are dirty evictions, each stamped with the order key of the evicting
+    miss (so downstream streams interleave correctly).
     """
     n = len(blocks)
     if n == 0:
         empty = np.empty(0, dtype=np.int64)
-        return np.zeros(0, dtype=bool), empty, empty, empty
+        return np.zeros(0, dtype=bool), empty, empty
     set_index = blocks & (sets - 1)
     # Stable sort by set: within a set, accesses stay in time order.
     order = np.argsort(set_index, kind="stable")
@@ -112,7 +130,114 @@ def _simulate_dm_level(
 
     miss_mask = np.zeros(n, dtype=bool)
     miss_mask[order] = miss_sorted
-    return miss_mask, victim_blocks.astype(np.int64), victim_keys, order
+    return miss_mask, victim_blocks.astype(np.int64), victim_keys
+
+
+def _simulate_lru_level(
+    blocks: np.ndarray,
+    is_write: np.ndarray,
+    order_keys: np.ndarray,
+    sets: int,
+    associativity: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One set-associative write-back LRU level, vectorised across sets.
+
+    A Mattson-style per-set stack kernel: accesses are bucketed by set and
+    replayed in per-set time order.  Step ``t`` processes the ``t``-th
+    access of *every* touched set in one vectorised operation over a
+    ``(sets_touched, associativity)`` LRU state (way 0 = most recently
+    used, ``-1`` = invalid), so the Python loop runs for the deepest
+    per-set access count, not the stream length.
+
+    Same contract as :func:`_simulate_dm_level`: returns
+    ``(miss_mask, victim_blocks, victim_keys)`` with dirty victims stamped
+    with the order key of the evicting miss.
+    """
+    n = len(blocks)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return np.zeros(0, dtype=bool), empty, empty
+    set_index = blocks & (sets - 1)
+    # Stable sort by set: within a set, accesses stay in time order.
+    set_order = np.argsort(set_index, kind="stable")
+    sorted_sets = set_index[set_order]
+    # Compact set ranks and each access's per-set sequence number.
+    new_set = np.empty(n, dtype=bool)
+    new_set[0] = True
+    np.not_equal(sorted_sets[1:], sorted_sets[:-1], out=new_set[1:])
+    set_rank = np.cumsum(new_set) - 1
+    starts = np.flatnonzero(new_set)
+    seq = np.arange(n, dtype=np.int64)
+    seq -= np.repeat(starts, np.diff(np.append(starts, n)))
+    # Re-sort by (sequence number, set rank): step t's accesses form one
+    # contiguous slice, one access per set, ordered by set rank.
+    step_order = np.argsort(seq, kind="stable")
+    blocks_s = blocks[set_order][step_order]
+    write_s = is_write[set_order][step_order]
+    keys_s = order_keys[set_order][step_order]
+    rank_s = set_rank[step_order]
+    step_starts = np.append(0, np.cumsum(np.bincount(seq)))
+
+    touched = int(set_rank[-1]) + 1
+    ways = np.arange(associativity)
+    tags = np.full((touched, associativity), -1, dtype=np.int64)
+    dirty = np.zeros((touched, associativity), dtype=bool)
+    miss_s = np.empty(n, dtype=bool)
+    victim_parts: List[np.ndarray] = []
+    victim_key_parts: List[np.ndarray] = []
+    for t in range(len(step_starts) - 1):
+        lo, hi = int(step_starts[t]), int(step_starts[t + 1])
+        rows = rank_s[lo:hi]
+        block = blocks_s[lo:hi]
+        write = write_s[lo:hi]
+        row_tags = tags[rows]
+        row_dirty = dirty[rows]
+        match = row_tags == block[:, None]
+        hit = match.any(axis=1)
+        hit_way = np.argmax(match, axis=1)
+        miss_s[lo:hi] = ~hit
+        # A miss evicts the LRU way; a dirty valid victim is written back,
+        # stamped with the evicting access's key.
+        victim_tag = row_tags[:, -1]
+        writeback = ~hit & (victim_tag >= 0) & row_dirty[:, -1]
+        if writeback.any():
+            victim_parts.append(victim_tag[writeback])
+            victim_key_parts.append(keys_s[lo:hi][writeback])
+        # Promote the block to way 0, shifting ways [0, pos) right by one
+        # (pos = hit way, or the LRU way on a miss).  Fetches enter clean
+        # and are dirtied in place by a store (write-allocate).
+        pos = np.where(hit, hit_way, associativity - 1)
+        head_dirty = write | (hit & row_dirty[np.arange(len(rows)), hit_way])
+        rolled_tags = np.concatenate([block[:, None], row_tags[:, :-1]], axis=1)
+        rolled_dirty = np.concatenate(
+            [head_dirty[:, None], row_dirty[:, :-1]], axis=1
+        )
+        shifted = ways[None, :] <= pos[:, None]
+        tags[rows] = np.where(shifted, rolled_tags, row_tags)
+        dirty[rows] = np.where(shifted, rolled_dirty, row_dirty)
+
+    miss_mask = np.empty(n, dtype=bool)
+    miss_mask[set_order[step_order]] = miss_s
+    if victim_parts:
+        victim_blocks = np.concatenate(victim_parts)
+        victim_keys = np.concatenate(victim_key_parts)
+    else:
+        victim_blocks = np.empty(0, dtype=np.int64)
+        victim_keys = np.empty(0, dtype=np.int64)
+    return miss_mask, victim_blocks.astype(np.int64), victim_keys
+
+
+def _simulate_level(
+    blocks: np.ndarray,
+    is_write: np.ndarray,
+    order_keys: np.ndarray,
+    sets: int,
+    associativity: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dispatch one level to the cheapest exact kernel."""
+    if associativity == 1:
+        return _simulate_dm_level(blocks, is_write, order_keys, sets)
+    return _simulate_lru_level(blocks, is_write, order_keys, sets, associativity)
 
 
 class FastFunctionalSimulator:
@@ -126,7 +251,8 @@ class FastFunctionalSimulator:
         if not fast_eligible(config):
             raise ValueError(
                 "configuration outside the vectorised path "
-                "(direct-mapped write-back, no prefetch/inclusion); use "
+                "(write-back LRU, associativity <= "
+                f"{MAX_FAST_ASSOCIATIVITY}, no prefetch/inclusion); use "
                 "FunctionalSimulator"
             )
         self.config = config
@@ -161,12 +287,13 @@ class FastFunctionalSimulator:
         else:
             streams = [(blocks, is_write, bucket, keys)]
 
-        sets = first.geometry().sets
+        first_geometry = first.geometry()
         stats = CacheStats()
         parts = []
         for s_blocks, s_write, s_bucket, s_keys in streams:
-            miss, victims, victim_keys, _ = _simulate_dm_level(
-                s_blocks, s_write, s_bucket, s_keys, sets
+            miss, victims, victim_keys = _simulate_level(
+                s_blocks, s_write, s_keys,
+                first_geometry.sets, first.associativity,
             )
             self._accumulate(
                 stats, s_write, s_bucket, miss, s_keys, victim_keys, warmup
@@ -202,9 +329,9 @@ class FastFunctionalSimulator:
             stream_blocks, stream_write, stream_bucket, stream_keys = stream
             blocks_here = stream_blocks >> (offset_bits - prev_offset)
             warmup_key = warmup * 4**depth_index
-            miss, victims, victim_keys, _ = _simulate_dm_level(
-                blocks_here, stream_write, stream_bucket, stream_keys,
-                level.geometry().sets,
+            miss, victims, victim_keys = _simulate_level(
+                blocks_here, stream_write, stream_keys,
+                level.geometry().sets, level.associativity,
             )
             stats = CacheStats()
             self._accumulate(
@@ -212,6 +339,13 @@ class FastFunctionalSimulator:
                 victim_keys, warmup_key,
             )
             level_stats.append(stats)
+            # Demand fetches always enter the next level as *reads*: the
+            # fetched block arrives clean (write-allocate dirties it in the
+            # receiving cache, not downstream), so the fetch never carries
+            # the missing access's write flag.  The statistics bucket still
+            # tracks the originating access so store-induced traffic stays
+            # out of the read miss ratios.
+            clean_fetch = np.zeros(int(miss.sum()), dtype=bool)
             parts = [
                 (
                     victims,
@@ -221,7 +355,7 @@ class FastFunctionalSimulator:
                 ),
                 (
                     blocks_here[miss],
-                    stream_write[miss] & False,  # fetches enter clean
+                    clean_fetch,
                     stream_bucket[miss],
                     stream_keys[miss] * 4 + 2,
                 ),

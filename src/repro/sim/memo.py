@@ -1,0 +1,177 @@
+"""Functional-result memoisation.
+
+Event counts depend only on a trace and on the *functional* half of a
+configuration -- geometry, policies and hierarchy shape.  Timing fields
+(cycle times, write-hit latency, memory/bus/backplane speeds, buffer
+depth) never change a :class:`~repro.sim.functional.FunctionalResult`.
+Timing-only sweeps -- the Figure 4 lines of constant performance, the
+Equation 1/2 validations, the optimizer's cycle-time axis -- therefore
+need each distinct functional configuration simulated exactly **once**
+per trace; this module provides that cache.
+
+Keys are ``(trace fingerprint, functional projection)``:
+
+* :func:`trace_fingerprint` hashes the trace's records, name and warmup
+  boundary (cached on ``trace.metadata`` so repeated lookups are free);
+* :func:`functional_projection` extracts the count-relevant fields of a
+  :class:`~repro.sim.config.SystemConfig` and nothing else.
+
+Cached results are shared, not copied: treat a returned
+``FunctionalResult``'s ``level_stats`` as read-only (every consumer in
+this repository does).  The cache is per-process; the sweep executor
+(:mod:`repro.core.sweep`) consults it before fanning work out and seeds
+it with results coming back from worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.fast import run_functional
+from repro.sim.functional import FunctionalResult
+from repro.trace.record import Trace
+
+#: Metadata slot holding a trace's cached fingerprint.
+_FINGERPRINT_SLOT = "_functional_fingerprint"
+
+#: Bound on cached results; a FunctionalResult is a few hundred bytes, so
+#: this comfortably covers every sweep in the repository while staying
+#: irrelevant memory-wise.
+MAX_ENTRIES = 65536
+
+
+@dataclass
+class MemoStats:
+    """Observability counters for the memoisation cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+_cache: "OrderedDict[Tuple, FunctionalResult]" = OrderedDict()
+_stats = MemoStats()
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """A stable content hash of a trace's functional identity.
+
+    Computed once and cached in ``trace.metadata``; traces are treated as
+    immutable once built (every generator in :mod:`repro.trace` returns a
+    finished trace).
+    """
+    cached = trace.metadata.get(_FINGERPRINT_SLOT)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(trace.name.encode())
+    hasher.update(str(trace.warmup).encode())
+    hasher.update(str(len(trace)).encode())
+    hasher.update(trace.kinds.tobytes())
+    hasher.update(trace.addresses.tobytes())
+    fingerprint = hasher.hexdigest()
+    trace.metadata[_FINGERPRINT_SLOT] = fingerprint
+    return fingerprint
+
+
+def functional_projection(config: SystemConfig) -> Tuple:
+    """The count-relevant slice of a configuration.
+
+    Two configurations with equal projections produce identical
+    functional results on every trace; cycle times, write-hit latencies
+    and the memory/bus/buffer model are deliberately excluded.
+    """
+    return (
+        config.enforce_inclusion,
+        tuple(
+            (
+                level.size_bytes,
+                level.block_bytes,
+                level.associativity,
+                level.split,
+                level.replacement,
+                level.write_policy,
+                level.fetch_blocks,
+                level.write_allocate,
+                level.prefetch,
+                level.prefetch_distance,
+            )
+            for level in config.levels
+        ),
+    )
+
+
+def memo_key(trace: Trace, config: SystemConfig) -> Tuple:
+    """The cache key for one (trace, config) cell."""
+    return (trace_fingerprint(trace), functional_projection(config))
+
+
+def lookup(key: Tuple) -> Optional[FunctionalResult]:
+    """Fetch a cached result (counts a hit/miss); ``None`` when absent."""
+    result = _cache.get(key)
+    if result is None:
+        _stats.misses += 1
+        return None
+    _cache.move_to_end(key)
+    _stats.hits += 1
+    return result
+
+
+def store(key: Tuple, result: FunctionalResult) -> None:
+    """Insert a result, evicting least-recently-used entries past the cap."""
+    _cache[key] = result
+    _cache.move_to_end(key)
+    while len(_cache) > MAX_ENTRIES:
+        _cache.popitem(last=False)
+        _stats.evictions += 1
+
+
+def run_functional_memo(trace: Trace, config: SystemConfig) -> FunctionalResult:
+    """Memoised :func:`~repro.sim.fast.run_functional`.
+
+    The returned result carries the *caller's* ``config`` (the cached one
+    may differ in timing-only fields); the count payload is shared with
+    the cache and must be treated as read-only.
+    """
+    key = memo_key(trace, config)
+    cached = lookup(key)
+    if cached is None:
+        cached = run_functional(trace, config)
+        store(key, cached)
+    if cached.config is config:
+        return cached
+    return replace(cached, config=config)
+
+
+def memo_stats() -> MemoStats:
+    """The live hit/miss/eviction counters (shared object)."""
+    return _stats
+
+
+def cache_size() -> int:
+    """Number of cached functional results."""
+    return len(_cache)
+
+
+def clear_memo_cache(reset_stats: bool = True) -> None:
+    """Drop every cached result (and, by default, the counters)."""
+    _cache.clear()
+    if reset_stats:
+        _stats.reset()

@@ -1,0 +1,233 @@
+"""The shared sweep executor and the functional-result memoisation layer.
+
+The contract under test: every sweep site can hand ``(traces, configs)``
+to the executor and get the same counts it would have produced with a
+hand-rolled double loop -- regardless of worker count, pool availability
+or cache state -- while timing-only configuration variations cost one
+functional simulation per trace, not one per cell.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import sweep
+from repro.core.sweep import sweep_functional, sweep_timing, sweep_workers
+from repro.sim import memo
+from repro.sim.fast import run_functional
+from repro.sim.timing import TimingSimulator
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Each test starts from an empty cache and zeroed counters."""
+    memo.clear_memo_cache()
+    yield
+    memo.clear_memo_cache()
+
+
+def timing_variants(base_config):
+    """Configurations differing from ``base_config`` only in timing."""
+    return [
+        base_config,
+        base_config.with_level(1, cycle_cpu_cycles=5),
+        base_config.with_level(1, cycle_cpu_cycles=9, write_hit_cycles=3),
+    ]
+
+
+def assert_counts_equal(a, b):
+    assert a.cpu_reads == b.cpu_reads
+    assert a.cpu_writes == b.cpu_writes
+    for fa, fb in zip(a.level_stats, b.level_stats):
+        assert fa == fb
+    assert a.memory_reads == b.memory_reads
+    assert a.memory_writes == b.memory_writes
+
+
+class TestGrid:
+    def test_shape_and_values_match_direct_runs(self, small_traces, base_config):
+        configs = [
+            base_config,
+            base_config.with_level(1, size_bytes=16 * KB),
+        ]
+        grid = sweep_functional(small_traces, configs)
+        assert len(grid) == len(configs)
+        assert all(len(row) == len(small_traces) for row in grid)
+        for config, row in zip(configs, grid):
+            for trace, result in zip(small_traces, row):
+                assert_counts_equal(result, run_functional(trace, config))
+
+    def test_deterministic_across_calls(self, small_traces, base_config):
+        configs = timing_variants(base_config)
+        first = sweep_functional(small_traces, configs)
+        memo.clear_memo_cache()
+        second = sweep_functional(small_traces, configs)
+        for row_a, row_b in zip(first, second):
+            for a, b in zip(row_a, row_b):
+                assert_counts_equal(a, b)
+
+    def test_empty_arguments_rejected(self, small_traces, base_config):
+        with pytest.raises(ValueError):
+            sweep_functional([], [base_config])
+        with pytest.raises(ValueError):
+            sweep_functional(small_traces, [])
+        with pytest.raises(ValueError):
+            sweep_timing([], [base_config])
+        with pytest.raises(ValueError):
+            sweep_timing(small_traces, [])
+
+
+class TestMemoisation:
+    def test_timing_only_sweep_simulates_once_per_trace(
+        self, small_traces, base_config
+    ):
+        configs = timing_variants(base_config)
+        grid = sweep_functional(small_traces, configs)
+        stats = memo.memo_stats()
+        # One functional simulation per trace; every other cell is a hit.
+        assert memo.cache_size() == len(small_traces)
+        assert stats.hits >= len(small_traces) * (len(configs) - 1)
+        # The issue's contract: identical objects-by-value across the
+        # timing-only axis.
+        for j in range(len(small_traces)):
+            baseline = grid[0][j]
+            for i in range(1, len(configs)):
+                assert_counts_equal(grid[i][j], baseline)
+                # The count payload is shared, not recomputed.
+                assert grid[i][j].level_stats is baseline.level_stats
+
+    def test_results_carry_the_callers_config(self, small_traces, base_config):
+        configs = timing_variants(base_config)
+        grid = sweep_functional(small_traces, configs)
+        for config, row in zip(configs, grid):
+            for result in row:
+                assert result.config is config
+
+    def test_cache_survives_across_sweeps(self, small_traces, base_config):
+        sweep_functional(small_traces, [base_config])
+        misses_before = memo.memo_stats().misses
+        sweep_functional(small_traces, [base_config.with_level(1, cycle_cpu_cycles=7)])
+        assert memo.memo_stats().misses == misses_before
+
+    def test_functional_change_misses(self, small_traces, base_config):
+        sweep_functional(small_traces, [base_config])
+        size_before = memo.cache_size()
+        sweep_functional(
+            small_traces, [base_config.with_level(1, size_bytes=16 * KB)]
+        )
+        assert memo.cache_size() == size_before + len(small_traces)
+
+    def test_eviction_respects_the_cap(self, small_traces, base_config, monkeypatch):
+        monkeypatch.setattr(memo, "MAX_ENTRIES", 1)
+        sweep_functional(
+            small_traces[:1],
+            [base_config, base_config.with_level(1, size_bytes=16 * KB)],
+        )
+        assert memo.cache_size() == 1
+        assert memo.memo_stats().evictions >= 1
+
+
+class TestProjection:
+    def test_timing_fields_excluded(self, base_config):
+        variants = timing_variants(base_config)
+        projections = {memo.functional_projection(c) for c in variants}
+        assert len(projections) == 1
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"size_bytes": 16 * KB},
+            {"block_bytes": 64},
+            {"associativity": 2},
+            {"write_policy": "write-through", "write_allocate": False},
+            {"fetch_blocks": 2},
+            {"prefetch": "on-miss"},
+        ],
+    )
+    def test_functional_fields_included(self, base_config, changes):
+        changed = base_config.with_level(1, **changes)
+        assert memo.functional_projection(changed) != (
+            memo.functional_projection(base_config)
+        )
+
+    def test_inclusion_included(self, base_config):
+        inclusive = dataclasses.replace(base_config, enforce_inclusion=True)
+        assert memo.functional_projection(inclusive) != (
+            memo.functional_projection(base_config)
+        )
+
+    def test_fingerprint_is_cached_and_distinct(self):
+        a = SyntheticWorkload(seed=5).trace(2_000)
+        b = SyntheticWorkload(seed=6).trace(2_000)
+        fp = memo.trace_fingerprint(a)
+        assert a.metadata[memo._FINGERPRINT_SLOT] == fp
+        assert memo.trace_fingerprint(a) == fp
+        assert memo.trace_fingerprint(b) != fp
+
+    def test_warmup_changes_fingerprint(self):
+        a = SyntheticWorkload(seed=7).trace(2_000, warmup=0)
+        b = SyntheticWorkload(seed=7).trace(2_000, warmup=500)
+        assert memo.trace_fingerprint(a) != memo.trace_fingerprint(b)
+
+
+class TestParallel:
+    def test_pool_matches_serial(self, small_traces, base_config):
+        configs = [
+            base_config,
+            base_config.with_level(1, size_bytes=16 * KB),
+            base_config.with_level(1, size_bytes=32 * KB),
+        ]
+        serial = sweep_functional(small_traces, configs, workers=1)
+        memo.clear_memo_cache()
+        pooled = sweep_functional(small_traces, configs, workers=2)
+        for row_a, row_b in zip(serial, pooled):
+            for a, b in zip(row_a, row_b):
+                assert_counts_equal(a, b)
+
+    def test_env_knob_controls_workers(self, monkeypatch):
+        monkeypatch.setenv(sweep.WORKERS_ENV, "3")
+        assert sweep_workers() == 3
+        monkeypatch.setenv(sweep.WORKERS_ENV, "0")
+        assert sweep_workers() == 1
+        monkeypatch.setenv(sweep.WORKERS_ENV, "nope")
+        with pytest.raises(ValueError, match=sweep.WORKERS_ENV):
+            sweep_workers()
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv(sweep.WORKERS_ENV, "8")
+        assert sweep_workers(2) == 2
+
+    def test_graceful_fallback_when_pool_unavailable(
+        self, small_traces, base_config, monkeypatch
+    ):
+        monkeypatch.setattr(sweep, "_pool_map", lambda *a, **k: None)
+        configs = [
+            base_config,
+            base_config.with_level(1, size_bytes=16 * KB),
+        ]
+        grid = sweep_functional(small_traces, configs, workers=4)
+        for config, row in zip(configs, grid):
+            for trace, result in zip(small_traces, row):
+                assert_counts_equal(result, run_functional(trace, config))
+
+
+class TestTiming:
+    def test_matches_direct_timing_runs(self, small_traces, base_config):
+        configs = [
+            base_config,
+            base_config.with_level(1, cycle_cpu_cycles=6),
+        ]
+        grid = sweep_timing(small_traces, configs)
+        assert len(grid) == len(configs)
+        for config, row in zip(configs, grid):
+            for trace, result in zip(small_traces, row):
+                direct = TimingSimulator(config).run(trace)
+                assert result.total_cycles == direct.total_cycles
+                assert result.total_ns == direct.total_ns
+
+    def test_no_memoisation_for_timing(self, small_traces, base_config):
+        before = memo.memo_stats().lookups
+        sweep_timing(small_traces, timing_variants(base_config))
+        assert memo.memo_stats().lookups == before

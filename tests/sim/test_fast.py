@@ -13,11 +13,21 @@ from repro.trace.workload import SyntheticWorkload
 from repro.units import KB
 
 
-def two_level(split=True, l1_kb=4, l2_kb=32):
+def two_level(split=True, l1_kb=4, l2_kb=32, l1_ways=1, l2_ways=1):
     return SystemConfig(
         levels=(
-            LevelConfig(size_bytes=l1_kb * KB, block_bytes=16, split=split),
-            LevelConfig(size_bytes=l2_kb * KB, block_bytes=32, cycle_cpu_cycles=3),
+            LevelConfig(
+                size_bytes=l1_kb * KB,
+                block_bytes=16,
+                split=split,
+                associativity=l1_ways,
+            ),
+            LevelConfig(
+                size_bytes=l2_kb * KB,
+                block_bytes=32,
+                cycle_cpu_cycles=3,
+                associativity=l2_ways,
+            ),
         )
     )
 
@@ -108,16 +118,83 @@ class TestExactEquivalence:
         assert_same_counts(trace, two_level())
 
 
+class TestAssociativeEquivalence:
+    """The issue's differential contract: associativity 1/2/4/8 x
+    split/unified L1 x two trace seeds, counts identical to the reference
+    ``FunctionalSimulator``."""
+
+    @pytest.mark.parametrize("seed", [71, 72])
+    @pytest.mark.parametrize("split", [True, False])
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8])
+    def test_associativity_sweep(self, ways, split, seed):
+        trace = SyntheticWorkload(seed=seed).trace(12_000, warmup=2_000)
+        config = two_level(
+            split=split,
+            l1_kb=2,
+            l2_kb=8,
+            l1_ways=min(ways, 4),
+            l2_ways=ways,
+        )
+        assert_same_counts(trace, config)
+
+    def test_sixteen_way(self):
+        trace = SyntheticWorkload(seed=73).trace(12_000)
+        assert_same_counts(trace, two_level(l1_kb=2, l2_kb=8, l2_ways=16))
+
+    def test_fully_associative_edge(self):
+        # One set per level: sets == 1 exercises the kernel's degenerate
+        # bucketing (every access lands in the same per-set stream).
+        trace = SyntheticWorkload(seed=74).trace(10_000)
+        config = SystemConfig(
+            levels=(
+                LevelConfig(size_bytes=256, block_bytes=16, associativity=16),
+                LevelConfig(
+                    size_bytes=1024,
+                    block_bytes=32,
+                    cycle_cpu_cycles=3,
+                    associativity=8,
+                ),
+            )
+        )
+        assert_same_counts(trace, config)
+
+    def test_associative_three_levels(self):
+        trace = SyntheticWorkload(seed=75).trace(20_000)
+        config = SystemConfig(
+            levels=(
+                LevelConfig(
+                    size_bytes=2 * KB, block_bytes=16, split=True,
+                    associativity=2,
+                ),
+                LevelConfig(
+                    size_bytes=8 * KB, block_bytes=32, cycle_cpu_cycles=3,
+                    associativity=4,
+                ),
+                LevelConfig(
+                    size_bytes=32 * KB, block_bytes=64, cycle_cpu_cycles=6,
+                    associativity=8,
+                ),
+            )
+        )
+        assert_same_counts(trace, config)
+
+
 class TestEligibility:
     def test_base_machine_is_eligible(self):
         from repro.experiments import base_machine
 
         assert fast_eligible(base_machine())
 
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8, 16])
+    def test_lru_associativity_is_eligible(self, ways):
+        assert fast_eligible(two_level(l2_ways=ways))
+
     @pytest.mark.parametrize(
         "changes",
         [
-            {"associativity": 2},
+            {"associativity": 32},
+            {"associativity": 2, "replacement": "fifo"},
+            {"associativity": 4, "replacement": "random"},
             {"write_policy": "write-through"},
             {"write_allocate": False},
             {"fetch_blocks": 2},
@@ -136,7 +213,7 @@ class TestEligibility:
 
     def test_constructor_rejects_ineligible(self):
         with pytest.raises(ValueError, match="vectorised"):
-            FastFunctionalSimulator(two_level().with_level(1, associativity=2))
+            FastFunctionalSimulator(two_level().with_level(1, associativity=32))
 
 
 class TestDispatch:
@@ -149,9 +226,18 @@ class TestDispatch:
             reference.level_stats[1].read_misses
         )
 
-    def test_run_functional_falls_back_for_associative(self):
+    def test_run_functional_picks_fast_for_associative(self):
         trace = SyntheticWorkload(seed=51).trace(10_000)
         config = two_level().with_level(1, associativity=4)
+        result = run_functional(trace, config)
+        reference = FunctionalSimulator(config).run(trace)
+        assert result.level_stats[1].read_misses == (
+            reference.level_stats[1].read_misses
+        )
+
+    def test_run_functional_falls_back_beyond_max_ways(self):
+        trace = SyntheticWorkload(seed=52).trace(10_000)
+        config = two_level().with_level(1, associativity=32)
         result = run_functional(trace, config)
         assert result.level_stats[1].reads > 0
 
