@@ -1,0 +1,162 @@
+"""BENCH-AUDIT: cost of the conservation-law audits, and a sample manifest.
+
+Times a Figure-5-shaped functional sweep -- L2 sizes x set sizes 1/2/4/8
+over the standard trace suite -- with ``REPRO_AUDIT=0`` and again with
+``REPRO_AUDIT=1`` from a cold memoisation cache, plus a small timing-
+simulator leg.  The audited runs must produce identical counts and cost
+no more than 10% extra (the audits are O(depth) numpy reductions per
+run).  The audited sweep is recorded into a run manifest written to
+``results/BENCH-AUDIT.manifest.json`` -- the committed example of what
+the observability layer captures (docs/observability.md).
+"""
+
+import json
+import statistics
+import sys
+import time
+
+from repro.audit import manifest as run_manifest
+from repro.audit.invariants import ENV_KNOB
+from repro.core.sweep import sweep_functional, sweep_workers
+from repro.experiments.base import ExperimentReport
+from repro.experiments.baseline import base_machine
+from repro.sim import memo
+from repro.sim.timing import TimingSimulator
+from repro.units import KB
+
+from benchmarks.conftest import RESULTS_DIR
+
+L2_SIZES = [16 * KB, 64 * KB]
+SET_SIZES = [1, 2, 4, 8]
+ROUNDS = 3
+
+
+def _grid_configs():
+    return [
+        base_machine(l2_size=size).with_level(1, associativity=ways)
+        for size in L2_SIZES
+        for ways in SET_SIZES
+    ]
+
+
+def _counts(result):
+    return tuple(
+        (s.reads, s.read_misses, s.writes, s.write_misses, s.writebacks,
+         s.blocks_fetched)
+        for s in result.level_stats
+    )
+
+
+def _functional_leg(traces, configs):
+    """Best-of-N cold-cache sweep time plus the final grid's counts."""
+    seconds = []
+    grid = None
+    for _ in range(ROUNDS):
+        memo.clear_memo_cache()
+        start = time.perf_counter()
+        grid = sweep_functional(traces, configs)
+        seconds.append(time.perf_counter() - start)
+    return min(seconds), grid
+
+
+def _timing_leg(trace, configs):
+    seconds = []
+    results = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        results = [TimingSimulator(config).run(trace) for config in configs]
+        seconds.append(time.perf_counter() - start)
+    return min(seconds), results
+
+
+def test_audit_overhead(traces, emit, monkeypatch):
+    configs = _grid_configs()
+    timing_trace = traces[0][:40_000]
+    timing_configs = configs[:2]
+    records = sum(len(t) for t in traces)
+
+    monkeypatch.setenv(ENV_KNOB, "0")
+    plain_seconds, plain_grid = _functional_leg(traces, configs)
+    plain_timing_seconds, plain_timing = _timing_leg(
+        timing_trace, timing_configs
+    )
+
+    monkeypatch.setenv(ENV_KNOB, "1")
+    with run_manifest.recording("BENCH-AUDIT") as recorder:
+        recorder.add_traces(traces)
+        with recorder.phase("functional-sweep"):
+            audited_seconds, audited_grid = _functional_leg(traces, configs)
+        with recorder.phase("timing"):
+            audited_timing_seconds, audited_timing = _timing_leg(
+                timing_trace, timing_configs
+            )
+        # One warm re-sweep so the manifest shows the memoisation layer
+        # absorbing a repeat grid (simulated=0, hit ratio > 0).
+        with recorder.phase("memo-warm-resweep"):
+            sweep_functional(traces, configs)
+
+    identical = all(
+        _counts(a) == _counts(b)
+        for row_a, row_b in zip(plain_grid, audited_grid)
+        for a, b in zip(row_a, row_b)
+    ) and all(
+        _counts(a) == _counts(b) and a.total_ns == b.total_ns
+        for a, b in zip(plain_timing, audited_timing)
+    )
+
+    overhead = (audited_seconds - plain_seconds) / plain_seconds
+    timing_overhead = (
+        (audited_timing_seconds - plain_timing_seconds) / plain_timing_seconds
+    )
+
+    recorder.annotate(
+        functional_overhead=round(overhead, 4),
+        timing_overhead=round(timing_overhead, 4),
+        rounds=ROUNDS,
+    )
+    manifest_path = recorder.write(RESULTS_DIR / "BENCH-AUDIT.manifest.json")
+    manifest_data = json.loads(manifest_path.read_text())
+
+    rows = [
+        ["functional sweep, audit off", f"{plain_seconds:.2f}", "-"],
+        ["functional sweep, audit on", f"{audited_seconds:.2f}",
+         f"{overhead:+.1%}"],
+        ["timing x2 configs, audit off", f"{plain_timing_seconds:.2f}", "-"],
+        ["timing x2 configs, audit on", f"{audited_timing_seconds:.2f}",
+         f"{timing_overhead:+.1%}"],
+    ]
+    checks = {
+        "audited counts identical to unaudited": identical,
+        "functional audit overhead <= 10%": overhead <= 0.10,
+        "timing audit overhead <= 10%": timing_overhead <= 0.10,
+        "manifest records memo hit ratio": (
+            0.0 < manifest_data["memo"]["hit_ratio"] <= 1.0
+        ),
+        "manifest shows the warm re-sweep fully memoised": (
+            manifest_data["sweeps"][-1]["simulated"] == 0
+        ),
+        "manifest records worker count": all(
+            note["workers"] >= 1 for note in manifest_data["sweeps"]
+        ),
+    }
+
+    bench_line = (
+        f"BENCH audit-overhead: functional {overhead:+.1%} "
+        f"timing {timing_overhead:+.1%} "
+        f"({len(configs)} configs x {len(traces)} traces x "
+        f"{records // len(traces)} records/trace, workers="
+        f"{sweep_workers()}, best of {ROUNDS})"
+    )
+    print(bench_line, file=sys.__stdout__, flush=True)
+
+    report = ExperimentReport(
+        experiment_id="BENCH-AUDIT",
+        title="Conservation-law audit overhead (Figure-5-shaped grid)",
+        headers=["leg", "seconds", "overhead"],
+        rows=rows,
+        checks=checks,
+        notes=[bench_line, f"manifest: {manifest_path.name}"],
+    )
+    emit(report)
+    memo.clear_memo_cache()
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,39 @@
+"""Invariant audits, differential parity checks and run manifests.
+
+The trustworthiness layer of the repository (ISSUE 2): every simulated
+count feeding a figure can be cross-checked, and every sweep leaves a
+structured record of what it did.
+
+* :mod:`repro.audit.invariants` -- per-run conservation laws, enforced
+  inside the simulators when ``REPRO_AUDIT`` is on (default under
+  pytest).
+* :mod:`repro.audit.parity` -- differential checks: vectorised vs
+  reference simulator, memoised vs direct runs, serial vs parallel
+  sweeps.  (Imported lazily by consumers; it pulls in the simulators.)
+* :mod:`repro.audit.manifest` -- JSON run manifests: grid shape, trace
+  fingerprints, memoisation counters, worker counts and phase timings.
+* :mod:`repro.audit.selfcheck` -- ``python -m repro.audit.selfcheck``,
+  a CLI that runs the parity suite end to end and emits a manifest.
+
+See ``docs/observability.md`` for the full story.
+"""
+
+from repro.audit.invariants import (
+    ENV_KNOB,
+    AuditError,
+    audit_enabled,
+    audit_functional_result,
+    audit_timing_result,
+    maybe_audit_functional,
+    maybe_audit_timing,
+)
+
+__all__ = [
+    "ENV_KNOB",
+    "AuditError",
+    "audit_enabled",
+    "audit_functional_result",
+    "audit_timing_result",
+    "maybe_audit_functional",
+    "maybe_audit_timing",
+]

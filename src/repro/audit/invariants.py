@@ -1,0 +1,281 @@
+"""Conservation-law audits of simulated event counts.
+
+Every figure in the paper is derived from the same simulated counters:
+Equation 1's cycle decomposition, the local/global/solo miss-ratio triad
+and the constant-performance slopes all trust that the counts conserve.
+This module makes that trust checkable: after a simulation run the
+counters must satisfy the hierarchy's conservation laws exactly, or the
+run raises :class:`AuditError` instead of returning silently-wrong data.
+
+The laws (all exact, all O(depth) to check):
+
+* **CPU boundary** -- the level-1 caches see exactly the trace's
+  post-warmup references: merged L1 ``reads`` equals the measured loads
+  plus instruction fetches, merged L1 ``writes`` equals the measured
+  stores, and (timing) the instruction count equals the measured fetches.
+* **Fill law (L1)** -- with single-block fetch, every L1 fill is caused
+  by a demand miss: ``blocks_fetched == read_misses`` plus the allocating
+  write misses; with ``fetch_blocks > 1`` the same quantity bounds the
+  fills from below (and ``fetch_blocks`` times it from above).
+* **Boundary flow** -- the accesses arriving at level *i+1* are exactly
+  the traffic level *i* emitted: block fills + writebacks + forwarded
+  writes + issued prefetches.  (Skipped under enforced inclusion, whose
+  write-around back-invalidations are deliberately outside the per-level
+  counters; see DESIGN.md section 6.)
+* **Memory flow** -- main-memory reads equal the deepest level's fills
+  plus its issued prefetches; main-memory writes equal its writebacks
+  plus its forwarded writes.  (Same inclusion caveat.)
+* **Bucket sanity** -- misses never exceed accesses in any bucket and no
+  counter is negative.
+* **Time decomposition** (timing results) -- ``total_ns`` equals the
+  ifetch/data-hit base time plus ``read_stall_ns + write_stall_ns``, to
+  float round-off.
+
+Auditing is opt-in via the ``REPRO_AUDIT`` environment knob and defaults
+to *on* under pytest (``PYTEST_CURRENT_TEST`` is set), so the whole test
+suite doubles as a mutation detector; see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.trace.record import IFETCH, WRITE, Trace
+
+#: Environment knob: truthy forces audits on, ``0``/``false``/``off``
+#: forces them off, unset defers to "am I running under pytest?".
+ENV_KNOB = "REPRO_AUDIT"
+
+_FALSY = frozenset(("", "0", "false", "off", "no"))
+
+
+class AuditError(AssertionError):
+    """A simulated result violated a conservation law."""
+
+
+def audit_enabled() -> bool:
+    """Whether simulator runs should be audited right now.
+
+    ``REPRO_AUDIT`` wins when set; otherwise audits are on exactly when
+    running under pytest (workers forked by the sweep executor inherit
+    the environment, so audits follow the tests into the pool).
+    """
+    value = os.environ.get(ENV_KNOB)
+    if value is None:
+        return "PYTEST_CURRENT_TEST" in os.environ
+    return value.strip().lower() not in _FALSY
+
+
+# -- shared helpers ----------------------------------------------------------
+
+
+#: Metadata slot caching the measured kind counts.  Underscore-prefixed:
+#: content-derived, so structural trace operations (slice, concat) strip
+#: it -- see ``repro.trace.record._derived_free_metadata``.
+_KIND_COUNTS_SLOT = "_measured_kind_counts"
+
+
+def _measured_kind_counts(trace: Trace) -> Tuple[int, int, int]:
+    """(reads, writes, ifetches) of the post-warmup region, from the trace.
+
+    Cached on the trace so auditing every run of a sweep costs the numpy
+    reductions once per trace, not once per cell.
+    """
+    cached = trace.metadata.get(_KIND_COUNTS_SLOT)
+    if cached is not None:
+        return cached
+    kinds = trace.kinds[trace.warmup:]
+    writes = int(np.count_nonzero(kinds == WRITE))
+    ifetches = int(np.count_nonzero(kinds == IFETCH))
+    counts = (int(kinds.size) - writes, writes, ifetches)
+    trace.metadata[_KIND_COUNTS_SLOT] = counts
+    return counts
+
+
+def _check(problems: List[str], ok: bool, law: str, detail: str) -> None:
+    if not ok:
+        problems.append(f"{law}: {detail}")
+
+
+def _audit_counts(trace: Trace, result, problems: List[str]) -> None:
+    """The count laws shared by functional and timing results."""
+    reads, writes, _ = _measured_kind_counts(trace)
+    config = result.config
+    stats = result.level_stats
+
+    _check(
+        problems, result.cpu_reads == reads, "cpu-boundary",
+        f"result.cpu_reads={result.cpu_reads} but the trace has {reads} "
+        f"post-warmup reads",
+    )
+    _check(
+        problems, result.cpu_writes == writes, "cpu-boundary",
+        f"result.cpu_writes={result.cpu_writes} but the trace has {writes} "
+        f"post-warmup writes",
+    )
+
+    l1 = stats[0]
+    _check(
+        problems, l1.reads == reads, "cpu-boundary",
+        f"L1 counted {l1.reads} demand reads, trace presented {reads}",
+    )
+    _check(
+        problems, l1.writes == writes, "cpu-boundary",
+        f"L1 counted {l1.writes} writes, trace presented {writes}",
+    )
+    _check(
+        problems, l1.prefetch_reads == 0, "cpu-boundary",
+        f"L1 counted {l1.prefetch_reads} prefetch-bucket reads; nothing "
+        f"sits above L1 to issue them",
+    )
+
+    for level, s in enumerate(stats, start=1):
+        for label, misses, accesses in (
+            ("read", s.read_misses, s.reads),
+            ("write", s.write_misses, s.writes),
+            ("prefetch", s.prefetch_read_misses, s.prefetch_reads),
+        ):
+            _check(
+                problems, 0 <= misses <= accesses, "bucket-sanity",
+                f"L{level} {label} misses {misses} outside [0, {accesses}]",
+            )
+        negatives = [
+            name for name, value in vars(s).items() if value < 0
+        ]
+        _check(
+            problems, not negatives, "bucket-sanity",
+            f"L{level} negative counters: {negatives}",
+        )
+
+    first = config.levels[0]
+    allocating = l1.write_misses if first.write_allocate else 0
+    demand_fills = l1.read_misses + allocating
+    if first.fetch_blocks == 1:
+        _check(
+            problems, l1.blocks_fetched == demand_fills, "fill-law",
+            f"L1 fetched {l1.blocks_fetched} blocks but counted "
+            f"{l1.read_misses} read misses + {allocating} allocating "
+            f"write misses",
+        )
+    else:
+        _check(
+            problems,
+            demand_fills <= l1.blocks_fetched
+            <= demand_fills * first.fetch_blocks,
+            "fill-law",
+            f"L1 fetched {l1.blocks_fetched} blocks, outside "
+            f"[{demand_fills}, {demand_fills * first.fetch_blocks}] for "
+            f"fetch_blocks={first.fetch_blocks}",
+        )
+
+    if config.enforce_inclusion:
+        # Back-invalidations write *around* the evicting level, a path
+        # deliberately outside the per-level counters (DESIGN.md section
+        # 6), so the flow laws do not apply verbatim.
+        return
+
+    for i in range(len(stats) - 1):
+        up, down = stats[i], stats[i + 1]
+        emitted = (
+            up.blocks_fetched + up.writebacks + up.writes_forwarded
+            + up.prefetches_issued
+        )
+        arrived = down.reads + down.writes + down.prefetch_reads
+        _check(
+            problems, arrived == emitted, "boundary-flow",
+            f"L{i + 2} received {arrived} accesses but L{i + 1} emitted "
+            f"{emitted} (fills {up.blocks_fetched} + writebacks "
+            f"{up.writebacks} + forwarded {up.writes_forwarded} + "
+            f"prefetches {up.prefetches_issued})",
+        )
+
+    deepest = stats[-1]
+    _check(
+        problems,
+        result.memory_reads == deepest.blocks_fetched + deepest.prefetches_issued,
+        "memory-flow",
+        f"memory_reads={result.memory_reads} but the deepest level fetched "
+        f"{deepest.blocks_fetched} blocks and prefetched "
+        f"{deepest.prefetches_issued}",
+    )
+    _check(
+        problems,
+        result.memory_writes == deepest.writebacks + deepest.writes_forwarded,
+        "memory-flow",
+        f"memory_writes={result.memory_writes} but the deepest level wrote "
+        f"back {deepest.writebacks} and forwarded {deepest.writes_forwarded}",
+    )
+
+
+def _raise(source: str, trace: Trace, problems: List[str]) -> None:
+    if problems:
+        laws = "\n".join(f"  - {problem}" for problem in problems)
+        raise AuditError(
+            f"{source} run on trace {trace.name!r} ({len(trace)} records, "
+            f"warmup {trace.warmup}) violated {len(problems)} conservation "
+            f"law(s):\n{laws}"
+        )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def audit_functional_result(trace: Trace, result, source: str = "functional") -> None:
+    """Check a :class:`~repro.sim.functional.FunctionalResult`; raise
+    :class:`AuditError` on any violation."""
+    problems: List[str] = []
+    _, _, ifetches = _measured_kind_counts(trace)
+    _check(
+        problems, result.cpu_ifetches == ifetches, "cpu-boundary",
+        f"result.cpu_ifetches={result.cpu_ifetches} but the trace has "
+        f"{ifetches} post-warmup instruction fetches",
+    )
+    _audit_counts(trace, result, problems)
+    _raise(source, trace, problems)
+
+
+def audit_timing_result(trace: Trace, result, source: str = "timing") -> None:
+    """Check a :class:`~repro.sim.timing.TimingResult`; raise
+    :class:`AuditError` on any violation."""
+    problems: List[str] = []
+    _, _, ifetches = _measured_kind_counts(trace)
+    _check(
+        problems, result.instructions == ifetches, "cpu-boundary",
+        f"result.instructions={result.instructions} but the trace has "
+        f"{ifetches} post-warmup instruction fetches",
+    )
+    _audit_counts(trace, result, problems)
+
+    recomposed = result.base_ns + result.read_stall_ns + result.write_stall_ns
+    tolerance = 1e-6 + 1e-9 * abs(result.total_ns)
+    _check(
+        problems,
+        abs(result.total_ns - recomposed) <= tolerance,
+        "time-decomposition",
+        f"total_ns={result.total_ns!r} but base {result.base_ns!r} + read "
+        f"stall {result.read_stall_ns!r} + write stall "
+        f"{result.write_stall_ns!r} = {recomposed!r}",
+    )
+    for name in ("base_ns", "read_stall_ns", "write_stall_ns", "total_ns"):
+        _check(
+            problems, getattr(result, name) >= 0.0, "time-decomposition",
+            f"{name}={getattr(result, name)!r} is negative",
+        )
+    _raise(source, trace, problems)
+
+
+def maybe_audit_functional(trace: Trace, result, source: str = "functional"):
+    """Audit when enabled; always returns ``result`` for chaining."""
+    if audit_enabled():
+        audit_functional_result(trace, result, source)
+    return result
+
+
+def maybe_audit_timing(trace: Trace, result, source: str = "timing"):
+    """Audit when enabled; always returns ``result`` for chaining."""
+    if audit_enabled():
+        audit_timing_result(trace, result, source)
+    return result

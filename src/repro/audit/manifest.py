@@ -1,0 +1,209 @@
+"""Structured run manifests for sweeps and experiments.
+
+A manifest answers, after the fact, "what did that run actually do?":
+how big the configuration grid was, which traces went in (by content
+fingerprint), how much the memoisation layer absorbed, how many worker
+processes the executor used and where the wall time went.  Benchmark
+trajectories and regressions become diagnosable from the artefact alone.
+
+Usage::
+
+    from repro.audit import manifest
+
+    with manifest.recording("F5-1") as run:
+        run.add_traces(traces)
+        with run.phase("sweep"):
+            grid = sweep_functional(traces, configs)
+    run.write(Path("results/F5-1.manifest.json"))
+
+The sweep executor (:mod:`repro.core.sweep`) reports into every active
+recorder via :func:`note_sweep`; when none is active the call is a
+no-op, so instrumentation costs nothing outside a recording.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.audit.invariants import audit_enabled
+from repro.sim import memo
+from repro.trace.record import Trace
+
+#: Manifest schema version (bump on breaking shape changes).
+SCHEMA = 1
+
+
+@dataclass
+class SweepNote:
+    """One executor fan-out inside a recorded run."""
+
+    kind: str  # "functional" or "timing"
+    configs: int
+    traces: int
+    cells: int
+    #: Cells actually simulated (the rest were memoisation hits).
+    simulated: int
+    workers: int
+    #: Whether a process pool was actually used (vs the serial path).
+    pooled: bool
+    seconds: float
+
+    @property
+    def memoised(self) -> int:
+        return self.cells - self.simulated
+
+
+class RunManifest:
+    """Collects one run's observability record; renders to JSON."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._started_unix = time.time()
+        self._started = time.perf_counter()
+        self._finished: Optional[float] = None
+        self.sweeps: List[SweepNote] = []
+        self.phases: List[Dict[str, Any]] = []
+        self.traces: List[Dict[str, Any]] = []
+        self.extra: Dict[str, Any] = {}
+        stats = memo.memo_stats()
+        self._memo_before = (stats.hits, stats.misses, stats.evictions)
+
+    # -- recording -----------------------------------------------------------
+
+    def add_traces(self, traces: Sequence[Trace]) -> None:
+        """Record the workload by name, shape and content fingerprint."""
+        for trace in traces:
+            self.traces.append(
+                {
+                    "name": trace.name,
+                    "records": len(trace),
+                    "warmup": trace.warmup,
+                    "fingerprint": memo.trace_fingerprint(trace),
+                }
+            )
+
+    def note_sweep(self, note: SweepNote) -> None:
+        self.sweeps.append(note)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a named phase of the run."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases.append(
+                {"name": name, "seconds": time.perf_counter() - start}
+            )
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach experiment-specific fields (grid axes, scale knobs...)."""
+        self.extra.update(fields)
+
+    # -- rendering -----------------------------------------------------------
+
+    def finish(self) -> None:
+        """Freeze the wall clock (idempotent; implied by :meth:`as_dict`)."""
+        if self._finished is None:
+            self._finished = time.perf_counter()
+
+    def as_dict(self) -> Dict[str, Any]:
+        self.finish()
+        hits_before, misses_before, evictions_before = self._memo_before
+        stats = memo.memo_stats()
+        hits = stats.hits - hits_before
+        misses = stats.misses - misses_before
+        lookups = hits + misses
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "created": time.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time.localtime(self._started_unix)
+            ),
+            "audit_enabled": audit_enabled(),
+            "workers_env": os.environ.get("REPRO_SWEEP_WORKERS"),
+            "wall_seconds": self._finished - self._started,
+            "traces": list(self.traces),
+            "sweeps": [
+                {**asdict(note), "memoised": note.memoised}
+                for note in self.sweeps
+            ],
+            "sweep_totals": {
+                "sweeps": len(self.sweeps),
+                "cells": sum(note.cells for note in self.sweeps),
+                "simulated": sum(note.simulated for note in self.sweeps),
+                "memoised": sum(note.memoised for note in self.sweeps),
+                "seconds": sum(note.seconds for note in self.sweeps),
+            },
+            "memo": {
+                "hits": hits,
+                "misses": misses,
+                "evictions": stats.evictions - evictions_before,
+                "hit_ratio": hits / lookups if lookups else 0.0,
+                "entries": memo.cache_size(),
+            },
+            "phases": list(self.phases),
+            "extra": dict(self.extra),
+        }
+
+    def write(self, path) -> Path:
+        """Serialise to ``path`` as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+#: Active recorders, innermost last.  Sweep notes go to every one of
+#: them so an outer (CLI-level) recording sees nested experiments' work.
+_active: List[RunManifest] = []
+
+
+def current() -> Optional[RunManifest]:
+    """The innermost active recorder, if any."""
+    return _active[-1] if _active else None
+
+
+def note_sweep(
+    kind: str,
+    configs: int,
+    traces: int,
+    simulated: int,
+    workers: int,
+    pooled: bool,
+    seconds: float,
+) -> None:
+    """Report one executor fan-out to every active recorder (no-op when
+    nothing is recording)."""
+    if not _active:
+        return
+    note = SweepNote(
+        kind=kind,
+        configs=configs,
+        traces=traces,
+        cells=configs * traces,
+        simulated=simulated,
+        workers=workers,
+        pooled=pooled,
+        seconds=seconds,
+    )
+    for recorder in _active:
+        recorder.note_sweep(note)
+
+
+@contextmanager
+def recording(name: str):
+    """Activate a :class:`RunManifest` for the duration of the block."""
+    recorder = RunManifest(name)
+    _active.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _active.remove(recorder)
+        recorder.finish()

@@ -1,0 +1,102 @@
+"""Differential parity checks between the repository's redundant engines.
+
+The repository deliberately computes the same counts several ways -- a
+vectorised fast path against a reference event-driven simulator, a
+memoisation cache against direct runs, a process pool against the serial
+loop.  That redundancy is only a safety net if someone compares the
+answers; these helpers are that comparison, reusable from tests and from
+the ``repro.audit.selfcheck`` CLI.
+
+Each check raises :class:`ParityError` (an :class:`AuditError`) with the
+first diverging counter, or returns quietly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.audit.invariants import AuditError
+from repro.sim import memo
+from repro.sim.config import SystemConfig
+from repro.sim.fast import FastFunctionalSimulator, fast_eligible
+from repro.sim.functional import FunctionalResult, FunctionalSimulator
+from repro.trace.record import Trace
+
+
+class ParityError(AuditError):
+    """Two engines that must agree produced different counts."""
+
+
+#: Per-level counters compared between functional results.
+_LEVEL_FIELDS = (
+    "reads", "read_misses", "writes", "write_misses", "writebacks",
+    "blocks_fetched", "prefetched_blocks", "writes_forwarded",
+    "prefetch_reads", "prefetch_read_misses", "prefetches_issued",
+    "useful_prefetches",
+)
+
+
+def assert_counts_equal(
+    a: FunctionalResult, b: FunctionalResult, context: str = "parity"
+) -> None:
+    """Raise :class:`ParityError` on the first diverging counter."""
+    diffs: List[str] = []
+    for name in ("cpu_reads", "cpu_writes", "memory_reads", "memory_writes"):
+        left, right = getattr(a, name), getattr(b, name)
+        if left != right:
+            diffs.append(f"{name}: {left} != {right}")
+    if len(a.level_stats) != len(b.level_stats):
+        diffs.append(
+            f"depth: {len(a.level_stats)} != {len(b.level_stats)} levels"
+        )
+    else:
+        for level, (sa, sb) in enumerate(zip(a.level_stats, b.level_stats), 1):
+            for name in _LEVEL_FIELDS:
+                left, right = getattr(sa, name), getattr(sb, name)
+                if left != right:
+                    diffs.append(f"L{level}.{name}: {left} != {right}")
+    if diffs:
+        listed = "\n".join(f"  - {diff}" for diff in diffs)
+        raise ParityError(
+            f"{context}: counts diverge on trace {a.trace_name!r}:\n{listed}"
+        )
+
+
+def check_fast_vs_reference(trace: Trace, config: SystemConfig) -> None:
+    """The vectorised engine must be count-identical to the reference on
+    every eligible configuration (no-op when the config is ineligible)."""
+    if not fast_eligible(config):
+        return
+    fast = FastFunctionalSimulator(config).run(trace)
+    reference = FunctionalSimulator(config).run(trace)
+    assert_counts_equal(fast, reference, context="fast-vs-reference")
+
+
+def check_memo_vs_direct(trace: Trace, config: SystemConfig) -> None:
+    """A memoised lookup must return the counts of a direct run."""
+    from repro.sim.fast import run_functional
+
+    memoised = memo.run_functional_memo(trace, config)
+    direct = run_functional(trace, config)
+    assert_counts_equal(memoised, direct, context="memo-vs-direct")
+
+
+def check_serial_vs_parallel(
+    traces: Sequence[Trace],
+    configs: Sequence[SystemConfig],
+    workers: int = 2,
+) -> None:
+    """The pooled executor must reproduce the serial grid cell by cell.
+
+    Clears the memoisation cache before each leg so both actually
+    simulate; leaves the serial leg's results cached afterwards.
+    """
+    from repro.core.sweep import sweep_functional
+
+    memo.clear_memo_cache(reset_stats=False)
+    pooled = sweep_functional(traces, configs, workers=workers)
+    memo.clear_memo_cache(reset_stats=False)
+    serial = sweep_functional(traces, configs, workers=1)
+    for row_serial, row_pooled in zip(serial, pooled):
+        for a, b in zip(row_serial, row_pooled):
+            assert_counts_equal(a, b, context="serial-vs-parallel")

@@ -1,0 +1,184 @@
+"""``python -m repro.audit.selfcheck`` -- end-to-end trust check.
+
+Runs every class of audit the repository has against a small synthetic
+workload and reports PASS/FAIL per check:
+
+* conservation laws on the reference functional simulator, the
+  vectorised fast path and the timing simulator, over a grid of
+  split/unified, write-back/write-through, 1-3 level and prefetching
+  configurations;
+* fast-path vs reference parity;
+* memoised vs direct parity;
+* serial vs parallel sweep parity.
+
+Exit status is 0 only if every check passes.  With ``-o PATH`` a run
+manifest (including the sweep and memoisation record of the parity
+checks) is written as JSON -- CI uploads one as a build artefact.
+
+::
+
+    PYTHONPATH=src python -m repro.audit.selfcheck -o selfcheck.manifest.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, List, Optional, Tuple
+
+from repro.audit import manifest as run_manifest
+from repro.audit.invariants import (
+    AuditError,
+    audit_functional_result,
+    audit_timing_result,
+)
+from repro.audit.parity import (
+    check_fast_vs_reference,
+    check_memo_vs_direct,
+    check_serial_vs_parallel,
+)
+from repro.cache.policy import PrefetchKind, WritePolicy
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.fast import run_functional
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.timing import TimingSimulator
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+
+def _grid() -> List[Tuple[str, SystemConfig]]:
+    """The scenario grid: every structural axis the audit laws cover."""
+    l1 = LevelConfig(size_bytes=2 * KB, block_bytes=16, split=True,
+                     cycle_cpu_cycles=1, write_hit_cycles=2)
+    l2 = LevelConfig(size_bytes=32 * KB, block_bytes=32, cycle_cpu_cycles=3)
+    return [
+        ("unified-1-level", SystemConfig(levels=(
+            LevelConfig(size_bytes=8 * KB, block_bytes=16, cycle_cpu_cycles=2),
+        ))),
+        ("split-2-level-wb", SystemConfig(levels=(l1, l2))),
+        ("unified-2-level-assoc", SystemConfig(levels=(
+            LevelConfig(size_bytes=2 * KB, block_bytes=16, associativity=2),
+            l2.with_(associativity=4),
+        ))),
+        ("write-through-l1", SystemConfig(levels=(
+            l1.with_(split=False, write_policy=WritePolicy.WRITE_THROUGH,
+                     write_allocate=False),
+            l2,
+        ))),
+        ("prefetch-on-miss", SystemConfig(levels=(
+            l1.with_(split=False, prefetch=PrefetchKind.ON_MISS),
+            l2,
+        ))),
+        ("fetch-two-blocks", SystemConfig(levels=(
+            l1.with_(split=False, fetch_blocks=2),
+            l2,
+        ))),
+        ("three-level", SystemConfig(levels=(
+            l1,
+            LevelConfig(size_bytes=16 * KB, block_bytes=32, cycle_cpu_cycles=3),
+            LevelConfig(size_bytes=128 * KB, block_bytes=32, cycle_cpu_cycles=6),
+        ), backplane_cycle_ns=30.0)),
+    ]
+
+
+def _checks(traces, timing_records: int) -> List[Tuple[str, Callable[[], None]]]:
+    checks: List[Tuple[str, Callable[[], None]]] = []
+    grid = _grid()
+
+    for name, config in grid:
+        def conservation(config=config):
+            for trace in traces:
+                audit_functional_result(
+                    trace, FunctionalSimulator(config).run(trace),
+                    source="reference",
+                )
+                audit_functional_result(
+                    trace, run_functional(trace, config), source="fast-path"
+                )
+                short = trace[:timing_records]
+                audit_timing_result(
+                    short, TimingSimulator(config).run(short)
+                )
+        checks.append((f"conservation[{name}]", conservation))
+
+    def fast_parity():
+        for _, config in grid:
+            for trace in traces:
+                check_fast_vs_reference(trace, config)
+    checks.append(("fast-vs-reference", fast_parity))
+
+    def memo_parity():
+        for _, config in grid:
+            check_memo_vs_direct(traces[0], config)
+    checks.append(("memo-vs-direct", memo_parity))
+
+    def pool_parity():
+        check_serial_vs_parallel(
+            traces, [config for _, config in grid], workers=2
+        )
+    checks.append(("serial-vs-parallel", pool_parity))
+
+    return checks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.audit.selfcheck", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--records", type=int, default=20_000,
+        help="records per synthetic trace (default 20000)",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=2,
+        help="number of synthetic traces (default 2)",
+    )
+    parser.add_argument(
+        "--timing-records", type=int, default=5_000,
+        help="records per timing-simulator run (default 5000)",
+    )
+    parser.add_argument(
+        "-o", "--manifest", type=str, default=None,
+        help="write a JSON run manifest to this path",
+    )
+    args = parser.parse_args(argv)
+
+    traces = [
+        SyntheticWorkload(seed=17 + i).trace(
+            args.records, name=f"selfcheck-{i}", warmup=args.records // 5
+        )
+        for i in range(max(1, args.traces))
+    ]
+
+    failures = 0
+    with run_manifest.recording("selfcheck") as recorder:
+        recorder.add_traces(traces)
+        recorder.annotate(
+            records=args.records,
+            traces=args.traces,
+            timing_records=args.timing_records,
+        )
+        results = {}
+        for name, check in _checks(traces, args.timing_records):
+            with recorder.phase(name):
+                try:
+                    check()
+                except AuditError as error:
+                    failures += 1
+                    results[name] = "fail"
+                    print(f"selfcheck: {name} ... FAIL\n{error}")
+                else:
+                    results[name] = "ok"
+                    print(f"selfcheck: {name} ... ok")
+        recorder.annotate(results=results)
+    if args.manifest:
+        path = recorder.write(args.manifest)
+        print(f"selfcheck: manifest written to {path}")
+    print(
+        f"selfcheck: {len(results) - failures}/{len(results)} checks passed"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -33,8 +33,10 @@ force serial), otherwise from ``os.cpu_count()``; see
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.audit import manifest as run_manifest
 from repro.sim import memo
 from repro.sim.config import SystemConfig
 from repro.sim.fast import run_functional
@@ -118,7 +120,14 @@ def _pool_map(
     workers: int,
 ) -> Optional[List]:
     """Fan ``jobs`` out over a process pool; ``None`` if no pool could be
-    created (the caller falls back to the serial path)."""
+    created (the caller falls back to the serial path).
+
+    Only pool *creation* is allowed to fail softly: a sandbox that forbids
+    ``fork`` degrades to the serial path with identical results.  An
+    exception raised by a *worker* -- a simulation error -- propagates to
+    the caller unchanged; silently re-running a failing grid serially
+    would mask the error (and could "succeed" with different results).
+    """
     import multiprocessing
 
     try:
@@ -127,14 +136,15 @@ def _pool_map(
         context = multiprocessing.get_context()
     chunks = _chunked(jobs, workers * _CHUNKS_PER_WORKER)
     try:
-        with context.Pool(
+        pool = context.Pool(
             processes=min(workers, len(chunks)),
             initializer=_init_worker,
             initargs=(traces,),
-        ) as pool:
-            chunk_results = pool.map(runner, chunks)
+        )
     except (OSError, ValueError, ImportError, PermissionError):
         return None
+    with pool:
+        chunk_results = pool.map(runner, chunks)
     return [result for chunk in chunk_results for result in chunk]
 
 
@@ -143,15 +153,19 @@ def _run_jobs(
     jobs: List[Tuple[int, SystemConfig]],
     traces: List[Trace],
     workers: Optional[int],
-) -> List:
-    """Evaluate ``jobs`` (deterministic order) in parallel when it pays."""
+) -> Tuple[List, int, bool]:
+    """Evaluate ``jobs`` (deterministic order) in parallel when it pays.
+
+    Returns ``(results, workers_resolved, pooled)`` so callers can report
+    how the work was actually executed.
+    """
     count = sweep_workers(workers)
     if count > 1 and len(jobs) >= MIN_CELLS_FOR_POOL:
         results = _pool_map(runner, jobs, traces, count)
         if results is not None:
-            return results
+            return results, count, True
     _init_worker(traces)
-    return runner(jobs)
+    return runner(jobs), count, False
 
 
 def sweep_functional(
@@ -167,6 +181,7 @@ def sweep_functional(
     differences, or results already cached by an earlier sweep) are
     simulated once; the rest are fanned out over the worker pool.
     """
+    started = time.perf_counter()
     traces = list(traces)
     configs = list(configs)
     if not traces or not configs:
@@ -188,14 +203,27 @@ def sweep_functional(
             seen.add(key)
             pending.append((j, config))
             pending_keys.append(key)
+    used_workers, pooled = sweep_workers(workers), False
     if pending:
-        fresh = _run_jobs(_run_functional_chunk, pending, traces, workers)
+        fresh, used_workers, pooled = _run_jobs(
+            _run_functional_chunk, pending, traces, workers
+        )
         for key, result in zip(pending_keys, fresh):
             memo.store(key, result)
-    return [
+    grid = [
         [memo.run_functional_memo(trace, config) for trace in traces]
         for config in configs
     ]
+    run_manifest.note_sweep(
+        kind="functional",
+        configs=len(configs),
+        traces=len(traces),
+        simulated=len(pending),
+        workers=used_workers,
+        pooled=pooled,
+        seconds=time.perf_counter() - started,
+    )
+    return grid
 
 
 def sweep_timing(
@@ -209,6 +237,7 @@ def sweep_timing(
     results depend on every configuration field, so there is no
     memoisation -- just the shared fan-out.
     """
+    started = time.perf_counter()
     traces = list(traces)
     configs = list(configs)
     if not traces or not configs:
@@ -216,6 +245,17 @@ def sweep_timing(
     jobs = [
         (j, config) for config in configs for j in range(len(traces))
     ]
-    flat = _run_jobs(_run_timing_chunk, jobs, traces, workers)
+    flat, used_workers, pooled = _run_jobs(
+        _run_timing_chunk, jobs, traces, workers
+    )
     width = len(traces)
+    run_manifest.note_sweep(
+        kind="timing",
+        configs=len(configs),
+        traces=len(traces),
+        simulated=len(jobs),
+        workers=used_workers,
+        pooled=pooled,
+        seconds=time.perf_counter() - started,
+    )
     return [flat[i * width:(i + 1) * width] for i in range(len(configs))]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.render import render_table
 from repro.trace.record import Trace
@@ -52,6 +52,25 @@ class Experiment(ABC):
     @abstractmethod
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
         """Execute the experiment on the given trace suite."""
+
+    def run_recorded(self, traces: Sequence[Trace]) -> Tuple[ExperimentReport, "object"]:
+        """Execute with a run manifest recording the sweeps.
+
+        Returns ``(report, recorder)``; the recorder is a
+        :class:`repro.audit.manifest.RunManifest` already annotated with
+        the report's shape-check outcomes, ready to ``write()``.
+        """
+        from repro.audit import manifest as run_manifest
+
+        with run_manifest.recording(self.experiment_id) as recorder:
+            recorder.add_traces(traces)
+            report = self.run(traces)
+        recorder.annotate(
+            title=report.title,
+            checks={name: bool(ok) for name, ok in report.checks.items()},
+            all_checks_pass=report.all_checks_pass,
+        )
+        return report, recorder
 
     def run_default(self) -> ExperimentReport:
         """Execute on the standard paper trace suite."""

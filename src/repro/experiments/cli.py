@@ -76,13 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
 def _run_one(experiment_id: str, traces, output: Optional[Path]) -> bool:
     experiment = make_experiment(experiment_id)
     started = time.time()
-    report = experiment.run(traces)
+    report, recorder = experiment.run_recorded(traces)
     elapsed = time.time() - started
     text = report.render() + f"\n({elapsed:.1f}s)\n"
     print(text)
     if output is not None:
         output.mkdir(parents=True, exist_ok=True)
         (output / f"{report.experiment_id}.txt").write_text(text)
+        recorder.write(output / f"{report.experiment_id}.manifest.json")
     return report.all_checks_pass
 
 

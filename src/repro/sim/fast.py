@@ -36,6 +36,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.audit import maybe_audit_functional
 from repro.cache.policy import PrefetchKind, WritePolicy
 from repro.cache.stats import CacheStats
 from repro.sim.config import SystemConfig
@@ -374,7 +375,7 @@ class FastFunctionalSimulator:
         cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))
         cpu_reads = int(measured_kinds.size) - cpu_writes
         cpu_ifetches = int(np.count_nonzero(measured_kinds == IFETCH))
-        return FunctionalResult(
+        result = FunctionalResult(
             trace_name=trace.name,
             config=config,
             cpu_reads=cpu_reads,
@@ -384,6 +385,7 @@ class FastFunctionalSimulator:
             memory_reads=memory_reads,
             memory_writes=memory_writes,
         )
+        return maybe_audit_functional(trace, result, source="fast-path")
 
     @staticmethod
     def _merge(parts) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

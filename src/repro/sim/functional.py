@@ -19,6 +19,7 @@ from typing import List
 
 import numpy as np
 
+from repro.audit import maybe_audit_functional
 from repro.cache.stats import CacheStats
 from repro.sim.config import SystemConfig
 from repro.sim.hierarchy import CacheHierarchy
@@ -49,12 +50,22 @@ class FunctionalResult:
     def depth(self) -> int:
         return len(self.level_stats)
 
+    def _check_level(self, level: int) -> None:
+        # Python's negative indexing would otherwise make level=0 silently
+        # report the deepest level's statistics.
+        if not 1 <= level <= len(self.level_stats):
+            raise ValueError(
+                f"level must be in 1..{len(self.level_stats)}, got {level}"
+            )
+
     def local_read_miss_ratio(self, level: int) -> float:
         """Misses over reads *arriving at* ``level`` (1-based)."""
+        self._check_level(level)
         return self.level_stats[level - 1].read_miss_ratio
 
     def global_read_miss_ratio(self, level: int) -> float:
         """Misses at ``level`` (1-based) over CPU reads (paper, section 2)."""
+        self._check_level(level)
         if self.cpu_reads == 0:
             return 0.0
         return self.level_stats[level - 1].read_misses / self.cpu_reads
@@ -62,6 +73,7 @@ class FunctionalResult:
     def traffic_ratio(self, level: int) -> float:
         """Reads reaching ``level`` as a fraction of CPU reads: how strongly
         the upstream caches filter the reference stream."""
+        self._check_level(level)
         if self.cpu_reads == 0:
             return 0.0
         return self.level_stats[level - 1].reads / self.cpu_reads
@@ -98,7 +110,7 @@ class FunctionalSimulator:
             for cache in group:
                 merged = merged.merge(cache.stats)
             level_stats.append(merged)
-        return FunctionalResult(
+        result = FunctionalResult(
             trace_name=trace.name,
             config=self.config,
             cpu_reads=cpu_reads,
@@ -108,6 +120,7 @@ class FunctionalSimulator:
             memory_reads=hierarchy.memory_traffic.reads,
             memory_writes=hierarchy.memory_traffic.writes,
         )
+        return maybe_audit_functional(trace, result, source="reference")
 
 
 def simulate_miss_ratios(trace: Trace, config: SystemConfig) -> FunctionalResult:

@@ -28,6 +28,24 @@ KIND_NAMES = {IFETCH: "ifetch", READ: "read", WRITE: "write"}
 _VALID_KINDS = frozenset(KIND_NAMES)
 
 
+def _derived_free_metadata(metadata: dict) -> dict:
+    """Copy ``metadata`` without derived (underscore-prefixed) entries.
+
+    By convention, metadata keys starting with ``_`` hold values derived
+    from the trace's *content* -- e.g. the memoisation layer's cached
+    trace fingerprint (:mod:`repro.sim.memo`).  Any operation that builds
+    a trace with different records or a different warmup boundary must
+    drop them, or the derived value would describe the wrong trace (a
+    sliced trace carrying its parent's fingerprint aliases the parent's
+    memoised simulation results).
+    """
+    return {
+        key: value
+        for key, value in metadata.items()
+        if not (isinstance(key, str) and key.startswith("_"))
+    }
+
+
 @dataclass
 class Trace:
     """An address trace.
@@ -86,7 +104,7 @@ class Trace:
                 self.kinds[index],
                 self.addresses[index],
                 name=self.name,
-                metadata=dict(self.metadata),
+                metadata=_derived_free_metadata(self.metadata),
             )
             sliced.warmup = min(warmup, len(sliced))
             return sliced
@@ -177,10 +195,18 @@ def concat_traces(traces: Sequence[Trace], name: str = "concat") -> Trace:
 
     The warmup region of the result is the first trace's warmup; later
     traces' warmup markers are ignored (concatenation is used to build long
-    runs of an already-warm workload).
+    runs of an already-warm workload).  The first trace's metadata carries
+    over, minus derived (underscore-prefixed) entries such as the cached
+    memoisation fingerprint, which describe the original records only.
     """
     if not traces:
         raise ValueError("need at least one trace to concatenate")
     kinds = np.concatenate([t.kinds for t in traces])
     addresses = np.concatenate([t.addresses for t in traces])
-    return Trace(kinds, addresses, name=name, warmup=traces[0].warmup)
+    return Trace(
+        kinds,
+        addresses,
+        name=name,
+        warmup=traces[0].warmup,
+        metadata=_derived_free_metadata(traces[0].metadata),
+    )

@@ -1,0 +1,60 @@
+"""Shared fixtures for the audit-layer tests.
+
+The property grid crosses every structural axis the conservation laws
+cover: split/unified L1, write-back/write-through, one to three levels,
+prefetching on and off.  Traces are session-scoped; regenerating the
+synthetic workloads per test would dominate the suite's runtime.
+"""
+
+import pytest
+
+from repro.cache.policy import PrefetchKind, WritePolicy
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+
+def grid_configs():
+    """(name, config) pairs crossing the audit laws' structural axes."""
+    l2 = LevelConfig(size_bytes=32 * KB, block_bytes=32, cycle_cpu_cycles=3)
+    l3 = LevelConfig(size_bytes=128 * KB, block_bytes=32, cycle_cpu_cycles=6)
+    combos = []
+    for split in (False, True):
+        for policy in (WritePolicy.WRITE_BACK, WritePolicy.WRITE_THROUGH):
+            for depth in (1, 2, 3):
+                for prefetch in (PrefetchKind.NONE, PrefetchKind.ON_MISS):
+                    l1 = LevelConfig(
+                        size_bytes=2 * KB,
+                        block_bytes=16,
+                        split=split,
+                        cycle_cpu_cycles=1,
+                        write_hit_cycles=2,
+                        write_policy=policy,
+                        write_allocate=policy is WritePolicy.WRITE_BACK,
+                        prefetch=prefetch,
+                    )
+                    levels = (l1, l2, l3)[:depth]
+                    name = (
+                        f"{'split' if split else 'unified'}-"
+                        f"{policy.value}-{depth}L-{prefetch.value}"
+                    )
+                    combos.append((name, SystemConfig(levels=levels)))
+    return combos
+
+
+GRID = grid_configs()
+
+
+@pytest.fixture(scope="session")
+def audit_trace():
+    """One synthetic trace with a warmup region."""
+    return SyntheticWorkload(seed=23).trace(12_000, name="audit", warmup=2_400)
+
+
+@pytest.fixture(scope="session")
+def audit_traces(audit_trace):
+    """Two traces with distinct seeds (for sweep-level checks)."""
+    return [
+        audit_trace,
+        SyntheticWorkload(seed=29).trace(12_000, name="audit-b", warmup=2_400),
+    ]

@@ -1,0 +1,109 @@
+"""Run manifests: recording, executor instrumentation, JSON rendering."""
+
+import json
+
+import pytest
+
+from repro.audit import manifest
+from repro.core.sweep import sweep_functional, sweep_timing
+from repro.sim import memo
+
+from tests.audit.conftest import GRID
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    memo.clear_memo_cache()
+    yield
+    memo.clear_memo_cache()
+
+
+def _configs(count=3):
+    return [c for _, c in GRID][:count]
+
+
+class TestRecording:
+    def test_no_recorder_is_active_by_default(self):
+        assert manifest.current() is None
+        # note_sweep outside a recording is a silent no-op.
+        manifest.note_sweep(
+            kind="functional", configs=1, traces=1, simulated=1,
+            workers=1, pooled=False, seconds=0.0,
+        )
+
+    def test_sweeps_are_recorded(self, audit_traces):
+        with manifest.recording("unit") as recorder:
+            sweep_functional(audit_traces, _configs(), workers=1)
+            sweep_timing(audit_traces[:1], _configs(1), workers=1)
+        assert manifest.current() is None
+        kinds = [note.kind for note in recorder.sweeps]
+        assert kinds == ["functional", "timing"]
+        functional = recorder.sweeps[0]
+        assert functional.cells == len(_configs()) * len(audit_traces)
+        assert functional.simulated <= functional.cells
+        assert functional.workers == 1
+        assert not functional.pooled
+        assert functional.seconds > 0
+
+    def test_memoisation_shows_up_in_the_delta(self, audit_traces):
+        with manifest.recording("unit") as recorder:
+            sweep_functional(audit_traces, _configs(2), workers=1)
+            sweep_functional(audit_traces, _configs(2), workers=1)
+        data = recorder.as_dict()
+        assert data["memo"]["hits"] >= len(audit_traces) * 2
+        assert 0.0 < data["memo"]["hit_ratio"] <= 1.0
+        # The second sweep was fully memoised.
+        assert data["sweeps"][1]["simulated"] == 0
+        assert data["sweeps"][1]["memoised"] == (
+            data["sweeps"][1]["cells"]
+        )
+
+    def test_nested_recorders_both_see_sweeps(self, audit_traces):
+        with manifest.recording("outer") as outer:
+            with manifest.recording("inner") as inner:
+                sweep_functional(audit_traces, _configs(1), workers=1)
+            assert manifest.current() is outer
+        assert len(outer.sweeps) == len(inner.sweeps) == 1
+
+    def test_traces_are_fingerprinted(self, audit_traces):
+        with manifest.recording("unit") as recorder:
+            recorder.add_traces(audit_traces)
+        entries = recorder.as_dict()["traces"]
+        assert [e["name"] for e in entries] == [t.name for t in audit_traces]
+        assert all(e["fingerprint"] for e in entries)
+        assert entries[0]["fingerprint"] != entries[1]["fingerprint"]
+        assert entries[0]["records"] == len(audit_traces[0])
+        assert entries[0]["warmup"] == audit_traces[0].warmup
+
+    def test_phases_and_annotations(self):
+        with manifest.recording("unit") as recorder:
+            with recorder.phase("setup"):
+                pass
+            recorder.annotate(grid="F5", scale=4)
+        data = recorder.as_dict()
+        assert data["phases"][0]["name"] == "setup"
+        assert data["phases"][0]["seconds"] >= 0
+        assert data["extra"] == {"grid": "F5", "scale": 4}
+
+
+class TestJson:
+    def test_written_manifest_round_trips(self, tmp_path, audit_traces):
+        with manifest.recording("unit") as recorder:
+            recorder.add_traces(audit_traces[:1])
+            sweep_functional(audit_traces[:1], _configs(2), workers=1)
+        path = recorder.write(tmp_path / "nested" / "run.manifest.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == manifest.SCHEMA
+        assert data["name"] == "unit"
+        assert data["audit_enabled"] is True  # running under pytest
+        assert data["wall_seconds"] > 0
+        assert data["sweep_totals"]["sweeps"] == 1
+        assert data["sweep_totals"]["cells"] == 2
+        # Everything in the manifest must be JSON-native already.
+        json.dumps(data)
+
+    def test_workers_env_is_recorded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        with manifest.recording("unit") as recorder:
+            pass
+        assert recorder.as_dict()["workers_env"] == "2"

@@ -1,0 +1,70 @@
+"""Differential parity checks between the redundant engines."""
+
+import copy
+
+import pytest
+
+from repro.audit.parity import (
+    ParityError,
+    assert_counts_equal,
+    check_fast_vs_reference,
+    check_memo_vs_direct,
+    check_serial_vs_parallel,
+)
+from repro.sim import memo
+from repro.sim.fast import fast_eligible
+from repro.sim.functional import FunctionalSimulator
+
+from tests.audit.conftest import GRID
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    memo.clear_memo_cache()
+    yield
+    memo.clear_memo_cache()
+
+
+class TestChecksPass:
+    @pytest.mark.parametrize(
+        "config",
+        [c for _, c in GRID if fast_eligible(c)][:4],
+        ids=[n for n, c in GRID if fast_eligible(c)][:4],
+    )
+    def test_fast_vs_reference(self, audit_trace, config):
+        check_fast_vs_reference(audit_trace, config)
+
+    def test_fast_vs_reference_is_noop_when_ineligible(self, audit_trace):
+        ineligible = next(c for _, c in GRID if not fast_eligible(c))
+        check_fast_vs_reference(audit_trace, ineligible)
+
+    def test_memo_vs_direct(self, audit_trace):
+        config = next(c for n, c in GRID if n == "split-write-back-2L-none")
+        check_memo_vs_direct(audit_trace, config)
+
+    def test_serial_vs_parallel(self, audit_traces):
+        configs = [c for _, c in GRID if fast_eligible(c)][:3]
+        check_serial_vs_parallel(audit_traces, configs, workers=2)
+
+
+class TestDivergenceIsReported:
+    def test_first_diverging_counter_is_named(self, audit_trace):
+        config = next(c for n, c in GRID if n == "split-write-back-2L-none")
+        a = FunctionalSimulator(config).run(audit_trace)
+        b = copy.deepcopy(a)
+        b.level_stats[1].writebacks += 3
+        with pytest.raises(ParityError, match=r"L2\.writebacks"):
+            assert_counts_equal(a, b, context="unit")
+
+    def test_depth_mismatch_is_named(self, audit_trace):
+        config = next(c for n, c in GRID if n == "split-write-back-2L-none")
+        a = FunctionalSimulator(config).run(audit_trace)
+        b = copy.deepcopy(a)
+        b.level_stats.pop()
+        with pytest.raises(ParityError, match="depth"):
+            assert_counts_equal(a, b)
+
+    def test_parity_error_is_an_audit_error(self):
+        from repro.audit import AuditError
+
+        assert issubclass(ParityError, AuditError)

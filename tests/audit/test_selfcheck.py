@@ -1,0 +1,31 @@
+"""The ``repro.audit.selfcheck`` CLI, end to end (scaled down)."""
+
+import json
+
+from repro.audit import selfcheck
+from repro.sim import memo
+
+
+def test_selfcheck_passes_and_writes_manifest(tmp_path, capsys):
+    memo.clear_memo_cache()
+    path = tmp_path / "selfcheck.manifest.json"
+    status = selfcheck.main(
+        [
+            "--records", "3000",
+            "--timing-records", "1000",
+            "--traces", "1",
+            "-o", str(path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "FAIL" not in out
+    assert "checks passed" in out
+    data = json.loads(path.read_text())
+    assert data["name"] == "selfcheck"
+    assert data["extra"]["results"]
+    assert all(v == "ok" for v in data["extra"]["results"].values())
+    # The parity phase drives the sweep executor, so the manifest carries
+    # sweep notes and a memoisation record.
+    assert data["sweep_totals"]["sweeps"] >= 2
+    memo.clear_memo_cache()

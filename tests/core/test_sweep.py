@@ -231,3 +231,56 @@ class TestTiming:
         before = memo.memo_stats().lookups
         sweep_timing(small_traces, timing_variants(base_config))
         assert memo.memo_stats().lookups == before
+
+
+class TestWorkerErrors:
+    def test_worker_exceptions_propagate(
+        self, small_traces, base_config, monkeypatch
+    ):
+        """Regression: a worker crash used to be swallowed by the pool
+        fallback, silently re-running the grid serially.  The poisoned
+        simulator below only raises in a forked child (the monkeypatched
+        module global is inherited across fork), so the serial path would
+        "succeed" -- masking the failure -- while the pooled path must
+        surface it.
+        """
+        import os
+
+        parent_pid = os.getpid()
+        real = sweep.run_functional
+
+        def poisoned(trace, config):
+            if os.getpid() != parent_pid:
+                raise ValueError("worker exploded")
+            return real(trace, config)
+
+        monkeypatch.setattr(sweep, "run_functional", poisoned)
+        configs = [
+            base_config,
+            base_config.with_level(1, size_bytes=16 * KB),
+        ]
+        # 2 traces x 2 functionally distinct configs = 4 pending cells,
+        # enough to engage the pool.
+        with pytest.raises(ValueError, match="worker exploded"):
+            sweep_functional(small_traces, configs, workers=2)
+
+    def test_pool_creation_failure_still_degrades_serially(
+        self, small_traces, base_config, monkeypatch
+    ):
+        import multiprocessing
+
+        class Unforkable:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no processes for you")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda *a, **k: Unforkable()
+        )
+        configs = [
+            base_config,
+            base_config.with_level(1, size_bytes=16 * KB),
+        ]
+        grid = sweep_functional(small_traces, configs, workers=2)
+        for config, row in zip(configs, grid):
+            for trace, result in zip(small_traces, row):
+                assert_counts_equal(result, run_functional(trace, config))

@@ -124,3 +124,25 @@ class TestConsistencyProperties:
         a = sim.run(SyntheticWorkload(seed=7).trace(5_000))
         b = sim.run(SyntheticWorkload(seed=7).trace(5_000))
         assert a.level_stats[0].reads == b.level_stats[0].reads
+
+
+class TestLevelBounds:
+    """Regression: level=0 used to fall through Python's negative indexing
+    and silently report the deepest level's statistics."""
+
+    @pytest.mark.parametrize("level", [0, -1, 3])
+    @pytest.mark.parametrize(
+        "accessor",
+        ["local_read_miss_ratio", "global_read_miss_ratio", "traffic_ratio"],
+    )
+    def test_out_of_range_levels_rejected(self, accessor, level):
+        result = simulate_miss_ratios(trace_of([(READ, 0x1000)]), two_level())
+        with pytest.raises(ValueError, match="1..2"):
+            getattr(result, accessor)(level)
+
+    def test_valid_levels_accepted(self):
+        result = simulate_miss_ratios(trace_of([(READ, 0x1000)]), two_level())
+        for level in (1, 2):
+            assert result.local_read_miss_ratio(level) == 1.0
+            assert result.global_read_miss_ratio(level) == 1.0
+            assert result.traffic_ratio(level) == 1.0

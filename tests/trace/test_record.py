@@ -99,3 +99,63 @@ class TestConcat:
     def test_concat_empty_list_rejected(self):
         with pytest.raises(ValueError):
             concat_traces([])
+
+
+class TestDerivedMetadata:
+    """Structural operations must drop content-derived metadata.
+
+    Regression: slicing used to copy the parent's metadata wholesale,
+    including the memoisation layer's cached content fingerprint -- so a
+    sliced trace aliased its parent's memoised simulation results.
+    """
+
+    def setup_method(self):
+        from repro.sim import memo
+
+        memo.clear_memo_cache()
+
+    def teardown_method(self):
+        from repro.sim import memo
+
+        memo.clear_memo_cache()
+
+    def test_slice_gets_a_fresh_fingerprint(self):
+        from repro.sim import memo
+
+        trace = make_trace([(READ, 64 * i) for i in range(100)])
+        parent_fingerprint = memo.trace_fingerprint(trace)
+        assert memo._FINGERPRINT_SLOT in trace.metadata
+        half = trace[:50]
+        assert memo._FINGERPRINT_SLOT not in half.metadata
+        assert memo.trace_fingerprint(half) != parent_fingerprint
+
+    def test_slice_keeps_plain_metadata(self):
+        trace = make_trace([(READ, 0), (WRITE, 64)])
+        trace.metadata.update({"origin": "synthetic", "_derived": "stale"})
+        assert trace[:1].metadata == {"origin": "synthetic"}
+
+    def test_concat_strips_derived_and_keeps_plain_metadata(self):
+        from repro.sim import memo
+
+        a = make_trace([(READ, 64 * i) for i in range(50)])
+        a.metadata["origin"] = "synthetic"
+        b = make_trace([(WRITE, 64 * i) for i in range(50)])
+        memo.trace_fingerprint(a)
+        joined = concat_traces([a, b])
+        assert memo._FINGERPRINT_SLOT not in joined.metadata
+        assert joined.metadata == {"origin": "synthetic"}
+
+    def test_sliced_trace_memoises_its_own_results(self):
+        from repro.sim import memo
+        from repro.sim.config import LevelConfig, SystemConfig
+
+        config = SystemConfig(
+            levels=(LevelConfig(size_bytes=1024, block_bytes=16),)
+        )
+        trace = make_trace([(READ, 64 * i) for i in range(100)])
+        full = memo.run_functional_memo(trace, config)
+        assert full.cpu_reads == 100
+        # Pre-fix, the slice carried the parent's cached fingerprint and
+        # this lookup returned the 100-read result.
+        half = memo.run_functional_memo(trace[:50], config)
+        assert half.cpu_reads == 50
