@@ -1,0 +1,156 @@
+"""BENCH-RESILIENCE: what crash tolerance costs on a real sweep.
+
+Times the same functional sweep (eight L2 sizes over the standard trace
+suite, cold memoisation cache each pass) two ways:
+
+* **bare**: the executor as every call site uses it by default -- no
+  journal, no fault plan;
+* **instrumented**: a checkpoint journal recording (and fsyncing) every
+  completed cell, plus a parsed-but-zero-rate fault plan so every
+  per-cell injection hook runs.
+
+Both passes must produce identical counts, and the instrumented pass
+must cost at most 5% more wall clock (the acceptance bar at the full
+250k-record scale): resilience is bookkeeping around the simulation, a
+few JSONL writes against seconds of kernel time.  A ``BENCH`` summary
+line goes to stdout for CI job summaries.
+"""
+
+import sys
+import time
+
+from repro.core.sweep import sweep_functional
+from repro.experiments.base import ExperimentReport
+from repro.experiments.baseline import base_machine
+from repro.experiments.render import format_size
+from repro.resilience.journal import journaling
+from repro.sim import memo
+from repro.units import KB
+
+#: Eight functionally-distinct configurations (L2 size axis).
+L2_SIZES = [16 * KB, 32 * KB, 64 * KB, 128 * KB,
+            256 * KB, 512 * KB, 1024 * KB, 2048 * KB]
+
+#: Overhead budget for the fully instrumented pass.
+OVERHEAD_BUDGET = 0.05
+
+
+def _counts(result):
+    return tuple(
+        (s.reads, s.read_misses, s.writes, s.write_misses, s.writebacks)
+        for s in result.level_stats
+    )
+
+
+def test_resilience_overhead(traces, emit, tmp_path, monkeypatch):
+    configs = [base_machine(l2_size=size) for size in L2_SIZES]
+    records = sum(len(t) for t in traces)
+    cells = len(configs) * len(traces)
+
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    memo.clear_memo_cache()
+    start = time.perf_counter()
+    bare_grid = sweep_functional(traces, configs)
+    bare_s = time.perf_counter() - start
+
+    # Zero-rate plan: every injection decision point runs, nothing fires.
+    monkeypatch.setenv("REPRO_FAULTS", "worker_raise:0.0,corrupt_result:0.0")
+    memo.clear_memo_cache()
+    start = time.perf_counter()
+    with journaling(tmp_path / "bench.journal.jsonl") as journal:
+        instrumented_grid = sweep_functional(traces, configs)
+    instrumented_s = time.perf_counter() - start
+
+    identical = all(
+        _counts(a) == _counts(b)
+        for row_a, row_b in zip(bare_grid, instrumented_grid)
+        for a, b in zip(row_a, row_b)
+    )
+    overhead = (instrumented_s - bare_s) / bare_s if bare_s else 0.0
+    full_scale = records >= len(traces) * 200_000
+
+    headers = ["pass", "wall (s)", "journal cells"]
+    rows = [
+        ["bare sweep", f"{bare_s:.2f}", "-"],
+        ["journal + fault hooks", f"{instrumented_s:.2f}",
+         str(journal.recorded)],
+        ["overhead", f"{overhead * 100:+.1f}%",
+         f"budget {OVERHEAD_BUDGET * 100:.0f}%"],
+    ]
+    checks = {
+        "instrumented counts identical to bare": identical,
+        "every simulated cell journaled": journal.recorded == cells,
+    }
+    if full_scale:
+        checks["overhead <= 5% at full 250k-record scale"] = (
+            overhead <= OVERHEAD_BUDGET
+        )
+
+    bench_line = (
+        f"BENCH resilience-overhead: bare {bare_s:.2f}s instrumented "
+        f"{instrumented_s:.2f}s overhead {overhead * 100:+.1f}% "
+        f"({len(configs)} configs x {len(traces)} traces x "
+        f"{records // len(traces)} records/trace, "
+        f"{journal.recorded} cells journaled+fsynced)"
+    )
+    print(bench_line, file=sys.__stdout__, flush=True)
+
+    report = ExperimentReport(
+        experiment_id="BENCH-RESILIENCE",
+        title="Checkpoint journal + fault hooks overhead on a cold sweep",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        notes=[bench_line],
+    )
+    emit(report)
+    assert report.all_checks_pass, report.render()
+
+
+def test_resume_is_cheaper_than_recompute(traces, emit, tmp_path, monkeypatch):
+    """Resuming a fully journaled sweep must beat re-simulating it."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    configs = [base_machine(l2_size=size) for size in L2_SIZES[:4]]
+    path = tmp_path / "resume.journal.jsonl"
+
+    memo.clear_memo_cache()
+    start = time.perf_counter()
+    with journaling(path):
+        first = sweep_functional(traces, configs)
+    cold_s = time.perf_counter() - start
+
+    memo.clear_memo_cache()
+    start = time.perf_counter()
+    with journaling(path, resume=True):
+        resumed = sweep_functional(traces, configs)
+    resume_s = time.perf_counter() - start
+
+    identical = all(
+        _counts(a) == _counts(b)
+        for row_a, row_b in zip(first, resumed)
+        for a, b in zip(row_a, row_b)
+    )
+    speedup = cold_s / resume_s if resume_s else float("inf")
+
+    bench_line = (
+        f"BENCH resilience-resume: cold {cold_s:.2f}s resumed {resume_s:.2f}s "
+        f"({speedup:.0f}x, {len(configs)} configs x {len(traces)} traces)"
+    )
+    print(bench_line, file=sys.__stdout__, flush=True)
+
+    report = ExperimentReport(
+        experiment_id="BENCH-RESILIENCE-RESUME",
+        title="Journal resume vs cold recompute",
+        headers=["pass", "wall (s)"],
+        rows=[
+            ["cold (journaling)", f"{cold_s:.2f}"],
+            ["resumed (restore only)", f"{resume_s:.2f}"],
+        ],
+        checks={
+            "resumed counts identical to cold": identical,
+            "resume faster than recompute": resume_s < cold_s,
+        },
+        notes=[bench_line],
+    )
+    emit(report)
+    assert report.all_checks_pass, report.render()

@@ -35,8 +35,10 @@ from repro.audit.invariants import audit_enabled
 from repro.sim import memo
 from repro.trace.record import Trace
 
-#: Manifest schema version (bump on breaking shape changes).
-SCHEMA = 1
+#: Manifest schema version (bump on breaking shape changes).  2 added
+#: the resilience fields (resume/retry/timeout/restart counts, failure
+#: reports, worker-folded memo counters).
+SCHEMA = 2
 
 
 @dataclass
@@ -53,10 +55,20 @@ class SweepNote:
     #: Whether a process pool was actually used (vs the serial path).
     pooled: bool
     seconds: float
+    #: Cells restored from a checkpoint journal instead of simulated.
+    resumed: int = 0
+    #: Cell retry attempts the executor made (successful or not).
+    retries: int = 0
+    #: Workers killed for exceeding the per-cell wall-clock budget.
+    timeouts: int = 0
+    #: Worker processes re-created after a death, hang or kill.
+    pool_restarts: int = 0
+    #: Cells that failed permanently (see the ``failures`` section).
+    failed: int = 0
 
     @property
     def memoised(self) -> int:
-        return self.cells - self.simulated
+        return self.cells - self.simulated - self.resumed
 
 
 class RunManifest:
@@ -70,9 +82,11 @@ class RunManifest:
         self.sweeps: List[SweepNote] = []
         self.phases: List[Dict[str, Any]] = []
         self.traces: List[Dict[str, Any]] = []
+        self.failures: List[Dict[str, Any]] = []
         self.extra: Dict[str, Any] = {}
         stats = memo.memo_stats()
         self._memo_before = (stats.hits, stats.misses, stats.evictions)
+        self._fold_before = memo.worker_fold_snapshot()
 
     # -- recording -----------------------------------------------------------
 
@@ -90,6 +104,10 @@ class RunManifest:
 
     def note_sweep(self, note: SweepNote) -> None:
         self.sweeps.append(note)
+
+    def note_failure(self, report: Dict[str, Any]) -> None:
+        """Record one permanently-failed sweep cell (JSON-native dict)."""
+        self.failures.append(report)
 
     @contextmanager
     def phase(self, name: str):
@@ -120,6 +138,8 @@ class RunManifest:
         hits = stats.hits - hits_before
         misses = stats.misses - misses_before
         lookups = hits + misses
+        fold = memo.worker_fold_snapshot()
+        folded = tuple(now - then for now, then in zip(fold, self._fold_before))
         return {
             "schema": SCHEMA,
             "name": self.name,
@@ -140,6 +160,11 @@ class RunManifest:
                 "simulated": sum(note.simulated for note in self.sweeps),
                 "memoised": sum(note.memoised for note in self.sweeps),
                 "seconds": sum(note.seconds for note in self.sweeps),
+                "resumed": sum(note.resumed for note in self.sweeps),
+                "retries": sum(note.retries for note in self.sweeps),
+                "timeouts": sum(note.timeouts for note in self.sweeps),
+                "pool_restarts": sum(note.pool_restarts for note in self.sweeps),
+                "failed": sum(note.failed for note in self.sweeps),
             },
             "memo": {
                 "hits": hits,
@@ -147,7 +172,15 @@ class RunManifest:
                 "evictions": stats.evictions - evictions_before,
                 "hit_ratio": hits / lookups if lookups else 0.0,
                 "entries": memo.cache_size(),
+                # Of the lookups above, how many happened inside worker
+                # processes (folded back by the pooled executor).
+                "worker_folded": {
+                    "hits": folded[0],
+                    "misses": folded[1],
+                    "evictions": folded[2],
+                },
             },
+            "failures": list(self.failures),
             "phases": list(self.phases),
             "extra": dict(self.extra),
         }
@@ -178,6 +211,11 @@ def note_sweep(
     workers: int,
     pooled: bool,
     seconds: float,
+    resumed: int = 0,
+    retries: int = 0,
+    timeouts: int = 0,
+    pool_restarts: int = 0,
+    failed: int = 0,
 ) -> None:
     """Report one executor fan-out to every active recorder (no-op when
     nothing is recording)."""
@@ -192,9 +230,24 @@ def note_sweep(
         workers=workers,
         pooled=pooled,
         seconds=seconds,
+        resumed=resumed,
+        retries=retries,
+        timeouts=timeouts,
+        pool_restarts=pool_restarts,
+        failed=failed,
     )
     for recorder in _active:
         recorder.note_sweep(note)
+
+
+def note_failures(failures) -> None:
+    """Report permanently-failed cells to every active recorder."""
+    if not _active or not failures:
+        return
+    rendered = [report.as_dict() for report in failures]
+    for recorder in _active:
+        for report in rendered:
+            recorder.note_failure(report)
 
 
 @contextmanager

@@ -17,26 +17,50 @@ What the executor layers on top of a plain double loop:
   three Figure 5 maps) simulate each distinct functional configuration
   exactly once per trace.
 * **Parallelism**: outstanding cells are chunked and fanned out over a
-  process pool.  Traces ship to each worker once (pool initialiser), not
-  per cell.  Results come back in deterministic cell order regardless of
-  worker scheduling.
+  supervised worker pool (:mod:`repro.resilience.executor`).  Traces ship
+  to each worker once (at spawn), not per cell.  Results come back in
+  deterministic cell order regardless of worker scheduling.
+* **Fault isolation**: a failed, hung or killed worker no longer takes
+  the sweep down with it.  Cells are retried with exponential backoff
+  (``REPRO_SWEEP_RETRIES``), bounded by per-cell wall-clock timeouts
+  (``REPRO_SWEEP_TIMEOUT``), and dead workers are re-created.  Cells
+  that exhaust their budget surface as structured
+  :class:`~repro.resilience.policy.FailureReport` records -- re-raised
+  by default, or returned as a partial grid with
+  ``on_failure="partial"`` -- never as silent all-or-nothing loss.
+* **Checkpointing**: when a :func:`repro.resilience.journal.journaling`
+  context is active, every completed cell is fsynced to an append-only
+  journal as it lands, and a resumed sweep restores journaled cells
+  instead of re-simulating them (``mlcache run --resume``).
 * **Graceful degradation**: one worker (the default on a single-CPU
-  host), tiny workloads, or a pool that cannot be created at all (e.g. a
-  sandbox that forbids ``fork``) all fall back to the same serial path
-  with identical results.
+  host), tiny workloads, or a host where worker processes cannot be
+  created at all (e.g. a sandbox that forbids ``fork``) all fall back to
+  the same serial path with identical results.
 
 The worker count comes from ``REPRO_SWEEP_WORKERS`` when set (``0``/``1``
-force serial), otherwise from ``os.cpu_count()``; see
-``docs/performance.md``.
+force serial; negatives are rejected; values above :data:`MAX_WORKERS`
+clamp), otherwise from ``os.cpu_count()``; see ``docs/performance.md``
+and ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.audit import manifest as run_manifest
+from repro.audit.invariants import (
+    audit_enabled,
+    audit_functional_result,
+    audit_timing_result,
+)
+from repro.resilience import executor as resilient_executor
+from repro.resilience.executor import Cell, ExecOutcome
+from repro.resilience.faults import FaultPlan, cell_signature
+from repro.resilience.journal import current_journal
+from repro.resilience.policy import FailureReport, RetryPolicy, SweepFailure
 from repro.sim import memo
 from repro.sim.config import SystemConfig
 from repro.sim.fast import run_functional
@@ -47,57 +71,45 @@ from repro.trace.record import Trace
 #: Environment knob for the pool size (0 or 1 disables the pool).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
-#: Don't spin up a pool for fewer cells than this; pool startup plus
-#: trace pickling costs more than the simulation it would parallelise.
+#: Upper bound on the worker count.  Requests beyond it (a fat-fingered
+#: ``REPRO_SWEEP_WORKERS=10000``) clamp instead of fork-bombing the host.
+MAX_WORKERS = 64
+
+#: Don't spin up a pool for fewer cells than this; worker startup plus
+#: trace shipping costs more than the simulation it would parallelise.
 MIN_CELLS_FOR_POOL = 4
 
 #: Chunks per worker: small enough to amortise dispatch, large enough to
 #: balance uneven cell costs (big caches simulate faster than small ones).
+#: A chunk that fails is split back into single cells by the executor, so
+#: chunking never weakens fault isolation.
 _CHUNKS_PER_WORKER = 4
 
-#: Worker-process globals, installed by the pool initialiser so traces
-#: are pickled once per worker instead of once per cell.
-_worker_traces: Optional[List[Trace]] = None
+
+def _clamp_workers(value: int, origin: str) -> int:
+    """Pin the worker-count domain: negatives are an error (a sweep
+    cannot run with less than no workers -- reject rather than guess),
+    ``0``/``1`` mean serial, and anything above :data:`MAX_WORKERS`
+    clamps."""
+    if value < 0:
+        raise ValueError(f"{origin} must be non-negative, got {value}")
+    return max(1, min(value, MAX_WORKERS))
 
 
 def sweep_workers(explicit: Optional[int] = None) -> int:
     """Resolve the worker count (explicit arg > env knob > CPU count)."""
     if explicit is not None:
-        return max(1, int(explicit))
+        return _clamp_workers(int(explicit), "workers")
     env = os.environ.get(WORKERS_ENV)
-    if env is not None:
+    if env is not None and env.strip():
         try:
-            return max(1, int(env))
+            value = int(env.strip())
         except ValueError:
             raise ValueError(
                 f"{WORKERS_ENV} must be an integer, got {env!r}"
             ) from None
-    return max(1, os.cpu_count() or 1)
-
-
-def _init_worker(traces: List[Trace]) -> None:
-    global _worker_traces
-    _worker_traces = traces
-
-
-def _run_functional_chunk(
-    chunk: List[Tuple[int, SystemConfig]]
-) -> List[FunctionalResult]:
-    assert _worker_traces is not None
-    return [
-        run_functional(_worker_traces[trace_index], config)
-        for trace_index, config in chunk
-    ]
-
-
-def _run_timing_chunk(
-    chunk: List[Tuple[int, SystemConfig]]
-) -> List[TimingResult]:
-    assert _worker_traces is not None
-    return [
-        TimingSimulator(config).run(_worker_traces[trace_index])
-        for trace_index, config in chunk
-    ]
+        return _clamp_workers(value, WORKERS_ENV)
+    return _clamp_workers(os.cpu_count() or 1, "cpu_count")
 
 
 def _chunked(jobs: List, chunks: int) -> List[List]:
@@ -113,66 +125,125 @@ def _chunked(jobs: List, chunks: int) -> List[List]:
     return out
 
 
+def _run_functional_cell(traces: Sequence[Trace], cell: Cell) -> FunctionalResult:
+    """Memoised functional evaluation of one cell.
+
+    Routed through this module's ``run_functional`` (not the memo
+    module's) so tests can poison the simulation entry point; the memo
+    bookkeeping here is what makes worker-side hit/miss counters real.
+    """
+    trace = traces[cell.trace_index]
+    key = memo.memo_key(trace, cell.config)
+    cached = memo.lookup(key)
+    if cached is None:
+        cached = run_functional(trace, cell.config)
+        memo.store(key, cached)
+    if cached.config is not cell.config:
+        cached = dataclasses.replace(cached, config=cell.config)
+    return cached
+
+
+def _run_timing_cell(traces: Sequence[Trace], cell: Cell) -> TimingResult:
+    return TimingSimulator(cell.config).run(traces[cell.trace_index])
+
+
+def _make_validate(kind: str, traces: Sequence[Trace], faults) -> Optional[Callable]:
+    """Re-audit results at sweep intake when fault injection is active.
+
+    The simulators audit themselves *inside* each run; an injected
+    ``corrupt_result`` happens after that, so the intake check is what
+    catches it (and turns it into a retry instead of a poisoned grid).
+    """
+    if faults is None or not audit_enabled():
+        return None
+    checker = audit_functional_result if kind == "functional" else audit_timing_result
+    def validate(cell: Cell, result) -> None:
+        checker(traces[cell.trace_index], result, source="sweep-intake")
+    return validate
+
+
 def _pool_map(
-    runner: Callable[[List], List],
-    jobs: List[Tuple[int, SystemConfig]],
+    kind: str,
+    compute: Callable,
+    cells: List[Cell],
     traces: List[Trace],
     workers: int,
-) -> Optional[List]:
-    """Fan ``jobs`` out over a process pool; ``None`` if no pool could be
-    created (the caller falls back to the serial path).
+    policy: RetryPolicy,
+    faults,
+    validate,
+    on_result,
+) -> Optional[ExecOutcome]:
+    """Fan ``cells`` out over the supervised pool; ``None`` if no worker
+    process could be created (the caller falls back to the serial path).
 
-    Only pool *creation* is allowed to fail softly: a sandbox that forbids
-    ``fork`` degrades to the serial path with identical results.  An
-    exception raised by a *worker* -- a simulation error -- propagates to
-    the caller unchanged; silently re-running a failing grid serially
+    Only worker *creation* is allowed to fail softly.  A failure inside
+    a worker -- a simulation error, a hang, a death -- is retried and,
+    if permanent, reported; silently re-running a failing grid serially
     would mask the error (and could "succeed" with different results).
     """
-    import multiprocessing
-
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        context = multiprocessing.get_context()
-    chunks = _chunked(jobs, workers * _CHUNKS_PER_WORKER)
-    try:
-        pool = context.Pool(
-            processes=min(workers, len(chunks)),
-            initializer=_init_worker,
-            initargs=(traces,),
-        )
-    except (OSError, ValueError, ImportError, PermissionError):
-        return None
-    with pool:
-        chunk_results = pool.map(runner, chunks)
-    return [result for chunk in chunk_results for result in chunk]
+    chunks = _chunked(cells, workers * _CHUNKS_PER_WORKER)
+    return resilient_executor.run_pooled(
+        kind, compute, chunks, traces, workers, policy,
+        faults=faults, validate=validate, on_result=on_result,
+    )
 
 
-def _run_jobs(
-    runner: Callable[[List], List],
-    jobs: List[Tuple[int, SystemConfig]],
+def _run_cells(
+    kind: str,
+    compute: Callable,
+    cells: List[Cell],
     traces: List[Trace],
     workers: Optional[int],
-) -> Tuple[List, int, bool]:
-    """Evaluate ``jobs`` (deterministic order) in parallel when it pays.
+    faults,
+    on_result,
+) -> Tuple[ExecOutcome, int, bool]:
+    """Evaluate ``cells`` (deterministic order) in parallel when it pays.
 
-    Returns ``(results, workers_resolved, pooled)`` so callers can report
+    Returns ``(outcome, workers_resolved, pooled)`` so callers can report
     how the work was actually executed.
     """
+    policy = RetryPolicy.from_env()
+    validate = _make_validate(kind, traces, faults)
     count = sweep_workers(workers)
-    if count > 1 and len(jobs) >= MIN_CELLS_FOR_POOL:
-        results = _pool_map(runner, jobs, traces, count)
-        if results is not None:
-            return results, count, True
-    _init_worker(traces)
-    return runner(jobs), count, False
+    if count > 1 and len(cells) >= MIN_CELLS_FOR_POOL:
+        outcome = _pool_map(
+            kind, compute, cells, traces, count, policy, faults, validate, on_result
+        )
+        if outcome is not None:
+            return outcome, count, True
+    outcome = resilient_executor.run_serial(
+        kind, compute, cells, traces, policy,
+        faults=faults, validate=validate, on_result=on_result,
+    )
+    return outcome, count, False
+
+
+def _settle_failures(
+    outcome: ExecOutcome,
+    on_failure: str,
+    failures: Optional[List[FailureReport]],
+) -> None:
+    """Surface permanent failures: report them, then raise or degrade."""
+    if failures is not None:
+        failures.extend(outcome.failures)
+    if not outcome.failures:
+        return
+    run_manifest.note_failures(outcome.failures)
+    if on_failure == "partial":
+        return
+    for report in outcome.failures:
+        if report.exception is not None:
+            raise report.exception
+    raise SweepFailure(outcome.failures)
 
 
 def sweep_functional(
     traces: Sequence[Trace],
     configs: Sequence[SystemConfig],
     workers: Optional[int] = None,
-) -> List[List[FunctionalResult]]:
+    on_failure: str = "raise",
+    failures: Optional[List[FailureReport]] = None,
+) -> List[List[Optional[FunctionalResult]]]:
     """Functional-simulate every (config, trace) cell of the grid.
 
     Returns ``results`` with ``results[i][j]`` the
@@ -180,40 +251,66 @@ def sweep_functional(
     ``traces[j]``.  Cells sharing a memoisation key (timing-only config
     differences, or results already cached by an earlier sweep) are
     simulated once; the rest are fanned out over the worker pool.
+
+    ``on_failure`` controls what happens when a cell fails permanently
+    (after retries): ``"raise"`` (default) re-raises the first failure's
+    exception, ``"partial"`` leaves failed cells as ``None`` in the grid.
+    Either way the reports are appended to ``failures`` (when given) and
+    to any active run manifest, and completed cells are already in the
+    memo cache and the active checkpoint journal.
     """
     started = time.perf_counter()
     traces = list(traces)
     configs = list(configs)
     if not traces or not configs:
         raise ValueError("need at least one trace and one configuration")
+    journal = current_journal()
+    faults = FaultPlan.from_env()
     keys = [
         [memo.memo_key(trace, config) for trace in traces]
         for config in configs
     ]
-    # One representative job per distinct un-cached key, in first-seen
+    # One representative cell per distinct un-cached key, in first-seen
     # (config-major) order so results are reproducible cell by cell.
-    pending: List[Tuple[int, SystemConfig]] = []
+    pending: List[Cell] = []
     pending_keys: List[Tuple] = []
     seen = set()
+    resumed = 0
     for i, config in enumerate(configs):
         for j in range(len(traces)):
             key = keys[i][j]
-            if key in seen or memo.lookup(key) is not None:
+            if key in seen or memo.peek(key) is not None:
                 continue
+            if journal is not None:
+                restored = journal.restore("functional", key, config)
+                if restored is not None:
+                    memo.store(key, restored)
+                    resumed += 1
+                    continue
             seen.add(key)
-            pending.append((j, config))
+            pending.append(
+                Cell(len(pending), j, config, cell_signature("functional", j, key[1]))
+            )
             pending_keys.append(key)
+
+    def on_result(cell: Cell, result: FunctionalResult) -> None:
+        key = pending_keys[cell.cell_id]
+        memo.store(key, result)
+        if journal is not None:
+            journal.record_cell("functional", key, result)
+
+    outcome = ExecOutcome()
     used_workers, pooled = sweep_workers(workers), False
     if pending:
-        fresh, used_workers, pooled = _run_jobs(
-            _run_functional_chunk, pending, traces, workers
+        outcome, used_workers, pooled = _run_cells(
+            "functional", _run_functional_cell, pending, traces, workers,
+            faults, on_result,
         )
-        for key, result in zip(pending_keys, fresh):
-            memo.store(key, result)
-    grid = [
-        [memo.run_functional_memo(trace, config) for trace in traces]
-        for config in configs
-    ]
+    failed_keys = {
+        pending_keys[report.cell_id]
+        for report in outcome.failures
+        if report.cell_id >= 0
+    }
     run_manifest.note_sweep(
         kind="functional",
         configs=len(configs),
@@ -222,40 +319,92 @@ def sweep_functional(
         workers=used_workers,
         pooled=pooled,
         seconds=time.perf_counter() - started,
+        resumed=resumed,
+        retries=outcome.retries,
+        timeouts=outcome.timeouts,
+        pool_restarts=outcome.pool_restarts,
+        failed=len(outcome.failures),
     )
-    return grid
+    _settle_failures(outcome, on_failure, failures)
+    return [
+        [
+            None if keys[i][j] in failed_keys
+            else memo.run_functional_memo(traces[j], configs[i])
+            for j in range(len(traces))
+        ]
+        for i in range(len(configs))
+    ]
 
 
 def sweep_timing(
     traces: Sequence[Trace],
     configs: Sequence[SystemConfig],
     workers: Optional[int] = None,
-) -> List[List[TimingResult]]:
+    on_failure: str = "raise",
+    failures: Optional[List[FailureReport]] = None,
+) -> List[List[Optional[TimingResult]]]:
     """Timing-simulate every (config, trace) cell of the grid.
 
     Returns ``results[i][j]`` for ``configs[i]`` on ``traces[j]``.  Timing
     results depend on every configuration field, so there is no
-    memoisation -- just the shared fan-out.
+    memoisation -- just the shared fan-out, checkpointing (keyed by
+    :func:`repro.sim.memo.timing_key`) and fault isolation.  ``on_failure``
+    behaves as in :func:`sweep_functional`.
     """
     started = time.perf_counter()
     traces = list(traces)
     configs = list(configs)
     if not traces or not configs:
         raise ValueError("need at least one trace and one configuration")
-    jobs = [
-        (j, config) for config in configs for j in range(len(traces))
-    ]
-    flat, used_workers, pooled = _run_jobs(
-        _run_timing_chunk, jobs, traces, workers
-    )
+    journal = current_journal()
+    faults = FaultPlan.from_env()
     width = len(traces)
+    flat: List[Optional[TimingResult]] = [None] * (len(configs) * width)
+    pending: List[Cell] = []
+    pending_keys: List[Tuple] = []
+    pending_slots: List[int] = []
+    resumed = 0
+    for i, config in enumerate(configs):
+        projection = memo.timing_projection(config)
+        for j, trace in enumerate(traces):
+            key = (memo.trace_fingerprint(trace), projection)
+            if journal is not None:
+                restored = journal.restore("timing", key, config)
+                if restored is not None:
+                    flat[i * width + j] = restored
+                    resumed += 1
+                    continue
+            pending.append(
+                Cell(len(pending), j, config, cell_signature("timing", j, projection))
+            )
+            pending_keys.append(key)
+            pending_slots.append(i * width + j)
+
+    def on_result(cell: Cell, result: TimingResult) -> None:
+        flat[pending_slots[cell.cell_id]] = result
+        if journal is not None:
+            journal.record_cell("timing", pending_keys[cell.cell_id], result)
+
+    outcome = ExecOutcome()
+    used_workers, pooled = sweep_workers(workers), False
+    if pending:
+        outcome, used_workers, pooled = _run_cells(
+            "timing", _run_timing_cell, pending, traces, workers,
+            faults, on_result,
+        )
     run_manifest.note_sweep(
         kind="timing",
         configs=len(configs),
         traces=len(traces),
-        simulated=len(jobs),
+        simulated=len(pending),
         workers=used_workers,
         pooled=pooled,
         seconds=time.perf_counter() - started,
+        resumed=resumed,
+        retries=outcome.retries,
+        timeouts=outcome.timeouts,
+        pool_restarts=outcome.pool_restarts,
+        failed=len(outcome.failures),
     )
+    _settle_failures(outcome, on_failure, failures)
     return [flat[i * width:(i + 1) * width] for i in range(len(configs))]

@@ -53,23 +53,51 @@ class Experiment(ABC):
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
         """Execute the experiment on the given trace suite."""
 
-    def run_recorded(self, traces: Sequence[Trace]) -> Tuple[ExperimentReport, "object"]:
+    def run_recorded(
+        self,
+        traces: Sequence[Trace],
+        journal=None,
+        resume: bool = False,
+    ) -> Tuple[ExperimentReport, "object"]:
         """Execute with a run manifest recording the sweeps.
 
         Returns ``(report, recorder)``; the recorder is a
         :class:`repro.audit.manifest.RunManifest` already annotated with
         the report's shape-check outcomes, ready to ``write()``.
-        """
-        from repro.audit import manifest as run_manifest
 
+        ``journal`` (a path) checkpoints every completed sweep cell to an
+        append-only :mod:`repro.resilience.journal` file; with
+        ``resume=True`` a re-run restores the journaled cells instead of
+        re-simulating them, producing an identical report.
+        """
+        from contextlib import nullcontext
+
+        from repro.audit import manifest as run_manifest
+        from repro.resilience.journal import journaling
+
+        journal_ctx = (
+            journaling(journal, resume=resume, name=self.experiment_id)
+            if journal is not None
+            else nullcontext(None)
+        )
         with run_manifest.recording(self.experiment_id) as recorder:
             recorder.add_traces(traces)
-            report = self.run(traces)
+            with journal_ctx as active_journal:
+                report = self.run(traces)
         recorder.annotate(
             title=report.title,
             checks={name: bool(ok) for name, ok in report.checks.items()},
             all_checks_pass=report.all_checks_pass,
         )
+        if active_journal is not None:
+            recorder.annotate(
+                journal={
+                    "path": str(active_journal.path),
+                    "resumed": resume,
+                    "cells_recorded": active_journal.recorded,
+                    "cells_restorable": active_journal.restorable_cells,
+                }
+            )
         return report, recorder
 
     def run_default(self) -> ExperimentReport:

@@ -47,6 +47,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--traces", type=int, default=None,
         help="number of traces, up to 8 (default: REPRO_TRACES or 4)",
     )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the per-experiment checkpoint journal in the "
+             "output directory (requires -o); completed sweep cells are "
+             "restored instead of re-simulated",
+    )
     sim = sub.add_parser(
         "simulate",
         help="simulate a machine described by a config file on the "
@@ -73,10 +79,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(experiment_id: str, traces, output: Optional[Path]) -> bool:
+def _run_one(
+    experiment_id: str, traces, output: Optional[Path], resume: bool = False
+) -> bool:
     experiment = make_experiment(experiment_id)
     started = time.time()
-    report, recorder = experiment.run_recorded(traces)
+    journal = (
+        output / f"{experiment_id}.journal.jsonl" if output is not None else None
+    )
+    report, recorder = experiment.run_recorded(
+        traces, journal=journal, resume=resume
+    )
     elapsed = time.time() - started
     text = report.render() + f"\n({elapsed:.1f}s)\n"
     print(text)
@@ -192,13 +205,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _simulate(args)
     if args.command == "report":
         return _report(args)
+    if args.resume and args.output is None:
+        print("mlcache run: --resume requires -o/--output (the checkpoint "
+              "journal lives in the output directory)", file=sys.stderr)
+        return 2
     targets = (
         experiment_ids() if args.experiment.lower() == "all" else [args.experiment]
     )
     traces = paper_trace_suite(records=args.records, count=args.traces)
     ok = True
     for experiment_id in targets:
-        ok = _run_one(experiment_id, traces, args.output) and ok
+        ok = _run_one(experiment_id, traces, args.output, resume=args.resume) and ok
     return 0 if ok else 1
 
 

@@ -1,0 +1,37 @@
+"""Crash-tolerant sweep execution.
+
+The paper's results are all produced by large design-space sweeps; at
+production scale those sweeps must survive faults instead of restarting.
+This package supplies the three layers the sweep executor
+(:mod:`repro.core.sweep`) builds on:
+
+* :mod:`repro.resilience.journal` -- an append-only, per-cell-fsynced
+  JSONL checkpoint journal keyed by the memoisation keys of
+  :mod:`repro.sim.memo`, so an interrupted sweep resumes exactly where it
+  stopped and produces a grid identical to an uninterrupted run.
+* :mod:`repro.resilience.executor` -- a supervised worker pool with
+  per-cell fault isolation: bounded retries with exponential backoff and
+  jitter, per-cell wall-clock timeouts, automatic worker re-creation
+  after a death or hang, and graceful degradation to a partial grid plus
+  structured :class:`~repro.resilience.policy.FailureReport` records.
+* :mod:`repro.resilience.faults` -- a seeded probabilistic
+  fault-injection harness (``REPRO_FAULTS``) used by the test suite and
+  the CI chaos job to prove every recovery path.
+
+See ``docs/resilience.md`` for the knobs, formats and grammar.
+"""
+
+from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.journal import SweepJournal, current_journal, journaling
+from repro.resilience.policy import FailureReport, RetryPolicy, SweepFailure
+
+__all__ = [
+    "FailureReport",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "SweepFailure",
+    "SweepJournal",
+    "current_journal",
+    "journaling",
+]

@@ -1,0 +1,290 @@
+"""End-to-end chaos drill: sweep under injected faults, kill, resume.
+
+This is the executable proof behind ``docs/resilience.md``::
+
+    python -m repro.resilience.chaos --out /tmp/chaos
+
+runs the same deterministic sweep three times:
+
+1. **golden** -- a clean subprocess run (no faults) recording the grid
+   digest an undisturbed sweep produces;
+2. **chaos** -- a subprocess run with fault injection (``REPRO_FAULTS``),
+   audit invariants (``REPRO_AUDIT=1``) and a checkpoint journal; the
+   parent watches the journal grow and SIGKILLs the subprocess after a
+   few cells have been checkpointed;
+3. **resume** -- the same command with ``--resume``, still under faults,
+   which restores the journaled cells and completes the rest.
+
+The drill passes only if the resumed grid digest is byte-identical to
+the golden one -- same event counts *and* same nanosecond totals -- and
+every phase's artefacts (digests, journal, summary) are left in the
+output directory for inspection or CI upload.
+
+The digest is a sha256 over a canonical rendering of every cell of both
+grids (functional event counts and timing nanosecond totals), so any
+lost, duplicated, corrupted or reordered cell changes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.sim.config import LevelConfig, SystemConfig
+from repro.trace.multiprogram import MultiprogramScheduler, ProcessSpec
+from repro.trace.record import Trace
+from repro.trace.workload import SyntheticWorkload
+from repro.units import KB
+
+#: Default fault mix for the drill: every recovery path gets exercised,
+#: and the aggregate per-attempt failure probability is about 32%.
+DEFAULT_FAULTS = "worker_raise:0.2,corrupt_result:0.1,worker_kill:0.05"
+
+#: Retries for the chaos phases.  Injection draws are a pure function of
+#: (seed, fault, cell, attempt), so with the default workload, faults and
+#: seed the whole drill is deterministic: the worst cell fails 4
+#: consecutive attempts, comfortably inside this budget.
+CHAOS_RETRIES = "6"
+
+
+def build_traces(records: int, count: int = 2) -> List[Trace]:
+    """Deterministic multiprogramming traces (identical across runs)."""
+    traces = []
+    for t in range(count):
+        processes = [
+            ProcessSpec(
+                name=f"p{i}",
+                workload=SyntheticWorkload(
+                    seed=1000 * t + 37 * i, address_base=i << 44
+                ),
+            )
+            for i in range(1, 4)
+        ]
+        scheduler = MultiprogramScheduler(processes, switch_interval=4000, seed=t)
+        traces.append(
+            scheduler.trace(records, name=f"chaos{t}", warmup=records // 5)
+        )
+    return traces
+
+
+def build_configs() -> List[SystemConfig]:
+    """A small grid mixing functional and timing-only variation."""
+    base = SystemConfig(
+        levels=(
+            LevelConfig(size_bytes=4 * KB, block_bytes=16, split=True,
+                        cycle_cpu_cycles=1, write_hit_cycles=2),
+            LevelConfig(size_bytes=64 * KB, block_bytes=32,
+                        cycle_cpu_cycles=3, write_hit_cycles=2),
+        )
+    )
+    configs = []
+    for size in (2 * KB, 4 * KB, 8 * KB):
+        sized = base.with_level(0, size_bytes=size)
+        configs.append(sized)
+        configs.append(sized.with_level(1, cycle_cpu_cycles=5))
+    return configs
+
+
+def grid_digest(functional_grid, timing_grid) -> str:
+    """A canonical sha256 over every cell of both grids."""
+    hasher = hashlib.sha256()
+    for row in functional_grid:
+        for cell in row:
+            hasher.update(repr((
+                cell.trace_name,
+                cell.cpu_reads, cell.cpu_writes, cell.cpu_ifetches,
+                tuple(
+                    (s.reads, s.read_misses, s.writes, s.write_misses,
+                     s.writebacks)
+                    for s in cell.level_stats
+                ),
+                cell.memory_reads, cell.memory_writes,
+            )).encode())
+    for row in timing_grid:
+        for cell in row:
+            # repr of the float totals: byte-identical means
+            # nanosecond-identical, the acceptance bar for resume.
+            hasher.update(repr((
+                cell.trace_name, cell.total_ns, cell.read_stall_ns,
+                cell.write_stall_ns, cell.memory_reads, cell.memory_writes,
+            )).encode())
+    return hasher.hexdigest()
+
+
+def _run_sweep(args) -> int:
+    """Child phase: the actual sweep, optionally journaled/resumed."""
+    from contextlib import nullcontext
+
+    from repro.core.sweep import sweep_functional, sweep_timing
+    from repro.resilience.journal import journaling
+
+    traces = build_traces(args.records)
+    configs = build_configs()
+    context = (
+        journaling(args.journal, resume=args.resume, name="chaos")
+        if args.journal
+        else nullcontext(None)
+    )
+    with context:
+        functional_grid = sweep_functional(traces, configs)
+        timing_grid = sweep_timing(traces, configs)
+    digest = grid_digest(functional_grid, timing_grid)
+    Path(args.digest_file).write_text(digest + "\n")
+    print(f"digest {digest}")
+    return 0
+
+
+def _count_journal_cells(path: Path) -> int:
+    if not path.exists():
+        return 0
+    count = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if '"t": "cell"' in line:
+                    count += 1
+    except OSError:
+        return 0
+    return count
+
+
+def _child_command(args, journal: Path, digest_file: Path, resume: bool) -> List[str]:
+    command = [
+        sys.executable, "-m", "repro.resilience.chaos",
+        "--phase", "sweep",
+        "--records", str(args.records),
+        "--digest-file", str(digest_file),
+    ]
+    if journal is not None:
+        command += ["--journal", str(journal)]
+    if resume:
+        command += ["--resume"]
+    return command
+
+
+def _orchestrate(args) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    journal = out / "chaos.journal.jsonl"
+    summary = {
+        "faults": args.faults,
+        "records": args.records,
+        "kill_after_cells": args.kill_after,
+    }
+
+    clean_env = dict(os.environ)
+    clean_env.pop("REPRO_FAULTS", None)
+    clean_env["REPRO_AUDIT"] = "1"
+    clean_env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [str(Path(__file__).resolve().parents[2]),
+                    os.environ.get("PYTHONPATH", "")] if p
+    )
+    chaos_env = dict(clean_env)
+    chaos_env["REPRO_FAULTS"] = args.faults
+    chaos_env["REPRO_SWEEP_RETRIES"] = CHAOS_RETRIES
+    if args.workers:
+        chaos_env["REPRO_SWEEP_WORKERS"] = str(args.workers)
+
+    print("[chaos] golden run (no faults)...")
+    golden_file = out / "golden.digest"
+    subprocess.run(
+        _child_command(args, None, golden_file, resume=False),
+        env=clean_env, check=True,
+    )
+    golden = golden_file.read_text().strip()
+
+    print(f"[chaos] faulted run (REPRO_FAULTS={args.faults}), "
+          f"killing after {args.kill_after} journaled cells...")
+    chaos_digest = out / "chaos.digest"
+    child = subprocess.Popen(
+        _child_command(args, journal, chaos_digest, resume=False),
+        env=chaos_env,
+    )
+    killed = False
+    deadline = time.monotonic() + args.phase_timeout
+    while child.poll() is None:
+        if _count_journal_cells(journal) >= args.kill_after:
+            child.send_signal(signal.SIGKILL)
+            killed = True
+            break
+        if time.monotonic() > deadline:
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+            raise SystemExit("[chaos] FAIL: faulted run hung past the "
+                             f"{args.phase_timeout}s phase timeout")
+        time.sleep(0.02)
+    child.wait()
+    summary["killed_mid_run"] = killed
+    summary["cells_at_kill"] = _count_journal_cells(journal)
+    if killed:
+        print(f"[chaos] killed child with {summary['cells_at_kill']} "
+              f"cells journaled")
+    else:
+        print("[chaos] child finished before the kill threshold "
+              "(still resuming to verify the journal)")
+
+    print("[chaos] resumed run (faults still on)...")
+    resumed_file = out / "resumed.digest"
+    subprocess.run(
+        _child_command(args, journal, resumed_file, resume=True),
+        env=chaos_env, check=True, timeout=args.phase_timeout,
+    )
+    resumed = resumed_file.read_text().strip()
+
+    summary["golden_digest"] = golden
+    summary["resumed_digest"] = resumed
+    summary["identical"] = resumed == golden
+    (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    if resumed != golden:
+        print(f"[chaos] FAIL: resumed digest {resumed[:16]}... != "
+              f"golden {golden[:16]}...")
+        return 1
+    print(f"[chaos] PASS: resumed grid identical to golden "
+          f"({golden[:16]}...), artefacts in {out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.chaos",
+        description="Kill-and-resume chaos drill for the sweep executor.",
+    )
+    parser.add_argument("--out", type=Path, default=Path("chaos-out"),
+                        help="artefact directory (journal, digests, summary)")
+    parser.add_argument("--records", type=int, default=40_000,
+                        help="records per trace (2 traces)")
+    parser.add_argument("--faults", default=DEFAULT_FAULTS,
+                        help="REPRO_FAULTS spec for the chaos phases")
+    parser.add_argument("--kill-after", type=int, default=3,
+                        help="SIGKILL the faulted run after this many "
+                             "journaled cells")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="REPRO_SWEEP_WORKERS for the chaos phases "
+                             "(0 keeps the environment's setting)")
+    parser.add_argument("--phase-timeout", type=float, default=600.0,
+                        help="wall-clock limit per phase (hang detector)")
+    # Child-phase plumbing (not for interactive use).
+    parser.add_argument("--phase", choices=["sweep"], default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--journal", type=Path, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--resume", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--digest-file", type=Path, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.phase == "sweep":
+        return _run_sweep(args)
+    return _orchestrate(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    sys.exit(main())

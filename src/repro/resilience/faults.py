@@ -1,0 +1,206 @@
+"""Seeded probabilistic fault injection for sweep workers.
+
+Gated by the ``REPRO_FAULTS`` environment knob, whose grammar is a
+comma-separated list of ``fault:probability`` pairs::
+
+    REPRO_FAULTS="worker_raise:0.2,worker_hang:0.05,corrupt_result:0.1"
+
+Faults:
+
+* ``worker_raise`` -- the cell raises :class:`InjectedFault` before
+  simulating (exercises retry-then-succeed and retry exhaustion).
+* ``worker_hang`` -- the cell sleeps ``REPRO_FAULTS_HANG_S`` seconds
+  (default 30) before simulating (exercises per-cell timeouts and the
+  kill-and-requeue path; on the serial path the sleep simply elapses).
+* ``worker_kill`` -- the worker process SIGKILLs itself mid-cell
+  (exercises worker-death detection and pool re-creation; degraded to a
+  raise on the serial path, which has no expendable process).
+* ``corrupt_result`` -- the cell completes but its counters are
+  perturbed in a way the audit invariants of :mod:`repro.audit` must
+  catch (run chaos workloads with ``REPRO_AUDIT=1``).
+
+Injection is *deterministic*: whether fault ``f`` fires for a given cell
+on a given attempt is a pure function of ``(REPRO_FAULTS_SEED, f, cell
+signature, attempt)``, hashed to a uniform draw.  The pattern is
+therefore reproducible across runs and independent of worker scheduling,
+while retries of the same cell still get fresh draws.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Environment knobs.
+FAULTS_ENV = "REPRO_FAULTS"
+SEED_ENV = "REPRO_FAULTS_SEED"
+HANG_ENV = "REPRO_FAULTS_HANG_S"
+
+#: Recognised fault names.
+FAULT_KINDS = ("worker_raise", "worker_hang", "worker_kill", "corrupt_result")
+
+_DEFAULT_SEED = 20240613
+_DEFAULT_HANG_S = 30.0
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection harness."""
+
+
+def _uniform_draw(seed: int, fault: str, signature: str, attempt: int) -> float:
+    """A deterministic uniform [0, 1) draw for one injection decision."""
+    digest = hashlib.sha256(
+        f"{seed}|{fault}|{signature}|{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed injection rates plus the seed that makes them reproducible."""
+
+    rates: Tuple[Tuple[str, float], ...]
+    seed: int = _DEFAULT_SEED
+    hang_seconds: float = _DEFAULT_HANG_S
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        seed: int = _DEFAULT_SEED,
+        hang_seconds: float = _DEFAULT_HANG_S,
+    ) -> Optional["FaultPlan"]:
+        """Parse the ``fault:prob,...`` grammar; ``None`` for an empty spec."""
+        spec = (spec or "").strip()
+        if not spec:
+            return None
+        rates: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if ":" not in part:
+                raise ValueError(
+                    f"{FAULTS_ENV}: expected fault:probability, got {part!r}"
+                )
+            name, prob_text = part.split(":", 1)
+            name = name.strip()
+            if name not in FAULT_KINDS:
+                raise ValueError(
+                    f"{FAULTS_ENV}: unknown fault {name!r} "
+                    f"(known: {', '.join(FAULT_KINDS)})"
+                )
+            try:
+                prob = float(prob_text)
+            except ValueError:
+                raise ValueError(
+                    f"{FAULTS_ENV}: unparseable probability {prob_text!r} "
+                    f"for {name}"
+                ) from None
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(
+                    f"{FAULTS_ENV}: probability for {name} must be in "
+                    f"[0, 1], got {prob}"
+                )
+            rates[name] = prob
+        if not rates:
+            return None
+        return cls(
+            rates=tuple(sorted(rates.items())),
+            seed=seed,
+            hang_seconds=hang_seconds,
+        )
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        spec = os.environ.get(FAULTS_ENV, "")
+        seed_raw = os.environ.get(SEED_ENV)
+        hang_raw = os.environ.get(HANG_ENV)
+        seed = _DEFAULT_SEED
+        if seed_raw is not None and seed_raw.strip():
+            try:
+                seed = int(seed_raw)
+            except ValueError:
+                raise ValueError(
+                    f"{SEED_ENV} must be an integer, got {seed_raw!r}"
+                ) from None
+        hang = _DEFAULT_HANG_S
+        if hang_raw is not None and hang_raw.strip():
+            hang = float(hang_raw)
+        return cls.parse(spec, seed=seed, hang_seconds=hang)
+
+    @property
+    def spec(self) -> str:
+        """Render back to the grammar (manifests record this)."""
+        return ",".join(f"{name}:{prob:g}" for name, prob in self.rates)
+
+    def rate(self, fault: str) -> float:
+        for name, prob in self.rates:
+            if name == fault:
+                return prob
+        return 0.0
+
+    def decide(self, fault: str, signature: str, attempt: int) -> bool:
+        """Whether ``fault`` fires for this (cell, attempt) -- deterministic."""
+        rate = self.rate(fault)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return _uniform_draw(self.seed, fault, signature, attempt) < rate
+
+    def inject_before(self, signature: str, attempt: int, in_worker: bool) -> None:
+        """Apply pre-simulation faults (kill, hang, raise) for one cell."""
+        if self.decide("worker_kill", signature, attempt):
+            if in_worker:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedFault(
+                f"worker_kill injected (serial surrogate) for {signature} "
+                f"attempt {attempt}"
+            )
+        if self.decide("worker_hang", signature, attempt):
+            time.sleep(self.hang_seconds)
+        if self.decide("worker_raise", signature, attempt):
+            raise InjectedFault(
+                f"worker_raise injected for {signature} attempt {attempt}"
+            )
+
+    def corrupt_after(self, signature: str, attempt: int, result):
+        """Return ``result``, possibly replaced by a corrupted copy.
+
+        The corruption breaks a conservation law -- a phantom L1 read
+        (violating the CPU-boundary law) for count results, plus a torn
+        time decomposition for timing results -- so ``REPRO_AUDIT=1``
+        runs reject it at sweep intake.  The copy leaves the original
+        (and anything it shares, like memo cache payloads) untouched.
+        """
+        if not self.decide("corrupt_result", signature, attempt):
+            return result
+        stats = list(result.level_stats)
+        stats[0] = dataclasses.replace(
+            stats[0],
+            reads=stats[0].reads + 1,
+            read_misses=stats[0].read_misses + 1,
+        )
+        corrupted = dataclasses.replace(result, level_stats=stats)
+        if hasattr(corrupted, "total_ns"):
+            corrupted = dataclasses.replace(
+                corrupted, total_ns=corrupted.total_ns + max(1.0, 1e-3 * corrupted.total_ns)
+            )
+        return corrupted
+
+
+def cell_signature(kind: str, trace_index: int, projection) -> str:
+    """A stable identity for one sweep cell, independent of scheduling.
+
+    Hashing ``repr(projection)`` keeps the signature short while staying
+    deterministic across processes and runs (the projection contains only
+    ints, floats, bools, strings and enums with stable reprs).
+    """
+    digest = hashlib.sha256(repr(projection).encode()).hexdigest()[:16]
+    return f"{kind}:{trace_index}:{digest}"

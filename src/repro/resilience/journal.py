@@ -1,0 +1,243 @@
+"""Append-only checkpoint journal for sweeps.
+
+One JSONL record per completed cell, flushed *and fsynced* before the
+sweep moves on, so the journal survives a SIGKILL at any instant.  Cells
+are keyed by the same identities the memoisation layer uses
+(:func:`repro.sim.memo.memo_key` for functional cells,
+:func:`repro.sim.memo.timing_key` for timing cells): a resumed sweep
+restores every journaled cell and simulates only the remainder,
+producing a grid identical to an uninterrupted run.
+
+Record format (one JSON object per line)::
+
+    {"t": "header", "schema": 1, "name": "...", "pid": ...}
+    {"t": "cell", "kind": "functional", "key": "<sha256 of the cell key>",
+     "trace": "...", "sum": "<sha256[:12] of payload>", "payload": {...}}
+
+Torn trailing lines (the record being written when the process died) and
+checksum mismatches are skipped on load; duplicate keys keep the last
+complete record.  Payloads carry every field of the result except its
+``config`` -- the resuming sweep re-attaches its own configuration
+object, exactly as the memo cache does for timing-variant hits.
+
+Activation mirrors :mod:`repro.audit.manifest`: the sweep executor
+consults :func:`current_journal`, and :func:`journaling` installs a
+journal for the duration of a block::
+
+    with journaling(path, resume=True):
+        grid = sweep_functional(traces, configs)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.stats import CacheStats
+from repro.sim.functional import FunctionalResult
+from repro.sim.timing import TimingResult
+
+#: Journal schema version (bump on breaking shape changes).
+SCHEMA = 1
+
+
+def journal_digest(kind: str, key: Tuple) -> str:
+    """The journal's stable identity for one cell.
+
+    ``repr`` of a memo/timing key is deterministic across processes and
+    runs: the tuples contain only ints, floats, bools, strings and enums
+    with stable reprs, and the trace component is already a content hash.
+    """
+    return hashlib.sha256(f"{kind}|{key!r}".encode()).hexdigest()
+
+
+def _payload_checksum(payload_text: str) -> str:
+    return hashlib.sha256(payload_text.encode()).hexdigest()[:12]
+
+
+# -- result (de)serialisation ------------------------------------------------
+
+
+def encode_functional(result: FunctionalResult) -> Dict:
+    return {
+        "trace_name": result.trace_name,
+        "cpu_reads": result.cpu_reads,
+        "cpu_writes": result.cpu_writes,
+        "cpu_ifetches": result.cpu_ifetches,
+        "level_stats": [asdict(stats) for stats in result.level_stats],
+        "memory_reads": result.memory_reads,
+        "memory_writes": result.memory_writes,
+    }
+
+
+def decode_functional(payload: Dict, config) -> FunctionalResult:
+    return FunctionalResult(
+        trace_name=payload["trace_name"],
+        config=config,
+        cpu_reads=payload["cpu_reads"],
+        cpu_writes=payload["cpu_writes"],
+        cpu_ifetches=payload["cpu_ifetches"],
+        level_stats=[CacheStats(**stats) for stats in payload["level_stats"]],
+        memory_reads=payload["memory_reads"],
+        memory_writes=payload["memory_writes"],
+    )
+
+
+def encode_timing(result: TimingResult) -> Dict:
+    return {
+        "trace_name": result.trace_name,
+        "instructions": result.instructions,
+        "cpu_reads": result.cpu_reads,
+        "cpu_writes": result.cpu_writes,
+        "total_ns": result.total_ns,
+        "base_ns": result.base_ns,
+        "read_stall_ns": result.read_stall_ns,
+        "write_stall_ns": result.write_stall_ns,
+        "level_stats": [asdict(stats) for stats in result.level_stats],
+        "memory_reads": result.memory_reads,
+        "memory_writes": result.memory_writes,
+        "buffer_full_stalls": list(result.buffer_full_stalls),
+        "buffer_read_matches": list(result.buffer_read_matches),
+    }
+
+
+def decode_timing(payload: Dict, config) -> TimingResult:
+    return TimingResult(
+        trace_name=payload["trace_name"],
+        config=config,
+        instructions=payload["instructions"],
+        cpu_reads=payload["cpu_reads"],
+        cpu_writes=payload["cpu_writes"],
+        total_ns=payload["total_ns"],
+        read_stall_ns=payload["read_stall_ns"],
+        write_stall_ns=payload["write_stall_ns"],
+        level_stats=[CacheStats(**stats) for stats in payload["level_stats"]],
+        memory_reads=payload["memory_reads"],
+        memory_writes=payload["memory_writes"],
+        buffer_full_stalls=list(payload["buffer_full_stalls"]),
+        buffer_read_matches=list(payload["buffer_read_matches"]),
+        base_ns=payload["base_ns"],
+    )
+
+
+_DECODERS = {"functional": decode_functional, "timing": decode_timing}
+
+
+# -- the journal -------------------------------------------------------------
+
+
+class SweepJournal:
+    """One sweep run's crash-tolerant cell checkpoint file."""
+
+    def __init__(self, path, resume: bool = False, name: str = "") -> None:
+        self.path = Path(path)
+        self.name = name
+        #: Complete records loaded at open time: digest -> (kind, payload).
+        self._restorable: Dict[str, Tuple[str, Dict]] = {}
+        #: Cells appended (or restored) during this process's lifetime.
+        self.recorded = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._load()
+        # "a" positions at end-of-file, so tell() doubles as a size check;
+        # a non-resuming open truncates any stale journal.
+        self._handle = open(self.path, "a" if resume else "w", encoding="utf-8")
+        if self._handle.tell() == 0:
+            self._append(
+                {"t": "header", "schema": SCHEMA, "name": name, "pid": os.getpid()}
+            )
+
+    def _load(self) -> None:
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a killed process
+            if record.get("t") != "cell":
+                continue
+            payload = record.get("payload")
+            payload_text = json.dumps(payload, sort_keys=True)
+            if record.get("sum") != _payload_checksum(payload_text):
+                continue
+            self._restorable[record["key"]] = (record["kind"], payload)
+
+    def _append(self, record: Dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- recording ----------------------------------------------------------
+
+    def record_cell(self, kind: str, key: Tuple, result) -> None:
+        """Durably journal one completed cell (fsynced before returning)."""
+        payload = (
+            encode_functional(result) if kind == "functional" else encode_timing(result)
+        )
+        payload_text = json.dumps(payload, sort_keys=True)
+        digest = journal_digest(kind, key)
+        self._append(
+            {
+                "t": "cell",
+                "kind": kind,
+                "key": digest,
+                "trace": result.trace_name,
+                "sum": _payload_checksum(payload_text),
+                "payload": payload,
+            }
+        )
+        self._restorable[digest] = (kind, payload)
+        self.recorded += 1
+
+    # -- restoring ----------------------------------------------------------
+
+    def restore(self, kind: str, key: Tuple, config):
+        """The journaled result for ``key`` with ``config`` attached, or
+        ``None`` when the cell was never completed."""
+        entry = self._restorable.get(journal_digest(kind, key))
+        if entry is None or entry[0] != kind:
+            return None
+        return _DECODERS[kind](entry[1], config)
+
+    @property
+    def restorable_cells(self) -> int:
+        return len(self._restorable)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+# -- activation --------------------------------------------------------------
+
+#: Active journals, innermost last (mirrors ``repro.audit.manifest``).
+_active: List[SweepJournal] = []
+
+
+def current_journal() -> Optional[SweepJournal]:
+    """The innermost active journal, if any."""
+    return _active[-1] if _active else None
+
+
+@contextmanager
+def journaling(path, resume: bool = False, name: str = ""):
+    """Activate a :class:`SweepJournal` for the duration of the block.
+
+    ``resume=False`` starts a fresh journal (truncating any existing
+    file); ``resume=True`` restores every complete cell already in the
+    file and appends the rest as they complete.
+    """
+    journal = SweepJournal(path, resume=resume, name=name)
+    _active.append(journal)
+    try:
+        yield journal
+    finally:
+        _active.remove(journal)
+        journal.close()

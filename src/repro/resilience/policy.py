@@ -1,0 +1,196 @@
+"""Retry policy and structured failure reporting for resilient sweeps.
+
+A cell that fails -- a worker exception, a wall-clock timeout, a dead
+worker process, or a result the audit invariants reject -- is retried
+with exponential backoff and jitter up to a bounded attempt budget.
+When the budget is exhausted the cell becomes a
+:class:`FailureReport`: the sweep degrades to a partial grid (or
+re-raises, the default) but the failure is never silent.
+
+Knobs (see ``docs/resilience.md``):
+
+* ``REPRO_SWEEP_RETRIES`` -- retries per cell after the first attempt
+  (default 2, so 3 attempts total).  ``0`` disables retrying.
+* ``REPRO_SWEEP_TIMEOUT`` -- per-cell wall-clock budget in seconds
+  (float).  Unset disables timeouts.  Enforced on the pooled path, where
+  a hung worker can be killed and replaced; the serial path cannot
+  preempt a running simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Environment knobs.
+RETRIES_ENV = "REPRO_SWEEP_RETRIES"
+TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
+
+#: Backoff shape: ``base * factor**attempt * (1 + U(0, jitter))``, capped.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_FACTOR = 2.0
+_BACKOFF_JITTER = 0.25
+_BACKOFF_CAP_S = 2.0
+
+
+def _positive_float_env(name: str) -> Optional[float]:
+    value = os.environ.get(name)
+    if value is None or not value.strip():
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
+    if parsed <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return parsed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before a cell is declared failed."""
+
+    #: Total attempts per cell (first try + retries); at least 1.
+    max_attempts: int = 3
+    #: Per-cell wall-clock budget in seconds; ``None`` disables timeouts.
+    cell_timeout_s: Optional[float] = None
+    #: Seed for backoff jitter (deterministic per executor instance).
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive")
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        retries_raw = os.environ.get(RETRIES_ENV)
+        if retries_raw is None or not retries_raw.strip():
+            retries = 2
+        else:
+            try:
+                retries = int(retries_raw)
+            except ValueError:
+                raise ValueError(
+                    f"{RETRIES_ENV} must be an integer, got {retries_raw!r}"
+                ) from None
+            if retries < 0:
+                raise ValueError(
+                    f"{RETRIES_ENV} must be >= 0, got {retries_raw!r}"
+                )
+        return cls(
+            max_attempts=retries + 1,
+            cell_timeout_s=_positive_float_env(TIMEOUT_ENV),
+        )
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (1-based retries)."""
+        base = _BACKOFF_BASE_S * (_BACKOFF_FACTOR ** max(0, attempt - 1))
+        return min(_BACKOFF_CAP_S, base * (1.0 + rng.uniform(0, _BACKOFF_JITTER)))
+
+    def rng(self) -> random.Random:
+        return random.Random(self.jitter_seed)
+
+
+@dataclass
+class FailureReport:
+    """One permanently-failed sweep cell, with everything needed to act.
+
+    ``reason`` is one of ``"exception"`` (the cell raised, in a worker or
+    serially), ``"timeout"`` (the cell exceeded ``REPRO_SWEEP_TIMEOUT``
+    and its worker was killed), ``"worker-death"`` (the worker process
+    died while holding the cell) or ``"invalid-result"`` (the returned
+    result violated the audit invariants -- e.g. an injected
+    corruption).
+    """
+
+    kind: str  # "functional" or "timing"
+    reason: str
+    trace_index: int
+    trace_name: str
+    config_text: str
+    attempts: int
+    #: Position in the batch handed to the executor; lets the sweep map a
+    #: failure back to its grid cell.  ``-1`` when unknown.
+    cell_id: int = -1
+    exception_type: str = ""
+    message: str = ""
+    traceback: str = ""
+    #: The original exception object when it survived pickling; lets the
+    #: default all-or-nothing mode re-raise exactly what the worker raised.
+    exception: Optional[BaseException] = field(default=None, repr=False)
+    wall_seconds: float = 0.0
+
+    @classmethod
+    def from_exception(
+        cls,
+        kind: str,
+        reason: str,
+        trace_index: int,
+        trace_name: str,
+        config_text: str,
+        attempts: int,
+        exc: Optional[BaseException],
+        exception_type: str = "",
+        message: str = "",
+        traceback_text: str = "",
+        started: Optional[float] = None,
+        cell_id: int = -1,
+    ) -> "FailureReport":
+        if exc is not None:
+            exception_type = exception_type or type(exc).__name__
+            message = message or str(exc)
+            if not traceback_text:
+                traceback_text = "".join(
+                    traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+                )
+        return cls(
+            kind=kind,
+            reason=reason,
+            trace_index=trace_index,
+            trace_name=trace_name,
+            config_text=config_text,
+            attempts=attempts,
+            cell_id=cell_id,
+            exception_type=exception_type,
+            message=message,
+            traceback=traceback_text,
+            exception=exc,
+            wall_seconds=(time.monotonic() - started) if started else 0.0,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-native rendering (manifests, CI artefacts)."""
+        return {
+            "kind": self.kind,
+            "reason": self.reason,
+            "trace_index": self.trace_index,
+            "trace": self.trace_name,
+            "config": self.config_text,
+            "attempts": self.attempts,
+            "cell_id": self.cell_id,
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class SweepFailure(RuntimeError):
+    """Raised when cells failed permanently and no original exception
+    object survived the trip back from the worker."""
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed permanently; first: "
+            f"{first.reason} on trace {first.trace_name!r} after "
+            f"{first.attempts} attempt(s): "
+            f"{first.exception_type}: {first.message}"
+        )

@@ -69,6 +69,11 @@ class MemoStats:
 _cache: "OrderedDict[Tuple, FunctionalResult]" = OrderedDict()
 _stats = MemoStats()
 
+#: Cumulative counters folded in from worker processes (a subset of
+#: ``_stats``): the sweep executor ships each worker's per-chunk memo
+#: delta back to the parent so pooled hit ratios stop under-reporting.
+_worker_fold = MemoStats()
+
 
 def trace_fingerprint(trace: Trace) -> str:
     """A stable content hash of a trace's functional identity.
@@ -118,9 +123,40 @@ def functional_projection(config: SystemConfig) -> Tuple:
     )
 
 
+def timing_projection(config: SystemConfig) -> Tuple:
+    """Every field a :class:`~repro.sim.timing.TimingResult` depends on.
+
+    Timing results are a function of the *whole* configuration, so this is
+    the functional projection plus all the timing fields.  Used by the
+    resilience journal (:mod:`repro.resilience.journal`) to key
+    checkpointed timing cells; there is no timing memo cache.
+    """
+    return (
+        functional_projection(config),
+        config.cpu.cycle_ns,
+        tuple(
+            (level.cycle_cpu_cycles, level.write_hit_cycles)
+            for level in config.levels
+        ),
+        (
+            config.memory.read_ns,
+            config.memory.write_ns,
+            config.memory.recovery_ns,
+        ),
+        config.bus_width_words,
+        config.write_buffer_entries,
+        config.backplane_cycle_ns,
+    )
+
+
 def memo_key(trace: Trace, config: SystemConfig) -> Tuple:
     """The cache key for one (trace, config) cell."""
     return (trace_fingerprint(trace), functional_projection(config))
+
+
+def timing_key(trace: Trace, config: SystemConfig) -> Tuple:
+    """The journal key for one timing (trace, config) cell."""
+    return (trace_fingerprint(trace), timing_projection(config))
 
 
 def lookup(key: Tuple) -> Optional[FunctionalResult]:
@@ -132,6 +168,44 @@ def lookup(key: Tuple) -> Optional[FunctionalResult]:
     _cache.move_to_end(key)
     _stats.hits += 1
     return result
+
+
+def peek(key: Tuple) -> Optional[FunctionalResult]:
+    """Like :func:`lookup` but without touching the hit/miss counters.
+
+    The sweep executor uses this while *planning* (deduplicating cells
+    against the cache); the authoritative lookup accounting happens when
+    cells are actually evaluated, wherever that evaluation runs.
+    """
+    result = _cache.get(key)
+    if result is not None:
+        _cache.move_to_end(key)
+    return result
+
+
+def stats_snapshot() -> Tuple[int, int, int]:
+    """``(hits, misses, evictions)`` right now (cheap, copy-safe)."""
+    return (_stats.hits, _stats.misses, _stats.evictions)
+
+
+def fold_worker_stats(hits: int, misses: int, evictions: int) -> None:
+    """Fold a worker process's memo counter delta into this process.
+
+    Worker processes run their own copy of this cache (inherited across
+    ``fork``); without folding, manifests recorded under a pooled sweep
+    under-report lookups that happened inside workers.
+    """
+    _stats.hits += hits
+    _stats.misses += misses
+    _stats.evictions += evictions
+    _worker_fold.hits += hits
+    _worker_fold.misses += misses
+    _worker_fold.evictions += evictions
+
+
+def worker_fold_snapshot() -> Tuple[int, int, int]:
+    """Cumulative ``(hits, misses, evictions)`` folded in from workers."""
+    return (_worker_fold.hits, _worker_fold.misses, _worker_fold.evictions)
 
 
 def store(key: Tuple, result: FunctionalResult) -> None:
@@ -175,3 +249,4 @@ def clear_memo_cache(reset_stats: bool = True) -> None:
     _cache.clear()
     if reset_stats:
         _stats.reset()
+        _worker_fold.reset()

@@ -1,0 +1,145 @@
+"""The fault-injection harness: grammar, determinism, and the guarantee
+that an injected corruption cannot sneak past the audit invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.audit.invariants import AuditError, audit_functional_result
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedFault,
+    cell_signature,
+)
+from repro.sim.fast import run_functional
+from repro.sim.timing import TimingSimulator
+
+
+class TestGrammar:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse("worker_raise:0.2,worker_hang:0.05,corrupt_result:0.1")
+        assert plan.rate("worker_raise") == 0.2
+        assert plan.rate("worker_hang") == 0.05
+        assert plan.rate("corrupt_result") == 0.1
+        assert plan.rate("worker_kill") == 0.0
+
+    def test_spec_round_trips(self):
+        plan = FaultPlan.parse("worker_raise:0.2,corrupt_result:0.1")
+        assert FaultPlan.parse(plan.spec) == plan
+
+    def test_empty_spec_is_no_plan(self):
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("  ") is None
+        assert FaultPlan.parse(",") is None
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            FaultPlan.parse("worker_explode:0.5")
+
+    def test_missing_probability_rejected(self):
+        with pytest.raises(ValueError, match="fault:probability"):
+            FaultPlan.parse("worker_raise")
+
+    def test_unparseable_probability_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            FaultPlan.parse("worker_raise:lots")
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultPlan.parse("worker_raise:1.5")
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultPlan.parse("worker_raise:-0.1")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_raise:0.5")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "99")
+        plan = FaultPlan.from_env()
+        assert plan.rate("worker_raise") == 0.5
+        assert plan.seed == 99
+
+    def test_from_env_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_from_env_bad_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_raise:0.5")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "sometimes")
+        with pytest.raises(ValueError, match="REPRO_FAULTS_SEED"):
+            FaultPlan.from_env()
+
+
+class TestDeterminism:
+    def test_decisions_are_reproducible(self):
+        plan = FaultPlan.parse("worker_raise:0.5")
+        decisions = [plan.decide("worker_raise", f"sig{i}", 0) for i in range(64)]
+        again = [plan.decide("worker_raise", f"sig{i}", 0) for i in range(64)]
+        assert decisions == again
+        # A 0.5 rate over 64 independent draws fires at least once each way.
+        assert any(decisions) and not all(decisions)
+
+    def test_decisions_vary_with_attempt(self):
+        """Retries must get fresh draws, or no retry could ever succeed."""
+        plan = FaultPlan.parse("worker_raise:0.5")
+        outcomes = {
+            plan.decide("worker_raise", "cell", attempt) for attempt in range(32)
+        }
+        assert outcomes == {True, False}
+
+    def test_seed_changes_the_pattern(self):
+        a = FaultPlan.parse("worker_raise:0.5", seed=1)
+        b = FaultPlan.parse("worker_raise:0.5", seed=2)
+        pattern_a = [a.decide("worker_raise", f"s{i}", 0) for i in range(64)]
+        pattern_b = [b.decide("worker_raise", f"s{i}", 0) for i in range(64)]
+        assert pattern_a != pattern_b
+
+    def test_rate_extremes(self):
+        plan = FaultPlan.parse("worker_raise:1.0,worker_hang:0.0")
+        assert all(plan.decide("worker_raise", f"s{i}", 0) for i in range(16))
+        assert not any(plan.decide("worker_hang", f"s{i}", 0) for i in range(16))
+
+    def test_signature_is_scheduling_independent(self, tiny_config):
+        sig = cell_signature("functional", 3, ("projection",))
+        assert sig == cell_signature("functional", 3, ("projection",))
+        assert sig != cell_signature("timing", 3, ("projection",))
+        assert sig != cell_signature("functional", 4, ("projection",))
+
+
+class TestInjection:
+    def test_worker_raise_raises(self):
+        plan = FaultPlan.parse("worker_raise:1.0")
+        with pytest.raises(InjectedFault):
+            plan.inject_before("cell", 0, in_worker=False)
+
+    def test_no_faults_below_rate(self):
+        plan = FaultPlan.parse("worker_raise:0.0,worker_hang:0.0,worker_kill:0.0")
+        plan.inject_before("cell", 0, in_worker=False)  # must not raise
+
+    def test_corruption_is_caught_by_the_audit(self, tiny_traces, tiny_config):
+        """The injected corruption must violate a conservation law --
+        otherwise chaos runs could 'pass' on silently poisoned grids."""
+        plan = FaultPlan.parse("corrupt_result:1.0")
+        trace = tiny_traces[0]
+        result = run_functional(trace, tiny_config)
+        corrupted = plan.corrupt_after("cell", 0, result)
+        audit_functional_result(trace, result, source="test")  # clean passes
+        with pytest.raises(AuditError, match="cpu-boundary"):
+            audit_functional_result(trace, corrupted, source="test")
+
+    def test_corruption_copies_instead_of_mutating(self, tiny_traces, tiny_config):
+        plan = FaultPlan.parse("corrupt_result:1.0")
+        result = run_functional(tiny_traces[0], tiny_config)
+        reads_before = result.level_stats[0].reads
+        plan.corrupt_after("cell", 0, result)
+        assert result.level_stats[0].reads == reads_before
+
+    def test_timing_corruption_perturbs_total(self, tiny_traces, tiny_config):
+        plan = FaultPlan.parse("corrupt_result:1.0")
+        result = TimingSimulator(tiny_config).run(tiny_traces[0])
+        corrupted = plan.corrupt_after("cell", 0, result)
+        assert corrupted.total_ns > result.total_ns
+
+    def test_fault_kinds_are_exactly_the_documented_set(self):
+        assert set(FAULT_KINDS) == {
+            "worker_raise", "worker_hang", "worker_kill", "corrupt_result"
+        }

@@ -1,0 +1,246 @@
+"""The checkpoint journal: durable, torn-write-tolerant, and resumable
+to a grid identical to an uninterrupted run."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.audit import manifest as run_manifest
+from repro.core.sweep import sweep_functional, sweep_timing
+from repro.resilience.journal import (
+    SweepJournal,
+    current_journal,
+    decode_functional,
+    decode_timing,
+    encode_functional,
+    encode_timing,
+    journaling,
+)
+from repro.sim import memo
+from repro.sim.fast import run_functional
+from repro.sim.timing import TimingSimulator
+
+
+def assert_counts_equal(a, b):
+    assert a.cpu_reads == b.cpu_reads
+    assert a.cpu_writes == b.cpu_writes
+    for sa, sb in zip(a.level_stats, b.level_stats):
+        assert sa == sb
+    assert a.memory_reads == b.memory_reads
+    assert a.memory_writes == b.memory_writes
+
+
+class TestRoundTrip:
+    def test_functional_payload(self, tiny_traces, tiny_config):
+        result = run_functional(tiny_traces[0], tiny_config)
+        payload = json.loads(json.dumps(encode_functional(result)))
+        restored = decode_functional(payload, tiny_config)
+        assert_counts_equal(restored, result)
+        assert restored.config is tiny_config
+        assert restored.trace_name == result.trace_name
+
+    def test_timing_payload_is_nanosecond_identical(self, tiny_traces, tiny_config):
+        result = TimingSimulator(tiny_config).run(tiny_traces[0])
+        payload = json.loads(json.dumps(encode_timing(result)))
+        restored = decode_timing(payload, tiny_config)
+        # Bit-exact floats: JSON round-trips IEEE doubles exactly.
+        assert restored.total_ns == result.total_ns
+        assert restored.base_ns == result.base_ns
+        assert restored.read_stall_ns == result.read_stall_ns
+        assert restored.write_stall_ns == result.write_stall_ns
+        assert restored.buffer_full_stalls == list(result.buffer_full_stalls)
+        assert_counts_equal(restored, result)
+
+
+class TestJournalFile:
+    def test_record_and_restore(self, tmp_path, tiny_traces, tiny_config):
+        path = tmp_path / "j.jsonl"
+        result = run_functional(tiny_traces[0], tiny_config)
+        key = memo.memo_key(tiny_traces[0], tiny_config)
+        journal = SweepJournal(path)
+        journal.record_cell("functional", key, result)
+        journal.close()
+
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.restorable_cells == 1
+        restored = reopened.restore("functional", key, tiny_config)
+        assert_counts_equal(restored, result)
+        # A different kind under the same key is a different cell.
+        assert reopened.restore("timing", key, tiny_config) is None
+        reopened.close()
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path, tiny_traces, tiny_config):
+        path = tmp_path / "j.jsonl"
+        key = memo.memo_key(tiny_traces[0], tiny_config)
+        journal = SweepJournal(path)
+        journal.record_cell(
+            "functional", key, run_functional(tiny_traces[0], tiny_config)
+        )
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"t": "cell", "kind": "functional", "key": "abc')
+
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.restorable_cells == 1
+        assert reopened.restore("functional", key, tiny_config) is not None
+        reopened.close()
+
+    def test_checksum_mismatch_is_skipped(self, tmp_path, tiny_traces, tiny_config):
+        path = tmp_path / "j.jsonl"
+        key = memo.memo_key(tiny_traces[0], tiny_config)
+        journal = SweepJournal(path)
+        journal.record_cell(
+            "functional", key, run_functional(tiny_traces[0], tiny_config)
+        )
+        journal.close()
+        lines = path.read_text().splitlines()
+        tampered = lines[-1].replace('"cpu_reads": ', '"cpu_reads": 9')
+        assert tampered != lines[-1]
+        path.write_text("\n".join(lines[:-1] + [tampered]) + "\n")
+
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.restorable_cells == 0
+        reopened.close()
+
+    def test_last_complete_record_wins(self, tmp_path, tiny_traces, tiny_config):
+        path = tmp_path / "j.jsonl"
+        trace = tiny_traces[0]
+        key = memo.memo_key(trace, tiny_config)
+        first = run_functional(trace, tiny_config)
+        journal = SweepJournal(path)
+        journal.record_cell("functional", key, first)
+        journal.record_cell("functional", key, first)
+        journal.close()
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.restorable_cells == 1
+        reopened.close()
+
+    def test_fresh_open_truncates(self, tmp_path, tiny_traces, tiny_config):
+        path = tmp_path / "j.jsonl"
+        key = memo.memo_key(tiny_traces[0], tiny_config)
+        journal = SweepJournal(path)
+        journal.record_cell(
+            "functional", key, run_functional(tiny_traces[0], tiny_config)
+        )
+        journal.close()
+
+        fresh = SweepJournal(path, resume=False)
+        assert fresh.restorable_cells == 0
+        fresh.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["t"] for r in records] == ["header"]
+
+    def test_activation_stack(self, tmp_path):
+        assert current_journal() is None
+        with journaling(tmp_path / "a.jsonl") as outer:
+            assert current_journal() is outer
+            with journaling(tmp_path / "b.jsonl") as inner:
+                assert current_journal() is inner
+            assert current_journal() is outer
+        assert current_journal() is None
+
+
+class TestSweepResume:
+    def test_resumed_sweep_simulates_nothing(
+        self, tmp_path, tiny_traces, config_grid
+    ):
+        path = tmp_path / "j.jsonl"
+        with journaling(path):
+            first = sweep_functional(tiny_traces, config_grid, workers=0)
+
+        memo.clear_memo_cache()
+        with run_manifest.recording("resume") as recorder:
+            with journaling(path, resume=True):
+                second = sweep_functional(tiny_traces, config_grid, workers=0)
+        (note,) = recorder.sweeps
+        assert note.simulated == 0
+        assert note.resumed > 0
+        for row_a, row_b in zip(first, second):
+            for a, b in zip(row_a, row_b):
+                assert_counts_equal(a, b)
+
+    def test_resumed_timing_sweep_is_nanosecond_identical(
+        self, tmp_path, tiny_traces, config_grid
+    ):
+        path = tmp_path / "j.jsonl"
+        with journaling(path):
+            first = sweep_timing(tiny_traces, config_grid, workers=0)
+
+        with run_manifest.recording("resume") as recorder:
+            with journaling(path, resume=True):
+                second = sweep_timing(tiny_traces, config_grid, workers=0)
+        (note,) = recorder.sweeps
+        assert note.simulated == 0
+        assert note.resumed == len(config_grid) * len(tiny_traces)
+        for row_a, row_b in zip(first, second):
+            for a, b in zip(row_a, row_b):
+                assert a.total_ns == b.total_ns
+                assert a.read_stall_ns == b.read_stall_ns
+
+    def test_sweep_without_journal_is_unaffected(self, tiny_traces, config_grid):
+        grid = sweep_functional(tiny_traces, config_grid, workers=0)
+        assert len(grid) == len(config_grid)
+
+
+class TestKillResume:
+    def test_sigkilled_sweep_resumes_identically(self, tmp_path, tiny_traces):
+        """SIGKILL a journaled sweep mid-run; the resume must produce the
+        same counts as a clean computation of every cell."""
+        journal = tmp_path / "kill.jsonl"
+        records = 5_000
+        child_code = (
+            "import sys\n"
+            "from repro.resilience.chaos import build_traces, build_configs\n"
+            "from repro.resilience.journal import journaling\n"
+            "from repro.core.sweep import sweep_functional\n"
+            "with journaling(sys.argv[1]):\n"
+            f"    sweep_functional(build_traces({records}), build_configs(),"
+            " workers=0)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in [str(Path(__file__).resolve().parents[2] / "src"),
+                        env.get("PYTHONPATH", "")] if p
+        )
+        # Slow every cell down so the kill lands mid-sweep.
+        env["REPRO_FAULTS"] = "worker_hang:1.0"
+        env["REPRO_FAULTS_HANG_S"] = "0.2"
+        env.pop("REPRO_SWEEP_TIMEOUT", None)
+        child = subprocess.Popen(
+            [sys.executable, "-c", child_code, str(journal)], env=env
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if journal.exists() and journal.read_text().count('"t": "cell"') >= 2:
+                    break
+                if child.poll() is not None:
+                    pytest.fail("child finished before it could be killed")
+                time.sleep(0.02)
+            else:
+                pytest.fail("journal never reached 2 cells")
+            child.send_signal(signal.SIGKILL)
+        finally:
+            child.wait()
+
+        from repro.resilience.chaos import build_configs, build_traces
+
+        traces = build_traces(records)
+        configs = build_configs()
+        with run_manifest.recording("resume") as recorder:
+            with journaling(journal, resume=True):
+                grid = sweep_functional(traces, configs, workers=0)
+        (note,) = recorder.sweeps
+        # 3 distinct L1 sizes x 2 traces = 6 distinct functional cells;
+        # whatever the journal holds, the rest gets simulated.
+        assert note.resumed >= 2
+        assert note.simulated == 6 - note.resumed
+        for i, config in enumerate(configs):
+            for j, trace in enumerate(traces):
+                assert_counts_equal(grid[i][j], run_functional(trace, config))

@@ -1,0 +1,140 @@
+"""No sweep -- completed, failed, or interrupted -- may leak worker
+processes.  Regression tests for the KeyboardInterrupt pool leak."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.sweep import sweep_functional
+from repro.resilience import executor
+from repro.resilience.executor import Cell
+from repro.resilience.faults import cell_signature
+from repro.resilience.journal import journaling
+from repro.resilience.policy import RetryPolicy
+from repro.sim import memo
+from repro.sim.fast import run_functional
+
+
+def _live_children():
+    """Child processes still alive (reaps finished ones first)."""
+    children = multiprocessing.active_children()  # joins the finished
+    return [p for p in children if p.is_alive()]
+
+
+def _cells(traces, configs):
+    cells = []
+    for j in range(len(traces)):
+        for config in configs:
+            cells.append(
+                Cell(
+                    len(cells), j, config,
+                    cell_signature(
+                        "functional", j, memo.functional_projection(config)
+                    ),
+                )
+            )
+    return cells
+
+
+def _compute(traces, cell):
+    return run_functional(traces[cell.trace_index], cell.config)
+
+
+class TestNoOrphans:
+    def test_after_a_clean_pooled_run(self, tiny_traces, config_grid):
+        cells = _cells(tiny_traces, config_grid[:2])
+        outcome = executor.run_pooled(
+            "functional", _compute, [[c] for c in cells], tiny_traces,
+            workers=2, policy=RetryPolicy(),
+        )
+        assert outcome is not None
+        assert _live_children() == []
+
+    def test_after_a_worker_exception(self, tiny_traces, config_grid):
+        cells = _cells(tiny_traces, config_grid[:2])
+
+        def boom(traces, cell):
+            raise RuntimeError("cell exploded")
+
+        outcome = executor.run_pooled(
+            "functional", boom, [[c] for c in cells], tiny_traces,
+            workers=2, policy=RetryPolicy(max_attempts=1),
+        )
+        assert outcome is not None
+        assert len(outcome.failures) == len(cells)
+        assert _live_children() == []
+
+    def test_keyboard_interrupt_mid_sweep_terminates_workers(
+        self, tmp_path, tiny_traces, config_grid
+    ):
+        """Ctrl-C while results are streaming in must tear the pool down
+        (the historical leak: mp.Pool was never terminated/joined)."""
+        journal = tmp_path / "interrupted.jsonl"
+        interrupted_after = 2
+        delivered = []
+
+        def interrupting_on_result(cell, result):
+            delivered.append(cell.cell_id)
+            if len(delivered) == interrupted_after:
+                raise KeyboardInterrupt()
+
+        # Every other grid entry: distinct functional projections, so
+        # every journaled cell has a distinct key.
+        cells = _cells(tiny_traces, config_grid[::2])
+        with journaling(journal) as active:
+            with pytest.raises(KeyboardInterrupt):
+                executor.run_pooled(
+                    "functional", _compute, [[c] for c in cells], tiny_traces,
+                    workers=2, policy=RetryPolicy(),
+                    on_result=lambda cell, result: (
+                        active.record_cell(
+                            "functional",
+                            memo.memo_key(
+                                tiny_traces[cell.trace_index], cell.config
+                            ),
+                            result,
+                        ),
+                        interrupting_on_result(cell, result),
+                    ),
+                )
+            assert _live_children() == []
+            # The cells delivered before the interrupt are durably
+            # journaled -- that is what makes the interrupt resumable.
+            assert active.restorable_cells >= interrupted_after
+
+    def test_interrupted_sweep_resumes(self, tmp_path, tiny_traces, config_grid):
+        """End to end: interrupt a journaled sweep, resume it, and get
+        the exact grid an uninterrupted run produces."""
+        journal = tmp_path / "resume.jsonl"
+        seen = []
+
+        real_store = memo.store
+
+        def interrupting_store(key, result):
+            real_store(key, result)
+            seen.append(key)
+            if len(seen) == 2:
+                raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            with journaling(journal):
+                memo.store = interrupting_store
+                try:
+                    sweep_functional(tiny_traces, config_grid, workers=0)
+                finally:
+                    memo.store = real_store
+        assert _live_children() == []
+
+        memo.clear_memo_cache()
+        with journaling(journal, resume=True):
+            grid = sweep_functional(tiny_traces, config_grid, workers=0)
+        for i, config in enumerate(config_grid):
+            for j, trace in enumerate(tiny_traces):
+                expected = run_functional(trace, config)
+                assert grid[i][j].cpu_reads == expected.cpu_reads
+                assert (
+                    grid[i][j].level_stats[0].read_misses
+                    == expected.level_stats[0].read_misses
+                )

@@ -1,0 +1,101 @@
+"""Pin the ``sweep_workers`` env-parsing domain and ``_chunked`` shape.
+
+These behaviours were previously implicit; this module makes the
+contract explicit so a future refactor cannot silently change how a
+deployment's ``REPRO_SWEEP_WORKERS`` setting is interpreted.
+"""
+
+import pytest
+
+from repro.core.sweep import MAX_WORKERS, WORKERS_ENV, _chunked, sweep_workers
+
+
+class TestSweepWorkersEnv:
+    def test_unset_defaults_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert sweep_workers() == max(1, min(os.cpu_count() or 1, MAX_WORKERS))
+
+    def test_zero_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert sweep_workers() == 1
+
+    def test_one_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        assert sweep_workers() == 1
+
+    def test_plain_value_respected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        assert sweep_workers() == 6
+
+    def test_surrounding_whitespace_tolerated(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "  5 ")
+        assert sweep_workers() == 5
+
+    def test_whitespace_only_is_unset(self, monkeypatch):
+        """A blank setting means 'no setting', not an error."""
+        import os
+
+        monkeypatch.setenv(WORKERS_ENV, "   ")
+        assert sweep_workers() == max(1, min(os.cpu_count() or 1, MAX_WORKERS))
+
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ValueError, match="non-negative"):
+            sweep_workers()
+
+    def test_huge_value_clamped(self, monkeypatch):
+        """A fat-fingered worker count must not fork-bomb the host."""
+        monkeypatch.setenv(WORKERS_ENV, "10000")
+        assert sweep_workers() == MAX_WORKERS
+
+    def test_non_numeric_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            sweep_workers()
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert sweep_workers(3) == 3
+
+    def test_explicit_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sweep_workers(-1)
+
+    def test_explicit_zero_means_serial(self):
+        assert sweep_workers(0) == 1
+
+    def test_explicit_huge_clamped(self):
+        assert sweep_workers(10**6) == MAX_WORKERS
+
+
+class TestChunked:
+    def test_preserves_order_and_content(self):
+        jobs = list(range(23))
+        chunks = _chunked(jobs, 5)
+        assert [x for chunk in chunks for x in chunk] == jobs
+
+    def test_balanced_sizes(self):
+        """No two chunks may differ by more than one element."""
+        for n in (1, 2, 7, 23, 100):
+            for k in (1, 2, 5, 16):
+                sizes = [len(c) for c in _chunked(list(range(n)), k)]
+                assert max(sizes) - min(sizes) <= 1
+                assert sum(sizes) == n
+
+    def test_never_more_chunks_than_jobs(self):
+        assert len(_chunked([1, 2], 10)) == 2
+
+    def test_never_empty_chunks(self):
+        for n in (1, 3, 10):
+            for k in (1, 2, 5, 20):
+                assert all(_chunked(list(range(n)), k))
+
+    def test_single_chunk(self):
+        jobs = list(range(9))
+        assert _chunked(jobs, 1) == [jobs]
+
+    def test_zero_chunks_clamped_to_one(self):
+        jobs = [1, 2, 3]
+        assert _chunked(jobs, 0) == [jobs]
