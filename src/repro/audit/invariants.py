@@ -47,9 +47,8 @@ from repro.trace.record import IFETCH, WRITE, Trace
 
 #: Environment knob: truthy forces audits on, ``0``/``false``/``off``
 #: forces them off, unset defers to "am I running under pytest?".
+#: Registered (with its truthiness rules) in :mod:`repro.core.envcfg`.
 ENV_KNOB = "REPRO_AUDIT"
-
-_FALSY = frozenset(("", "0", "false", "off", "no"))
 
 
 class AuditError(AssertionError):
@@ -63,10 +62,15 @@ def audit_enabled() -> bool:
     running under pytest (workers forked by the sweep executor inherit
     the environment, so audits follow the tests into the pool).
     """
-    value = os.environ.get(ENV_KNOB)
+    # Imported lazily: this module is pulled in while repro.core's
+    # package init is still running, so a top-level envcfg import would
+    # close an import cycle.
+    from repro.core import envcfg
+
+    value = envcfg.get(ENV_KNOB)
     if value is None:
         return "PYTEST_CURRENT_TEST" in os.environ
-    return value.strip().lower() not in _FALSY
+    return value
 
 
 # -- shared helpers ----------------------------------------------------------

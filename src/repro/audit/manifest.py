@@ -24,7 +24,6 @@ no-op, so instrumentation costs nothing outside a recording.
 from __future__ import annotations
 
 import json
-import os
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
@@ -132,6 +131,10 @@ class RunManifest:
             self._finished = time.perf_counter()
 
     def as_dict(self) -> Dict[str, Any]:
+        # Imported lazily to stay out of the repro.core package-init
+        # import cycle (this module is imported by repro.core.sweep).
+        from repro.core import envcfg
+
         self.finish()
         hits_before, misses_before, evictions_before = self._memo_before
         stats = memo.memo_stats()
@@ -147,7 +150,7 @@ class RunManifest:
                 "%Y-%m-%dT%H:%M:%S%z", time.localtime(self._started_unix)
             ),
             "audit_enabled": audit_enabled(),
-            "workers_env": os.environ.get("REPRO_SWEEP_WORKERS"),
+            "workers_env": envcfg.raw("REPRO_SWEEP_WORKERS"),
             "wall_seconds": self._finished - self._started,
             "traces": list(self.traces),
             "sweeps": [

@@ -51,6 +51,7 @@ import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.audit import manifest as run_manifest
+from repro.core import envcfg
 from repro.audit.invariants import (
     audit_enabled,
     audit_functional_result,
@@ -100,15 +101,9 @@ def sweep_workers(explicit: Optional[int] = None) -> int:
     """Resolve the worker count (explicit arg > env knob > CPU count)."""
     if explicit is not None:
         return _clamp_workers(int(explicit), "workers")
-    env = os.environ.get(WORKERS_ENV)
-    if env is not None and env.strip():
-        try:
-            value = int(env.strip())
-        except ValueError:
-            raise ValueError(
-                f"{WORKERS_ENV} must be an integer, got {env!r}"
-            ) from None
-        return _clamp_workers(value, WORKERS_ENV)
+    configured = envcfg.get(WORKERS_ENV)
+    if configured is not None:
+        return _clamp_workers(configured, WORKERS_ENV)
     return _clamp_workers(os.cpu_count() or 1, "cpu_count")
 
 

@@ -26,9 +26,9 @@ def l2_sweep_sizes(minimum: int = 4 * KB) -> list:
     sweep the paper's full 4 KB - 4 MB axis (pair it with a larger
     ``REPRO_RECORDS`` so the biggest caches still see misses).
     """
-    import os
+    from repro.core import envcfg
 
-    top = 4 * MB if os.environ.get("REPRO_FULL") else 512 * KB
+    top = 4 * MB if envcfg.get("REPRO_FULL") else 512 * KB
     return [size for size in L2_SIZES if minimum <= size <= top]
 
 #: L2 cycle times swept by Figure 4-1 (in CPU cycles).

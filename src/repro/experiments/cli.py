@@ -65,6 +65,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timing", action="store_true",
         help="also run the (slower) timing simulator for CPI",
     )
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro static-analysis rules over source trees "
+             "(same engine as python -m repro.lint; see "
+             "docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.lint "
+             "(paths, --format, --select, --baseline, ...)",
+    )
     report = sub.add_parser(
         "report",
         help="assemble EXPERIMENTS.md from saved results/ reports",
@@ -196,6 +207,13 @@ def _report(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Dispatched before argparse: the lint front end owns its own flags,
+    # and argparse.REMAINDER refuses option-shaped leading tokens.
+    if argv[:1] == ["lint"]:
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id in experiment_ids():

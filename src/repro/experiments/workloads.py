@@ -25,10 +25,10 @@ Scaling knobs (environment variables, read at suite-build time):
 from __future__ import annotations
 
 import hashlib
-import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.core import envcfg
 from repro.trace.instr import InstructionStreamGenerator
 from repro.trace.multiprogram import MultiprogramScheduler, ProcessSpec
 from repro.trace.record import Trace
@@ -37,10 +37,11 @@ from repro.trace.warmup import warmup_boundary
 from repro.trace.workload import SyntheticWorkload
 from repro.units import KB, MB
 
-#: Default records per trace (override with REPRO_RECORDS).
-DEFAULT_RECORDS = 250_000
+#: Default records per trace (override with REPRO_RECORDS); the
+#: authoritative default lives in the envcfg registry.
+DEFAULT_RECORDS = envcfg.var("REPRO_RECORDS").default
 #: Default number of traces (override with REPRO_TRACES, max 8).
-DEFAULT_TRACES = 4
+DEFAULT_TRACES = envcfg.var("REPRO_TRACES").default
 
 #: Mean context-switch interval in references (ATUM-era quantum).
 SWITCH_INTERVAL = 15_000
@@ -50,12 +51,11 @@ _memory_cache: Dict[str, List[Trace]] = {}
 
 
 def _records() -> int:
-    return int(os.environ.get("REPRO_RECORDS", DEFAULT_RECORDS))
+    return envcfg.get("REPRO_RECORDS")
 
 
 def _trace_count() -> int:
-    count = int(os.environ.get("REPRO_TRACES", DEFAULT_TRACES))
-    return max(1, min(8, count))
+    return max(1, min(8, envcfg.get("REPRO_TRACES")))
 
 
 def _process_workload(seed: int, address_base: int) -> SyntheticWorkload:
@@ -140,7 +140,7 @@ def build_trace(name: str, index: int, records: int, kernel: bool) -> Trace:
 
 
 def _cache_dir() -> Optional[Path]:
-    path = os.environ.get("REPRO_TRACE_CACHE")
+    path = envcfg.get("REPRO_TRACE_CACHE")
     if not path:
         return None
     directory = Path(path)

@@ -1,0 +1,47 @@
+"""Domain-aware static analysis for the repro tree.
+
+Five rules encode the repository's reproducibility contracts as
+review-time checks (see ``docs/static-analysis.md``):
+
+========  ==============  ====================================================
+RPR001    determinism     no ambient clocks / unseeded randomness in sim code
+RPR002    unit-safety     no ``+``/``-``/compare across ``_ns``/``_cycles``/...
+RPR003    env-registry    every ``REPRO_*`` read goes through ``envcfg``
+RPR004    fork-safety     worker-pool callables are picklable and global-free
+RPR005    memo-purity     memo-path functions read only their arguments
+========  ==============  ====================================================
+
+Run it as ``mlcache lint`` or ``python -m repro.lint``; use
+:func:`check_source` for in-memory checks (fixture tests) and
+:func:`lint_paths` for trees.
+"""
+
+from repro.lint.engine import (
+    Baseline,
+    Finding,
+    LintResult,
+    ModuleContext,
+    Rule,
+    all_rules,
+    check_source,
+    get_rules,
+    lint_paths,
+    noqa_rules,
+    package_relpath,
+    register,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "check_source",
+    "get_rules",
+    "lint_paths",
+    "noqa_rules",
+    "package_relpath",
+    "register",
+]

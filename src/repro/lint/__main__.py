@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` -- same front end as ``mlcache lint``."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,171 @@
+"""Command-line front end for :mod:`repro.lint`.
+
+Reachable two ways with identical semantics::
+
+    mlcache lint [paths...]
+    python -m repro.lint [paths...]
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage/configuration
+error (unknown rule, unreadable baseline, bad path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import (
+    Baseline,
+    LintResult,
+    all_rules,
+    lint_paths,
+)
+
+#: Baseline picked up automatically when it exists next to the cwd.
+DEFAULT_BASELINE = Path("lint-baseline.json")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-aware static analysis for the repro tree "
+        "(determinism, unit-safety, env-registry, fork-safety, memo-purity).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, e.g. --select RPR001)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+        lines.append(f"{rule.rule_id} {rule.name} [{rule.severity}] scope: {scope}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _render_text(result: LintResult) -> str:
+    lines = [item.render() for item in result.findings]
+    summary = (
+        f"{result.files} file(s) checked: {len(result.findings)} finding(s), "
+        f"{result.suppressed} suppressed inline, {result.baselined} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if DEFAULT_BASELINE.exists():
+        return DEFAULT_BASELINE
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+
+    raw_paths: List[str] = args.paths or ["src"]
+    paths = [Path(p) for p in raw_paths]
+    for path in paths:
+        if not path.exists():
+            print(f"repro-lint: path not found: {path}", file=sys.stderr)
+            return EXIT_USAGE
+
+    baseline_path = _resolve_baseline(args)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            baseline_path = DEFAULT_BASELINE
+        try:
+            result = lint_paths(paths, select=args.select, baseline=None)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        Baseline.from_findings(result.findings).write(baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(result.findings)} grandfathered "
+            f"finding(s))"
+        )
+        return EXIT_CLEAN
+
+    baseline = None
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: bad baseline {baseline_path}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    try:
+        result = lint_paths(paths, select=args.select, baseline=baseline)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        if args.format == "json":
+            print(json.dumps(result.as_dict(), indent=2))
+        else:
+            print(_render_text(result))
+    except BrokenPipeError:  # output piped into head/less and closed early
+        sys.stderr.close()
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

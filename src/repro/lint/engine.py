@@ -1,0 +1,446 @@
+"""The ``repro.lint`` framework: rules, findings, suppressions, baseline.
+
+This module is the domain-aware static-analysis engine behind
+``mlcache lint`` (see ``docs/static-analysis.md``).  It is deliberately
+small: rules are AST visitors registered in a module-level registry;
+the engine parses each file once, hands every applicable rule a
+:class:`ModuleContext`, and post-processes the findings through two
+suppression layers:
+
+* **inline** -- a ``# repro: noqa RPR001`` comment on the flagged line
+  suppresses the named rules there (``# repro: noqa`` with no ids
+  suppresses every rule on the line).  Inline suppressions are for
+  *intentional* exemptions and should carry an explanatory comment;
+* **baseline** -- a committed JSON file of grandfathered finding
+  fingerprints (path + rule + message, deliberately line-number-free so
+  unrelated edits do not invalidate it).  New findings never match the
+  baseline and fail the run; fixed findings make the baseline stale.
+
+Scoping uses *package-relative* paths: ``src/repro/sim/fast.py`` is
+matched as ``sim/fast.py``, so fixtures under
+``tests/lint/fixtures/repro/sim/`` exercise exactly the scope rules the
+real tree is held to.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Recognised severities, most severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+#: Inline suppression grammar: ``# repro: noqa`` or ``# repro: noqa RPR001``
+#: (ids comma- or space-separated; an optional colon after ``noqa``).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b:?\s*([A-Z]{3}\d{3}(?:[,\s]+[A-Z]{3}\d{3})*)?")
+
+#: Rule id shape (three letters, three digits -- e.g. ``RPR001``).
+_RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: str = "error"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    #: Filesystem path (as given to the engine).
+    path: Path
+    #: Package-relative posix path ("sim/fast.py"); what scopes match.
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, source: Optional[str] = None) -> "ModuleContext":
+        text = path.read_text() if source is None else source
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            relpath=package_relpath(path),
+            source=text,
+            tree=tree,
+            lines=text.split("\n"),
+        )
+
+
+def package_relpath(path: Path) -> str:
+    """The path relative to the innermost ``repro`` package directory.
+
+    ``src/repro/sim/fast.py`` -> ``sim/fast.py``;
+    ``tests/lint/fixtures/repro/sim/bad.py`` -> ``sim/bad.py``; a path
+    with no ``repro`` directory falls back to its own name, which keeps
+    scope-free rules working on arbitrary files.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i + 1 < len(parts):
+            return "/".join(parts[i + 1:])
+    return parts[-1]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scope`` is a tuple of package-relative prefixes the rule applies
+    to (empty = everywhere); ``exclude`` wins over ``scope``.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    severity: str = "error"
+    #: One-paragraph rationale shown by ``--list-rules`` and the docs.
+    rationale: str = ""
+    scope: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if any(relpath.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.scope)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    instance = cls()
+    if not _RULE_ID_RE.match(instance.rule_id):
+        raise ValueError(f"bad rule id {instance.rule_id!r} on {cls.__name__}")
+    if instance.severity not in SEVERITIES:
+        raise ValueError(f"bad severity {instance.severity!r} on {cls.__name__}")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"rule {instance.rule_id} registered twice")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule package (registration happens on import).
+
+    Lazy so rule modules can import this engine without a cycle.
+    """
+    import repro.lint.rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The selected rules (all, when ``select`` is ``None``)."""
+    if select is None:
+        return all_rules()
+    _load_builtin_rules()
+    rules = []
+    for rule_id in select:
+        if rule_id not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(f"unknown rule {rule_id!r} (known: {known})")
+        rules.append(_REGISTRY[rule_id])
+    return sorted(rules, key=lambda rule: rule.rule_id)
+
+
+# -- inline suppressions -----------------------------------------------------
+
+
+def noqa_rules(line_text: str) -> Optional[frozenset]:
+    """Parse an inline suppression on one source line.
+
+    Returns ``None`` when the line has no ``repro: noqa`` comment, an
+    empty frozenset for a blanket suppression, or the frozenset of
+    suppressed rule ids.
+    """
+    match = _NOQA_RE.search(line_text)
+    if match is None:
+        return None
+    ids = match.group(1)
+    if not ids:
+        return frozenset()
+    return frozenset(part for part in re.split(r"[,\s]+", ids.strip()) if part)
+
+
+def _apply_noqa(
+    findings: List[Finding], lines: List[str]
+) -> Tuple[List[Finding], int]:
+    kept: List[Finding] = []
+    suppressed = 0
+    for item in findings:
+        line_text = lines[item.line - 1] if 0 < item.line <= len(lines) else ""
+        suppression = noqa_rules(line_text)
+        if suppression is not None and (not suppression or item.rule in suppression):
+            suppressed += 1
+            continue
+        kept.append(item)
+    return kept, suppressed
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+class Baseline:
+    """Grandfathered finding fingerprints, with per-fingerprint counts."""
+
+    VERSION = 1
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        if payload.get("version") != cls.VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {payload.get('version')!r}"
+            )
+        counts = payload.get("findings", {})
+        if not isinstance(counts, dict):
+            raise ValueError(f"{path}: baseline 'findings' must be an object")
+        return cls({str(key): int(value) for key, value in counts.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for item in findings:
+            counts[item.fingerprint] = counts.get(item.fingerprint, 0) + 1
+        return cls(counts)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": self.VERSION,
+            "findings": {key: self.counts[key] for key in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def filter(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """Drop findings covered by the baseline (bounded per fingerprint)."""
+        remaining = dict(self.counts)
+        kept: List[Finding] = []
+        matched = 0
+        for item in findings:
+            if remaining.get(item.fingerprint, 0) > 0:
+                remaining[item.fingerprint] -= 1
+                matched += 1
+            else:
+                kept.append(item)
+        return kept, matched
+
+
+# -- the runner --------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [item.as_dict() for item in self.findings],
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+            },
+        }
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise ValueError(f"{path}: not a Python file or directory")
+    return files
+
+
+def check_module(module: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+    """Raw rule findings for one parsed module (no suppression layers)."""
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(module.relpath):
+            findings.extend(rule.check(module))
+    findings.sort(key=lambda item: (item.line, item.column, item.rule))
+    return findings
+
+
+def check_source(
+    source: str, relpath: str, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint a source string as if it lived at ``repro/<relpath>``.
+
+    Inline ``noqa`` suppressions apply; there is no baseline.  This is
+    the entry point the fixture tests use.
+    """
+    module = ModuleContext(
+        path=Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=ast.parse(source, filename=relpath),
+        lines=source.split("\n"),
+    )
+    findings = check_module(module, get_rules() if rules is None else rules)
+    kept, _ = _apply_noqa(findings, module.lines)
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and post-process findings."""
+    rules = get_rules(select)
+    files = iter_python_files([Path(p) for p in paths])
+    all_findings: List[Finding] = []
+    suppressed = 0
+    for path in files:
+        try:
+            module = ModuleContext.parse(path)
+        except SyntaxError as exc:
+            all_findings.append(
+                Finding(
+                    rule="RPR000",
+                    path=package_relpath(path),
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 0) + 1 if exc.offset else 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        findings = check_module(module, rules)
+        findings, dropped = _apply_noqa(findings, module.lines)
+        suppressed += dropped
+        all_findings.extend(findings)
+    baselined = 0
+    if baseline is not None:
+        all_findings, baselined = baseline.filter(all_findings)
+    all_findings.sort(key=lambda item: (item.path, item.line, item.column, item.rule))
+    return LintResult(
+        findings=all_findings,
+        files=len(files),
+        suppressed=suppressed,
+        baselined=baselined,
+    )
+
+
+# -- shared AST helpers (used by several rules) ------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_string_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` bindings (simple, unconditional).
+
+    Lets rules resolve idioms like ``WORKERS_ENV = "REPRO_SWEEP_WORKERS"``
+    followed by ``envcfg.get(WORKERS_ENV)``.
+    """
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if (
+            value is not None
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = value.value
+    return constants
+
+
+def resolve_string(
+    node: ast.expr, constants: Dict[str, str]
+) -> Optional[str]:
+    """The string a call argument denotes, through one constant hop."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    return None

@@ -1,0 +1,17 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with the engine's registry
+(each module applies the :func:`repro.lint.engine.register` decorator at
+import time).  ``engine.get_rules`` imports this package lazily, so rule
+modules may import the engine without a cycle.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    envreads,
+    forksafety,
+    memopurity,
+    units,
+)
+
+__all__ = ["determinism", "envreads", "forksafety", "memopurity", "units"]

@@ -1,0 +1,156 @@
+"""RPR001: no ambient clocks or unseeded randomness in simulation code.
+
+Byte-identical resume (the chaos drill) and memo-cache reuse both assume
+that a simulated result is a pure function of the trace and the
+configuration.  A single ``time.time()`` or module-level ``random.*``
+call anywhere in ``sim/``, ``cache/`` or ``trace/`` breaks that
+silently: the memo cache and checkpoint journal would replay a value the
+simulator no longer reproduces.  Seeded generator *instances*
+(``random.Random(seed)``, ``np.random.default_rng(seed)``) threaded
+through arguments are the sanctioned pattern and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ModuleContext, Rule, dotted_name, register
+
+#: Wall-clock and platform-entropy calls that are never deterministic.
+_BANNED_CALLS = frozenset(
+    (
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    )
+)
+
+#: ``datetime``-flavoured clock reads, matched by dotted-name suffix so
+#: ``datetime.now``, ``datetime.datetime.now`` and ``dt.datetime.now``
+#: are all caught.
+_BANNED_SUFFIXES = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Module-level functions of the stdlib ``random`` module (global,
+#: implicitly-seeded state).  ``random.Random`` is handled separately.
+_RANDOM_MODULE_FUNCS = frozenset(
+    (
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "normalvariate",
+        "gauss",
+        "expovariate",
+        "betavariate",
+        "seed",
+    )
+)
+
+#: NumPy legacy global-state RNG functions (``np.random.<func>``).
+_NUMPY_GLOBAL_FUNCS = frozenset(
+    (
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "exponential",
+        "poisson",
+    )
+)
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "RPR001"
+    name = "determinism"
+    severity = "error"
+    scope = ("sim/", "cache/", "trace/")
+    rationale = (
+        "Simulation results are memoised and journaled keyed only by "
+        "(trace, config); ambient clocks and unseeded randomness make "
+        "cached results unreproducible and break nanosecond-identical "
+        "resume."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            message = self._violation(dotted, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    def _violation(self, dotted: str, node: ast.Call) -> "str | None":
+        if dotted in _BANNED_CALLS:
+            return (
+                f"non-deterministic call {dotted}() in simulation code; "
+                f"results must be a pure function of (trace, config)"
+            )
+        for suffix in _BANNED_SUFFIXES:
+            if dotted == suffix or dotted.endswith("." + suffix):
+                return (
+                    f"wall-clock read {dotted}() in simulation code; "
+                    f"results must be a pure function of (trace, config)"
+                )
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "random":
+            if parts[1] in _RANDOM_MODULE_FUNCS:
+                return (
+                    f"module-level {dotted}() uses the global random state; "
+                    f"thread a seeded random.Random(seed) through arguments"
+                )
+            if parts[1] == "Random" and not node.args and not node.keywords:
+                return (
+                    "random.Random() without a seed is non-deterministic; "
+                    "pass an explicit seed"
+                )
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            if parts[2] in _NUMPY_GLOBAL_FUNCS:
+                return (
+                    f"{dotted}() uses numpy's global random state; "
+                    f"use a seeded np.random.default_rng(seed) instead"
+                )
+            if parts[2] == "default_rng" and not node.args and not node.keywords:
+                return (
+                    f"{dotted}() without a seed draws OS entropy; "
+                    f"pass an explicit seed"
+                )
+        return None

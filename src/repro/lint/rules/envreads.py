@@ -1,0 +1,135 @@
+"""RPR003: every ``REPRO_*`` environment read goes through the registry.
+
+:mod:`repro.core.envcfg` is the single source of truth for the
+repository's environment knobs -- name, type, default and the generated
+docs table all come from its registrations.  Two things defeat that:
+
+* a **direct read** (``os.environ.get("REPRO_X")``, ``os.getenv``,
+  ``os.environ[...]``) anywhere outside ``core/envcfg.py`` -- the knob
+  regrows private parsing rules and falls out of the docs;
+* an **unregistered read** -- ``envcfg.get("REPRO_X")`` for a name with
+  no ``register()`` entry.  This arm is what makes deleting a
+  registration a lint failure at every surviving use site (instead of a
+  runtime ``ValueError`` in whatever code path reads the knob first).
+
+Both arms resolve one level of module-level constant indirection, so the
+``WORKERS_ENV = "REPRO_SWEEP_WORKERS"`` idiom is seen through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    module_string_constants,
+    resolve_string,
+)
+from repro.lint.engine import register as register_rule
+
+#: Dotted call names that read the process environment directly.
+_DIRECT_READ_CALLS = frozenset(
+    ("os.environ.get", "os.getenv", "environ.get", "os.environ.setdefault")
+)
+
+#: Dotted names that *are* the environment mapping (subscript reads).
+_ENVIRON_NAMES = frozenset(("os.environ", "environ"))
+
+#: envcfg accessors whose first argument names a variable.
+_ENVCFG_ACCESSORS = frozenset(("get", "raw", "var"))
+
+
+def _registered_names() -> frozenset:
+    """The live registry (imported lazily so the linter can run even if
+    the target tree's envcfg fails to import -- that surfaces as a
+    different failure, not a lint crash)."""
+    try:
+        from repro.core.envcfg import registered_names
+    except Exception:  # pragma: no cover - broken target tree
+        return frozenset()
+    return registered_names()
+
+
+@register_rule
+class EnvRegistryRule(Rule):
+    rule_id = "RPR003"
+    name = "env-registry"
+    severity = "error"
+    scope = ()
+    exclude = ("core/envcfg.py",)
+    rationale = (
+        "Scattered os.environ reads gave every knob private parsing "
+        "rules and no documentation; the envcfg registry gives each "
+        "REPRO_* variable one typed definition that also generates the "
+        "docs reference tables."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        constants = module_string_constants(module.tree)
+        registered = _registered_names()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, constants, registered)
+            elif isinstance(node, ast.Subscript):
+                yield from self._check_subscript(module, node, constants)
+
+    def _check_call(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        constants: dict,
+        registered: frozenset,
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted is None or not node.args:
+            return
+        name = resolve_string(node.args[0], constants)
+        if name is None or not name.startswith("REPRO_"):
+            return
+        if dotted in _DIRECT_READ_CALLS:
+            yield self.finding(
+                module,
+                node,
+                f"direct {dotted}({name!r}) read; route it through "
+                f"repro.core.envcfg (envcfg.get/envcfg.raw)",
+            )
+            return
+        accessor = self._envcfg_accessor(dotted)
+        if accessor is not None and name not in registered:
+            yield self.finding(
+                module,
+                node,
+                f"envcfg.{accessor}({name!r}) reads a variable with no "
+                f"registration in repro/core/envcfg.py; add a register() "
+                f"entry (name, type, default, doc)",
+            )
+
+    def _check_subscript(
+        self, module: ModuleContext, node: ast.Subscript, constants: dict
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.value)
+        if dotted not in _ENVIRON_NAMES:
+            return
+        index: Optional[ast.expr] = node.slice
+        if isinstance(index, ast.Index):  # pragma: no cover - py38 AST
+            index = index.value
+        name = resolve_string(index, constants) if index is not None else None
+        if name is not None and name.startswith("REPRO_"):
+            yield self.finding(
+                module,
+                node,
+                f"direct {dotted}[{name!r}] access; route it through "
+                f"repro.core.envcfg (envcfg.get/envcfg.raw)",
+            )
+
+    @staticmethod
+    def _envcfg_accessor(dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[-2] == "envcfg":
+            if parts[-1] in _ENVCFG_ACCESSORS:
+                return parts[-1]
+        return None

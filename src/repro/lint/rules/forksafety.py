@@ -1,0 +1,188 @@
+"""RPR004: callables shipped to the worker pool must be fork-safe.
+
+The sweep executor forks dedicated worker processes and ships them a
+compute callable (``run_pooled(kind, compute, ...)``,
+``Process(target=...)``).  Three classes of callable break that
+contract in ways that only surface as hangs, pickling errors or -- the
+worst case -- silent cross-process state divergence:
+
+* **lambdas and locally-defined closures** -- unpicklable on spawn-start
+  platforms and prone to capturing loop variables or open resources;
+* **functions that mutate module-level globals** (a ``global``
+  statement with assignment) -- each worker mutates its *own copy* after
+  fork, so the parent's view silently diverges (our multiprocess race
+  detector);
+* **mutable default arguments holding locks or file handles** -- a
+  ``threading.Lock`` or ``open()`` handle baked into a default crosses
+  the fork in an undefined state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.engine import Finding, ModuleContext, Rule, dotted_name, register
+
+#: Call names that submit work to a worker process.  Maps the dotted
+#: suffix to the index of the positional argument holding the callable
+#: (``None`` means keyword-only, via ``target=``).
+_POOL_ENTRY_POINTS: Dict[str, Optional[int]] = {
+    "run_pooled": 1,
+    "_pool_map": 1,
+    "Process": None,  # multiprocessing.Process(target=...)
+}
+
+#: Default-argument constructors that must never cross a fork boundary.
+_UNSAFE_DEFAULT_CALLS = frozenset(
+    (
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "open",
+    )
+)
+
+
+def _module_functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    functions: Dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+    return functions
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: Set[str] = set()
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def _visit_function(self, node: ast.AST) -> None:
+            if self.depth > 0:
+                nested.add(getattr(node, "name", ""))
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._visit_function(node)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._visit_function(node)
+
+    Visitor().visit(tree)
+    return nested
+
+
+def _mutated_globals(function: ast.AST) -> List[str]:
+    names: List[str] = []
+    for node in ast.walk(function):
+        if isinstance(node, ast.Global):
+            names.extend(node.names)
+    return names
+
+
+@register
+class ForkSafetyRule(Rule):
+    rule_id = "RPR004"
+    name = "fork-safety"
+    severity = "error"
+    scope = ()
+    rationale = (
+        "Worker processes receive their compute callable at fork time; "
+        "lambdas, closures, global mutation and captured locks/handles "
+        "turn per-cell fault isolation into per-sweep heisenbugs."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        functions = _module_functions(module.tree)
+        nested = _nested_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            tail = dotted.split(".")[-1]
+            if tail not in _POOL_ENTRY_POINTS:
+                continue
+            candidate = self._submitted_callable(node, _POOL_ENTRY_POINTS[tail])
+            if candidate is None:
+                continue
+            yield from self._check_callable(
+                module, node, tail, candidate, functions, nested
+            )
+
+    @staticmethod
+    def _submitted_callable(
+        node: ast.Call, position: Optional[int]
+    ) -> Optional[ast.expr]:
+        if position is None:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+            return None
+        if len(node.args) > position:
+            return node.args[position]
+        return None
+
+    def _check_callable(
+        self,
+        module: ModuleContext,
+        call: ast.Call,
+        entry: str,
+        candidate: ast.expr,
+        functions: Dict[str, ast.FunctionDef],
+        nested: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(candidate, ast.Lambda):
+            yield self.finding(
+                module,
+                call,
+                f"lambda submitted to {entry}(); worker callables must be "
+                f"module-level functions (picklable, closure-free)",
+            )
+            return
+        name = candidate.id if isinstance(candidate, ast.Name) else None
+        if name is None:
+            return
+        if name in nested and name not in functions:
+            yield self.finding(
+                module,
+                call,
+                f"locally-defined closure {name!r} submitted to {entry}(); "
+                f"hoist it to module level so it ships cleanly to workers",
+            )
+            return
+        target = functions.get(name)
+        if target is None:
+            return
+        mutated = _mutated_globals(target)
+        if mutated:
+            globals_text = ", ".join(sorted(set(mutated)))
+            yield self.finding(
+                module,
+                call,
+                f"worker callable {name!r} mutates module globals "
+                f"({globals_text}); each forked worker mutates its own "
+                f"copy and the parent's view silently diverges",
+            )
+        for default in list(target.args.defaults) + [
+            d for d in target.args.kw_defaults if d is not None
+        ]:
+            for inner in ast.walk(default):
+                if isinstance(inner, ast.Call):
+                    inner_name = dotted_name(inner.func)
+                    if inner_name in _UNSAFE_DEFAULT_CALLS:
+                        yield self.finding(
+                            module,
+                            call,
+                            f"worker callable {name!r} bakes {inner_name}() "
+                            f"into a default argument; locks and file "
+                            f"handles must not cross the fork boundary",
+                        )

@@ -1,0 +1,140 @@
+"""RPR005: functions feeding the memo cache must be argument-pure.
+
+``sim/memo.py`` keys cached functional results on ``(trace fingerprint,
+functional projection of the config)``.  That contract only holds if
+every function on the memoised path computes from its *arguments* --
+the moment one of them reads ambient state (an environment variable, a
+file, a clock, the global random state), two processes with the same
+key can disagree, and the memo cache launders the disagreement into
+"reproducible" results.
+
+The rule therefore audits **every function** in the memo-adjacent sim
+modules (``memo.py``, ``fast.py``, ``functional.py``, ``hierarchy.py``)
+and, elsewhere under ``sim/``, any function whose name marks it as part
+of the memo path (``memo_key``, ``timing_key``, ``trace_fingerprint``,
+``*_projection``, ``run_functional*``, ``*memo*``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, ModuleContext, Rule, dotted_name, register
+
+#: Modules where *every* function is on (or one call away from) the
+#: memoised path.
+_STRICT_MODULES = frozenset(
+    (
+        "sim/memo.py",
+        "sim/fast.py",
+        "sim/functional.py",
+        "sim/hierarchy.py",
+    )
+)
+
+#: Ambient-state reads that poison a memo key.  Dotted-name suffixes.
+_AMBIENT_CALLS = frozenset(
+    (
+        "os.getenv",
+        "os.environ.get",
+        "environ.get",
+        "os.urandom",
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "input",
+    )
+)
+
+_AMBIENT_SUFFIXES = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+_ENVIRON_NAMES = frozenset(("os.environ", "environ"))
+
+
+def _memo_pattern_name(name: str) -> bool:
+    if name in ("memo_key", "timing_key", "trace_fingerprint"):
+        return True
+    if name.endswith("_projection"):
+        return True
+    if name.startswith("run_functional"):
+        return True
+    return "memo" in name
+
+
+@register
+class MemoPurityRule(Rule):
+    rule_id = "RPR005"
+    name = "memo-purity"
+    severity = "error"
+    scope = ("sim/",)
+    rationale = (
+        "The memo cache assumes result == f(trace, config); a function "
+        "on the memo path that reads env vars, files, clocks or global "
+        "randomness makes two processes disagree under the same key and "
+        "the cache then replays the wrong answer as if it were "
+        "reproducible."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        strict = module.relpath in _STRICT_MODULES
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not strict and not _memo_pattern_name(node.name):
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleContext, function: ast.AST
+    ) -> Iterator[Finding]:
+        name = getattr(function, "name", "<anonymous>")
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                message = self._call_violation(node)
+                if message is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"memo-path function {name!r} {message}; "
+                        f"memoised results must depend only on the "
+                        f"function's arguments",
+                    )
+            elif isinstance(node, ast.Subscript):
+                dotted = dotted_name(node.value)
+                if dotted in _ENVIRON_NAMES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"memo-path function {name!r} reads "
+                        f"{dotted}[...]; memoised results must depend only "
+                        f"on the function's arguments",
+                    )
+
+    @staticmethod
+    def _call_violation(node: ast.Call) -> Optional[str]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        if dotted in _AMBIENT_CALLS:
+            return f"calls {dotted}()"
+        for suffix in _AMBIENT_SUFFIXES:
+            if dotted == suffix or dotted.endswith("." + suffix):
+                return f"reads the wall clock via {dotted}()"
+        if dotted == "open":
+            return "opens a file"
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "random":
+            return f"uses the global random state via {dotted}()"
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            if parts[2] != "default_rng":
+                return f"uses numpy's global random state via {dotted}()"
+        return None

@@ -1,0 +1,134 @@
+"""RPR002: no additive arithmetic across different unit suffixes.
+
+The repository encodes units in identifier suffixes -- ``_ns`` for
+nanoseconds, ``_cycles`` for CPU cycles, ``_bytes``/``_words`` for
+sizes, ``_s`` for seconds.  Adding or comparing values with different
+suffixes is the classic cache-simulator bug (the paper's whole Figure 4
+analysis hinges on the ns/cycles distinction), and it type-checks fine
+in Python.  This rule flags ``+``/``-``/comparison expressions whose two
+operands carry *different* known unit suffixes.  Multiplication and
+division are conversions and stay legal (``cycles * cycle_ns``), as does
+anything routed through the :mod:`repro.units` converters -- a function
+call has no suffix, so converted values never trip the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding, ModuleContext, Rule, register
+
+#: Identifier suffix -> canonical unit.  Seconds flavours collapse so
+#: ``deadline_s + grace_seconds`` is consistent, not a violation.
+_SUFFIX_UNITS = {
+    "ns": "ns",
+    "us": "us",
+    "ms": "ms",
+    "s": "s",
+    "secs": "s",
+    "seconds": "s",
+    "cycles": "cycles",
+    "bytes": "bytes",
+    "words": "words",
+    "kb": "kb",
+    "mb": "mb",
+}
+
+_ADDITIVE = (ast.Add, ast.Sub)
+_COMPARES = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _identifier_tail(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def unit_of_name(identifier: str) -> Optional[str]:
+    """The unit an identifier's ``_suffix`` declares, if any."""
+    if "_" not in identifier:
+        return None
+    suffix = identifier.rsplit("_", 1)[1].lower()
+    return _SUFFIX_UNITS.get(suffix)
+
+
+@register
+class UnitSafetyRule(Rule):
+    rule_id = "RPR002"
+    name = "unit-safety"
+    severity = "error"
+    scope = ()  # everywhere: unit suffixes are a repo-wide convention
+    rationale = (
+        "Nanoseconds, cycles, bytes and words are all plain numbers at "
+        "runtime; suffix-aware linting is the only thing standing "
+        "between a refactor and a silently wrong Figure 4.  Convert via "
+        "repro.units (or an explicit * cycle_ns style product) before "
+        "adding or comparing."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        reported: Set[Tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+                yield from self._check_pair(
+                    module, node, node.left, node.right,
+                    "+" if isinstance(node.op, ast.Add) else "-", reported,
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, _ADDITIVE):
+                yield from self._check_pair(
+                    module, node, node.target, node.value,
+                    "+=" if isinstance(node.op, ast.Add) else "-=", reported,
+                )
+            elif isinstance(node, ast.Compare):
+                operands: List[ast.expr] = [node.left] + list(node.comparators)
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if isinstance(op, _COMPARES):
+                        yield from self._check_pair(
+                            module, node, left, right, "comparison", reported
+                        )
+
+    def _check_pair(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        op_text: str,
+        reported: Set[Tuple[int, int]],
+    ) -> Iterator[Finding]:
+        left_unit = self._unit(left)
+        right_unit = self._unit(right)
+        if left_unit is None or right_unit is None or left_unit == right_unit:
+            return
+        key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        if key in reported:
+            return
+        reported.add(key)
+        left_text = _identifier_tail(left) or "expression"
+        right_text = _identifier_tail(right) or "expression"
+        yield self.finding(
+            module,
+            node,
+            f"arithmetic mixes units: {left_text} ({left_unit}) {op_text} "
+            f"{right_text} ({right_unit}); convert via repro.units first",
+        )
+
+    def _unit(self, node: ast.expr) -> Optional[str]:
+        """The unit an expression provably carries, or ``None``.
+
+        Unknown units never flag: calls, literals and unsuffixed names
+        are treated as dimensionless glue.  Additive sub-expressions of
+        one consistent unit propagate it upward.
+        """
+        identifier = _identifier_tail(node)
+        if identifier is not None:
+            return unit_of_name(identifier)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+            left = self._unit(node.left)
+            right = self._unit(node.right)
+            if left is not None and left == right:
+                return left
+        return None

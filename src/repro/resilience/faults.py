@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-#: Environment knobs.
+#: Environment knobs (registered in :mod:`repro.core.envcfg`).
 FAULTS_ENV = "REPRO_FAULTS"
 SEED_ENV = "REPRO_FAULTS_SEED"
 HANG_ENV = "REPRO_FAULTS_HANG_S"
@@ -44,6 +44,8 @@ HANG_ENV = "REPRO_FAULTS_HANG_S"
 #: Recognised fault names.
 FAULT_KINDS = ("worker_raise", "worker_hang", "worker_kill", "corrupt_result")
 
+#: Defaults mirrored from the envcfg registry (kept as module constants
+#: for the :meth:`FaultPlan.parse` signature, which is env-independent).
 _DEFAULT_SEED = 20240613
 _DEFAULT_HANG_S = 30.0
 
@@ -118,21 +120,16 @@ class FaultPlan:
 
     @classmethod
     def from_env(cls) -> Optional["FaultPlan"]:
-        spec = os.environ.get(FAULTS_ENV, "")
-        seed_raw = os.environ.get(SEED_ENV)
-        hang_raw = os.environ.get(HANG_ENV)
-        seed = _DEFAULT_SEED
-        if seed_raw is not None and seed_raw.strip():
-            try:
-                seed = int(seed_raw)
-            except ValueError:
-                raise ValueError(
-                    f"{SEED_ENV} must be an integer, got {seed_raw!r}"
-                ) from None
-        hang = _DEFAULT_HANG_S
-        if hang_raw is not None and hang_raw.strip():
-            hang = float(hang_raw)
-        return cls.parse(spec, seed=seed, hang_seconds=hang)
+        # Imported lazily: this module is pulled in while repro.core's
+        # package init is still running, so a top-level envcfg import
+        # would close an import cycle.
+        from repro.core import envcfg
+
+        return cls.parse(
+            envcfg.get(FAULTS_ENV),
+            seed=envcfg.get(SEED_ENV),
+            hang_seconds=envcfg.get(HANG_ENV),
+        )
 
     @property
     def spec(self) -> str:

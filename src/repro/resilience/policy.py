@@ -19,14 +19,13 @@ Knobs (see ``docs/resilience.md``):
 
 from __future__ import annotations
 
-import os
 import random
 import time
 import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-#: Environment knobs.
+#: Environment knobs (registered in :mod:`repro.core.envcfg`).
 RETRIES_ENV = "REPRO_SWEEP_RETRIES"
 TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
 
@@ -35,19 +34,6 @@ _BACKOFF_BASE_S = 0.05
 _BACKOFF_FACTOR = 2.0
 _BACKOFF_JITTER = 0.25
 _BACKOFF_CAP_S = 2.0
-
-
-def _positive_float_env(name: str) -> Optional[float]:
-    value = os.environ.get(name)
-    if value is None or not value.strip():
-        return None
-    try:
-        parsed = float(value)
-    except ValueError:
-        raise ValueError(f"{name} must be a number, got {value!r}") from None
-    if parsed <= 0:
-        raise ValueError(f"{name} must be positive, got {value!r}")
-    return parsed
 
 
 @dataclass(frozen=True)
@@ -69,23 +55,14 @@ class RetryPolicy:
 
     @classmethod
     def from_env(cls) -> "RetryPolicy":
-        retries_raw = os.environ.get(RETRIES_ENV)
-        if retries_raw is None or not retries_raw.strip():
-            retries = 2
-        else:
-            try:
-                retries = int(retries_raw)
-            except ValueError:
-                raise ValueError(
-                    f"{RETRIES_ENV} must be an integer, got {retries_raw!r}"
-                ) from None
-            if retries < 0:
-                raise ValueError(
-                    f"{RETRIES_ENV} must be >= 0, got {retries_raw!r}"
-                )
+        # Imported lazily: this module is pulled in while repro.core's
+        # package init is still running, so a top-level envcfg import
+        # would close an import cycle.
+        from repro.core import envcfg
+
         return cls(
-            max_attempts=retries + 1,
-            cell_timeout_s=_positive_float_env(TIMEOUT_ENV),
+            max_attempts=envcfg.get(RETRIES_ENV) + 1,
+            cell_timeout_s=envcfg.get(TIMEOUT_ENV),
         )
 
     def backoff_s(self, attempt: int, rng: random.Random) -> float:

@@ -1,0 +1,199 @@
+"""Tests for the central REPRO_* environment registry.
+
+The behavioural contracts of the individual knobs (worker counts,
+retries, fault specs) are pinned by their consumers' suites --
+``tests/resilience/test_workers_env.py`` et al.  This file tests the
+registry itself: parsing, defaults, the blank-value semantics, the
+cross-module default mirrors, and the generated docs tables.
+"""
+
+import pytest
+
+from repro.core import envcfg
+
+
+# -- parsing and defaults ----------------------------------------------------
+
+
+def test_unset_returns_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SWEEP_RETRIES", raising=False)
+    assert envcfg.get("REPRO_SWEEP_RETRIES") == 2
+
+
+def test_set_value_is_parsed(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_RETRIES", " 5 ")
+    assert envcfg.get("REPRO_SWEEP_RETRIES") == 5
+
+
+def test_blank_means_unset_for_most_knobs(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_RETRIES", "   ")
+    assert envcfg.get("REPRO_SWEEP_RETRIES") == 2
+
+
+def test_int_parse_error_names_the_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_RETRIES", "soon")
+    with pytest.raises(ValueError, match="REPRO_SWEEP_RETRIES must be an integer"):
+        envcfg.get("REPRO_SWEEP_RETRIES")
+
+
+def test_int_minimum_enforced(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_RETRIES", "-1")
+    with pytest.raises(ValueError, match="must be >= 0"):
+        envcfg.get("REPRO_SWEEP_RETRIES")
+
+
+def test_float_positive_enforced(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "0")
+    with pytest.raises(ValueError, match="REPRO_SWEEP_TIMEOUT must be positive"):
+        envcfg.get("REPRO_SWEEP_TIMEOUT")
+
+
+def test_float_parse_error(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "fast")
+    with pytest.raises(ValueError, match="must be a number"):
+        envcfg.get("REPRO_SWEEP_TIMEOUT")
+
+
+def test_raw_returns_uninterpreted_string(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_WORKERS", " 7 ")
+    assert envcfg.raw("REPRO_SWEEP_WORKERS") == " 7 "
+    monkeypatch.delenv("REPRO_SWEEP_WORKERS")
+    assert envcfg.raw("REPRO_SWEEP_WORKERS") is None
+
+
+# -- REPRO_AUDIT tri-state ---------------------------------------------------
+
+
+def test_audit_unset_is_none(monkeypatch):
+    monkeypatch.delenv("REPRO_AUDIT", raising=False)
+    assert envcfg.get("REPRO_AUDIT") is None
+
+
+def test_audit_blank_is_explicit_off(monkeypatch):
+    """Unlike other knobs, a set-but-blank REPRO_AUDIT means *off*, not
+    unset -- the audit layer's pytest auto-detection must not kick in."""
+    monkeypatch.setenv("REPRO_AUDIT", "")
+    assert envcfg.get("REPRO_AUDIT") is False
+
+
+@pytest.mark.parametrize("value", ["0", "false", "off", "no", "No", " OFF "])
+def test_audit_falsy_values(monkeypatch, value):
+    monkeypatch.setenv("REPRO_AUDIT", value)
+    assert envcfg.get("REPRO_AUDIT") is False
+
+
+@pytest.mark.parametrize("value", ["1", "true", "yes", "anything"])
+def test_audit_truthy_values(monkeypatch, value):
+    monkeypatch.setenv("REPRO_AUDIT", value)
+    assert envcfg.get("REPRO_AUDIT") is True
+
+
+# -- registry discipline -----------------------------------------------------
+
+
+def test_unregistered_name_fails_loudly():
+    with pytest.raises(ValueError, match="not a registered environment variable"):
+        envcfg.get("REPRO_NO_SUCH_KNOB")
+
+
+def test_register_rejects_non_repro_namespace():
+    with pytest.raises(ValueError, match="REPRO_"):
+        envcfg.register(
+            "OTHER_KNOB", kind="int", default=0, doc="x",
+            parse=envcfg.parse_int(), section="sweep",
+        )
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError, match="registered twice"):
+        envcfg.register(
+            "REPRO_AUDIT", kind="flag", default=None, doc="x",
+            parse=envcfg.parse_bool, section="audit",
+        )
+
+
+def test_every_registration_is_documented():
+    for variable in envcfg.all_vars():
+        assert variable.doc and variable.kind and variable.section
+
+
+def test_registered_names_cover_the_known_knobs():
+    names = envcfg.registered_names()
+    for expected in (
+        "REPRO_AUDIT", "REPRO_RECORDS", "REPRO_TRACES", "REPRO_TRACE_CACHE",
+        "REPRO_FULL", "REPRO_SWEEP_WORKERS", "REPRO_SWEEP_RETRIES",
+        "REPRO_SWEEP_TIMEOUT", "REPRO_FAULTS", "REPRO_FAULTS_SEED",
+        "REPRO_FAULTS_HANG_S",
+    ):
+        assert expected in names
+
+
+# -- cross-module default mirrors --------------------------------------------
+
+
+def test_fault_defaults_match_the_mirrored_constants():
+    """faults.py mirrors the registry defaults in module constants
+    (envcfg cannot import faults without a cycle); they must not drift."""
+    from repro.resilience import faults
+
+    assert envcfg.var("REPRO_FAULTS_SEED").default == faults._DEFAULT_SEED
+    assert envcfg.var("REPRO_FAULTS_HANG_S").default == faults._DEFAULT_HANG_S
+
+
+def test_workload_defaults_come_from_the_registry():
+    from repro.experiments import workloads
+
+    assert workloads.DEFAULT_RECORDS == envcfg.var("REPRO_RECORDS").default
+    assert workloads.DEFAULT_TRACES == envcfg.var("REPRO_TRACES").default
+
+
+# -- generated docs ----------------------------------------------------------
+
+
+def test_markdown_table_has_a_row_per_variable():
+    table = envcfg.markdown_table()
+    for name in envcfg.registered_names():
+        assert f"`{name}`" in table
+
+
+def test_markdown_table_section_filter():
+    table = envcfg.markdown_table("resilience")
+    assert "`REPRO_FAULTS`" in table
+    assert "`REPRO_RECORDS`" not in table
+
+
+def test_rewrite_doc_tables_round_trip():
+    text = (
+        "# doc\n"
+        "<!-- envcfg:begin sweep -->\n"
+        "stale contents\n"
+        "<!-- envcfg:end sweep -->\n"
+        "tail\n"
+    )
+    regenerated = envcfg.rewrite_doc_tables(text)
+    assert "stale contents" not in regenerated
+    assert "`REPRO_SWEEP_WORKERS`" in regenerated
+    # a second pass is a fixed point
+    assert envcfg.rewrite_doc_tables(regenerated) == regenerated
+
+
+def test_rewrite_doc_tables_unknown_section():
+    text = "<!-- envcfg:begin nosuch -->\n<!-- envcfg:end nosuch -->\n"
+    with pytest.raises(ValueError, match="unknown envcfg section"):
+        envcfg.rewrite_doc_tables(text)
+
+
+def test_rewrite_doc_tables_unterminated_block():
+    text = "<!-- envcfg:begin sweep -->\nno end marker\n"
+    with pytest.raises(ValueError, match="unterminated"):
+        envcfg.rewrite_doc_tables(text)
+
+
+def test_committed_docs_tables_are_fresh():
+    """The tables in docs/ match the registry (same check CI runs)."""
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[2]
+    for relative in ("docs/resilience.md", "docs/observability.md"):
+        text = (repo / relative).read_text()
+        assert envcfg.rewrite_doc_tables(text) == text, f"{relative} is stale"

@@ -1,0 +1,23 @@
+"""RPR003 bad fixture: direct and unregistered REPRO_* environment reads."""
+
+import os
+
+from repro.core import envcfg
+
+KNOB_ENV = "REPRO_MYSTERY_KNOB"
+
+
+def direct_get():
+    return os.environ.get("REPRO_FOO")  # RPR003: direct read
+
+
+def direct_getenv_via_constant():
+    return os.getenv(KNOB_ENV)  # RPR003: direct read through a constant
+
+
+def direct_subscript():
+    return os.environ["REPRO_BAR"]  # RPR003: direct subscript
+
+
+def unregistered():
+    return envcfg.get("REPRO_NOT_REGISTERED")  # RPR003: no register() entry

@@ -1,0 +1,19 @@
+"""RPR002 bad fixture: additive arithmetic across unit suffixes."""
+
+
+def total_latency(access_ns, penalty_cycles):
+    return access_ns + penalty_cycles  # RPR002: ns + cycles
+
+
+def shrink(size_bytes, reclaimed_words):
+    size_bytes -= reclaimed_words  # RPR002: bytes -= words
+    return size_bytes
+
+
+def over_deadline(elapsed_ns, deadline_s):
+    return elapsed_ns > deadline_s  # RPR002: ns compared to s
+
+
+def accumulate(totals, delta_ms):
+    totals.elapsed_ns += delta_ms  # RPR002: ns += ms (attribute operand)
+    return totals

@@ -1,0 +1,23 @@
+"""RPR003 good fixture: registered envcfg reads and non-REPRO env use."""
+
+import os
+
+from repro.core import envcfg
+
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def registered_read():
+    return envcfg.get(WORKERS_ENV)
+
+
+def registered_raw():
+    return envcfg.raw("REPRO_SWEEP_RETRIES")
+
+
+def non_repro_namespace():
+    return os.environ.get("PYTHONPATH", "")
+
+
+def membership_probe():
+    return "PYTEST_CURRENT_TEST" in os.environ

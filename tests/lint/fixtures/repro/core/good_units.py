@@ -1,0 +1,21 @@
+"""RPR002 good fixture: consistent units, conversion products, converters."""
+
+
+def total_ns(access_ns, transfer_ns):
+    return access_ns + transfer_ns
+
+
+def in_nanoseconds(cycles, cycle_ns):
+    return cycles * cycle_ns
+
+
+def converted_sum(ns_from_cycles, penalty_cycles, cycle_ns):
+    return ns_from_cycles(penalty_cycles) + penalty_cycles * cycle_ns
+
+
+def seconds_flavours(deadline_s, grace_seconds):
+    return deadline_s + grace_seconds
+
+
+def dimensionless(count, total):
+    return count + total

@@ -1,0 +1,32 @@
+"""RPR004 bad fixture: fork-unsafe callables handed to the worker pool."""
+
+import threading
+from multiprocessing import Process
+
+from repro.resilience.executor import run_pooled
+
+_PROGRESS = 0
+
+
+def leaky_worker(cell):
+    global _PROGRESS
+    _PROGRESS += 1
+    return cell
+
+
+def locked_worker(cell, lock=threading.Lock()):
+    with lock:
+        return cell
+
+
+def sweep(chunks, traces, workers):
+    run_pooled("functional", lambda c: c, chunks, traces, workers)  # RPR004
+
+    def local_worker(cell):
+        return cell
+
+    run_pooled("functional", local_worker, chunks, traces, workers)  # RPR004
+    run_pooled("functional", leaky_worker, chunks, traces, workers)  # RPR004
+    run_pooled("functional", locked_worker, chunks, traces, workers)  # RPR004
+    process = Process(target=lambda: None)  # RPR004
+    return process

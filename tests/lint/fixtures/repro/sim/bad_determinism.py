@@ -1,0 +1,39 @@
+"""RPR001 bad fixture: every banned ambient-clock / randomness pattern.
+
+Never imported -- parsed by the linter in tests and in the CI fixture
+check.  Each flagged line is annotated with the expectation.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp_result(result):
+    result["at"] = time.time()  # RPR001: wall clock
+    result["tick"] = time.perf_counter()  # RPR001: wall clock
+    result["day"] = datetime.now()  # RPR001: wall clock
+    return result
+
+
+def jitter(value):
+    return value + random.random()  # RPR001: global random state
+
+
+def shuffle_blocks(blocks):
+    random.shuffle(blocks)  # RPR001: global random state
+    return blocks
+
+
+def unseeded_generator():
+    return random.Random()  # RPR001: no seed
+
+
+def numpy_noise(count):
+    return np.random.rand(count)  # RPR001: numpy global state
+
+
+def unseeded_rng():
+    return np.random.default_rng()  # RPR001: no seed

@@ -1,0 +1,21 @@
+"""RPR001 good fixture: the sanctioned seeded-generator patterns."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return random.Random(seed)
+
+
+def seeded_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng, count):
+    return rng.integers(0, 100, size=count)
+
+
+def pick(rng, blocks):
+    return blocks[rng.randrange(len(blocks))]

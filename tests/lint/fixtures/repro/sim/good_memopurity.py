@@ -1,0 +1,21 @@
+"""RPR005 good fixture: memo-path functions that are argument-pure."""
+
+import hashlib
+
+
+def memo_key(trace, config):
+    return (trace_fingerprint(trace), config)
+
+
+def trace_fingerprint(trace):
+    digest = hashlib.sha256()
+    for record in trace:
+        digest.update(bytes(record))
+    return digest.hexdigest()
+
+
+def unrelated_helper(path):
+    # Not memo-pattern-named and not in a strict module: ambient reads
+    # here are RPR005-exempt (RPR003/RPR001 still apply on their own
+    # terms).
+    return len(str(path))

@@ -1,0 +1,82 @@
+"""CLI tests: exit codes, formats, baseline flags, ``mlcache lint``."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+BAD = str(FIXTURES / "sim" / "bad_determinism.py")
+GOOD = str(FIXTURES / "sim" / "good_determinism.py")
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main([GOOD, "--no-baseline"]) == EXIT_CLEAN
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one(capsys):
+    assert main([BAD, "--no-baseline"]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "sim/bad_determinism.py" in out
+
+
+def test_every_bad_fixture_fails():
+    for path in sorted(FIXTURES.rglob("bad_*.py")):
+        assert main([str(path), "--no-baseline"]) == EXIT_FINDINGS, path
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main(["does/not/exist.py"]) == EXIT_USAGE
+    assert "not found" in capsys.readouterr().err
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main([GOOD, "--select", "RPR999", "--no-baseline"]) == EXIT_USAGE
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_select_narrows_rules(capsys):
+    # bad_determinism only violates RPR001; selecting RPR002 finds nothing.
+    assert main([BAD, "--select", "RPR002", "--no-baseline"]) == EXIT_CLEAN
+
+
+def test_json_format(capsys):
+    assert main([BAD, "--format", "json", "--no-baseline"]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["files"] == 1
+    assert payload["summary"]["findings"] == len(payload["findings"])
+    assert {f["rule"] for f in payload["findings"]} == {"RPR001"}
+
+
+def test_write_then_use_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([BAD, "--write-baseline", "--baseline", str(baseline)]) == EXIT_CLEAN
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main([BAD, "--baseline", str(baseline)]) == EXIT_CLEAN
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_corrupt_baseline_is_usage_error(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("not json")
+    assert main([GOOD, "--baseline", str(baseline)]) == EXIT_USAGE
+    assert "bad baseline" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in out
+
+
+def test_mlcache_lint_subcommand(capsys):
+    from repro.experiments.cli import main as mlcache_main
+
+    assert mlcache_main(["lint", GOOD, "--no-baseline"]) == EXIT_CLEAN
+    assert mlcache_main(["lint", BAD, "--no-baseline"]) == EXIT_FINDINGS
+    capsys.readouterr()
+    assert mlcache_main(["lint", "--list-rules"]) == EXIT_CLEAN
+    assert "RPR005" in capsys.readouterr().out
