@@ -11,9 +11,10 @@ the observability layer captures (docs/observability.md).
 """
 
 import json
-import statistics
 import sys
 import time
+
+import benchjson
 
 from repro.audit import manifest as run_manifest
 from repro.audit.invariants import ENV_KNOB
@@ -28,7 +29,7 @@ from benchmarks.conftest import RESULTS_DIR
 
 L2_SIZES = [16 * KB, 64 * KB]
 SET_SIZES = [1, 2, 4, 8]
-ROUNDS = 3
+ROUNDS = 5
 
 
 def _grid_configs():
@@ -59,14 +60,34 @@ def _functional_leg(traces, configs):
     return min(seconds), grid
 
 
-def _timing_leg(trace, configs):
-    seconds = []
-    results = None
-    for _ in range(ROUNDS):
+def _timing_legs(trace, configs, monkeypatch):
+    """Best-of-N plain and audited timing runs, interleaved.
+
+    The timing runs are short (~0.2 s), so two fixed-order best-of-N
+    blocks would book machine drift between the blocks as audit
+    overhead; alternating which leg goes first each round cancels that
+    bias.  Leaves the audit knob on.
+    """
+
+    def one(audit):
+        monkeypatch.setenv(ENV_KNOB, "1" if audit else "0")
         start = time.perf_counter()
         results = [TimingSimulator(config).run(trace) for config in configs]
-        seconds.append(time.perf_counter() - start)
-    return min(seconds), results
+        return time.perf_counter() - start, results
+
+    plain_s, audited_s = [], []
+    plain = audited = None
+    for rnd in range(ROUNDS):
+        if rnd % 2:
+            a, audited = one(True)
+            p, plain = one(False)
+        else:
+            p, plain = one(False)
+            a, audited = one(True)
+        plain_s.append(p)
+        audited_s.append(a)
+    monkeypatch.setenv(ENV_KNOB, "1")
+    return min(plain_s), plain, min(audited_s), audited
 
 
 def test_audit_overhead(traces, emit, monkeypatch):
@@ -77,9 +98,6 @@ def test_audit_overhead(traces, emit, monkeypatch):
 
     monkeypatch.setenv(ENV_KNOB, "0")
     plain_seconds, plain_grid = _functional_leg(traces, configs)
-    plain_timing_seconds, plain_timing = _timing_leg(
-        timing_trace, timing_configs
-    )
 
     monkeypatch.setenv(ENV_KNOB, "1")
     with run_manifest.recording("BENCH-AUDIT") as recorder:
@@ -87,9 +105,12 @@ def test_audit_overhead(traces, emit, monkeypatch):
         with recorder.phase("functional-sweep"):
             audited_seconds, audited_grid = _functional_leg(traces, configs)
         with recorder.phase("timing"):
-            audited_timing_seconds, audited_timing = _timing_leg(
-                timing_trace, timing_configs
-            )
+            (
+                plain_timing_seconds,
+                plain_timing,
+                audited_timing_seconds,
+                audited_timing,
+            ) = _timing_legs(timing_trace, timing_configs, monkeypatch)
         # One warm re-sweep so the manifest shows the memoisation layer
         # absorbing a repeat grid (simulated=0, hit ratio > 0).
         with recorder.phase("memo-warm-resweep"):
@@ -148,6 +169,13 @@ def test_audit_overhead(traces, emit, monkeypatch):
         f"{sweep_workers()}, best of {ROUNDS})"
     )
     print(bench_line, file=sys.__stdout__, flush=True)
+    benchjson.note(
+        "audit-overhead", records, audited_seconds,
+        baseline_wall_s=round(plain_seconds, 4),
+        functional_overhead=round(overhead, 4),
+        timing_overhead=round(timing_overhead, 4),
+        configs=len(configs), traces=len(traces), parity=bool(identical),
+    )
 
     report = ExperimentReport(
         experiment_id="BENCH-AUDIT",

@@ -5,19 +5,23 @@ suite, cold memoisation cache each pass) two ways:
 
 * **bare**: the executor as every call site uses it by default -- no
   journal, no fault plan;
-* **instrumented**: a checkpoint journal recording (and fsyncing) every
-  completed cell, plus a parsed-but-zero-rate fault plan so every
-  per-cell injection hook runs.
+* **instrumented**: a checkpoint journal recording every completed cell
+  (flushed per cell, fsynced by group commit), plus a parsed-but-zero-
+  rate fault plan so every per-cell injection hook runs.
 
 Both passes must produce identical counts, and the instrumented pass
 must cost at most 5% more wall clock (the acceptance bar at the full
 250k-record scale): resilience is bookkeeping around the simulation, a
-few JSONL writes against seconds of kernel time.  A ``BENCH`` summary
-line goes to stdout for CI job summaries.
+few JSONL writes against seconds of kernel time.  The legs run
+interleaved, best of :data:`ROUNDS`, so machine drift between two
+single-shot measurements cannot masquerade as overhead.  A ``BENCH``
+summary line goes to stdout for CI job summaries.
 """
 
 import sys
 import time
+
+import benchjson
 
 from repro.core.sweep import sweep_functional
 from repro.experiments.base import ExperimentReport
@@ -34,6 +38,9 @@ L2_SIZES = [16 * KB, 32 * KB, 64 * KB, 128 * KB,
 #: Overhead budget for the fully instrumented pass.
 OVERHEAD_BUDGET = 0.05
 
+#: Interleaved repetitions per leg; each leg reports its best round.
+ROUNDS = 5
+
 
 def _counts(result):
     return tuple(
@@ -47,19 +54,46 @@ def test_resilience_overhead(traces, emit, tmp_path, monkeypatch):
     records = sum(len(t) for t in traces)
     cells = len(configs) * len(traces)
 
-    monkeypatch.delenv("REPRO_FAULTS", raising=False)
-    memo.clear_memo_cache()
-    start = time.perf_counter()
-    bare_grid = sweep_functional(traces, configs)
-    bare_s = time.perf_counter() - start
+    # Pin the per-cell execution path: the 5% budget was defined against
+    # it, and the stack-distance planner would halve the denominator
+    # while the journal writes the same one record per requested cell.
+    # The resume test below keeps the planner on, covering batched
+    # group journaling.
+    monkeypatch.setenv("REPRO_STACKDIST", "0")
 
-    # Zero-rate plan: every injection decision point runs, nothing fires.
-    monkeypatch.setenv("REPRO_FAULTS", "worker_raise:0.0,corrupt_result:0.0")
-    memo.clear_memo_cache()
-    start = time.perf_counter()
-    with journaling(tmp_path / "bench.journal.jsonl") as journal:
-        instrumented_grid = sweep_functional(traces, configs)
-    instrumented_s = time.perf_counter() - start
+    def bare_leg():
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        memo.clear_memo_cache()
+        start = time.perf_counter()
+        grid = sweep_functional(traces, configs)
+        return time.perf_counter() - start, grid
+
+    def instrumented_leg(rnd):
+        # Zero-rate plan: every injection decision point runs, nothing
+        # fires.
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "worker_raise:0.0,corrupt_result:0.0"
+        )
+        memo.clear_memo_cache()
+        start = time.perf_counter()
+        with journaling(tmp_path / f"bench-{rnd}.journal.jsonl") as journal:
+            grid = sweep_functional(traces, configs)
+        return time.perf_counter() - start, grid, journal
+
+    # Alternate which leg goes first each round: on a shared machine the
+    # second leg of a pair systematically sees a different load than the
+    # first, and a fixed order would book that bias as "overhead".
+    bare_times, inst_times = [], []
+    for rnd in range(ROUNDS):
+        if rnd % 2:
+            inst_s, instrumented_grid, journal = instrumented_leg(rnd)
+            bare_t, bare_grid = bare_leg()
+        else:
+            bare_t, bare_grid = bare_leg()
+            inst_s, instrumented_grid, journal = instrumented_leg(rnd)
+        bare_times.append(bare_t)
+        inst_times.append(inst_s)
+    bare_s, instrumented_s = min(bare_times), min(inst_times)
 
     identical = all(
         _counts(a) == _counts(b)
@@ -91,9 +125,14 @@ def test_resilience_overhead(traces, emit, tmp_path, monkeypatch):
         f"{instrumented_s:.2f}s overhead {overhead * 100:+.1f}% "
         f"({len(configs)} configs x {len(traces)} traces x "
         f"{records // len(traces)} records/trace, "
-        f"{journal.recorded} cells journaled+fsynced)"
+        f"{journal.recorded} cells journaled+fsynced, best of {ROUNDS})"
     )
     print(bench_line, file=sys.__stdout__, flush=True)
+    benchjson.note(
+        "resilience-overhead", records, instrumented_s,
+        baseline_wall_s=round(bare_s, 4), overhead=round(overhead, 4),
+        configs=len(configs), traces=len(traces), parity=bool(identical),
+    )
 
     report = ExperimentReport(
         experiment_id="BENCH-RESILIENCE",

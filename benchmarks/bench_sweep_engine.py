@@ -20,6 +20,8 @@ number (the acceptance bar is >= 5x at the full 250k-record scale).  A
 import sys
 import time
 
+import benchjson
+
 from repro.core.sweep import sweep_functional
 from repro.experiments.base import ExperimentReport
 from repro.experiments.baseline import base_machine
@@ -111,6 +113,11 @@ def test_sweep_engine_speedup(traces, emit):
         f"{records // len(traces)} records/trace)"
     )
     print(bench_line, file=sys.__stdout__, flush=True)
+    benchjson.note(
+        "sweep-engine", records, sweep_total, speedup=speedup,
+        baseline_wall_s=round(seed_total, 4), configs=len(grid),
+        traces=len(traces), parity=bool(identical),
+    )
 
     report = ExperimentReport(
         experiment_id="BENCH-SWEEP",

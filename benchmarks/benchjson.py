@@ -1,0 +1,66 @@
+"""Machine-readable benchmark notes.
+
+Benchmarks report their headline numbers here (one :func:`note` per
+bench) in addition to their human-readable ``results/*.txt`` reports;
+``benchmarks/run_all.py --json`` collects the notes into
+``results/BENCH.json`` so the performance trajectory is a diffable
+artefact across PRs instead of living only in prose.
+
+The accumulator is module-global on purpose: the benches run inside one
+pytest process (``run_all.py`` drives them in-process), and a global
+list is the simplest channel that survives pytest's fixtures and
+capture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+_notes: List[Dict[str, Any]] = []
+
+
+def note(
+    name: str,
+    records: int,
+    wall_s: float,
+    speedup: Optional[float] = None,
+    **extra: Any,
+) -> None:
+    """Record one bench's headline numbers.
+
+    ``records`` is the total trace records processed, ``wall_s`` the
+    measured wall time of the optimised path, ``speedup`` the ratio over
+    the bench's baseline when it has one.  Additional keyword fields
+    land in the JSON entry verbatim.
+    """
+    entry: Dict[str, Any] = {
+        "name": name,
+        "records": int(records),
+        "wall_s": round(float(wall_s), 4),
+    }
+    if speedup is not None:
+        entry["speedup"] = round(float(speedup), 2)
+    entry.update(extra)
+    _notes.append(entry)
+
+
+def collected() -> List[Dict[str, Any]]:
+    """A copy of every note recorded so far."""
+    return [dict(entry) for entry in _notes]
+
+
+def reset() -> None:
+    """Drop accumulated notes (``run_all.py`` calls this per run)."""
+    _notes.clear()
+
+
+def write(path) -> Path:
+    """Serialise the collected notes to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"benchmarks": collected()}, indent=2, sort_keys=True) + "\n"
+    )
+    return path

@@ -1,0 +1,88 @@
+"""Drive the performance benches and collect machine-readable results.
+
+Runs the instrumented benchmarks in-process (one ``pytest.main`` per
+bench so a crash in one cannot poison another's module state) and, with
+``--json``, gathers every :func:`benchjson.note` into
+``results/BENCH.json`` -- a diffable artefact of the performance
+trajectory that CI uploads per run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --json
+    PYTHONPATH=src python benchmarks/run_all.py --json --only stackdist-grid
+
+Scale knobs are the usual ones: ``REPRO_RECORDS`` / ``REPRO_TRACES``
+shrink the trace suite for smoke runs (acceptance bars that only apply
+at full 250k-record scale are skipped automatically by the benches).
+Exits non-zero if any selected bench fails, so parity losses surface as
+CI failures rather than quietly stale numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import pytest
+
+import benchjson
+
+HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent
+
+# Invoked as ``python benchmarks/run_all.py`` the script dir -- not the
+# repo root -- leads sys.path; the benches import ``benchmarks.conftest``,
+# which needs the root.
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+#: name -> bench file.  Only the instrumented perf benches belong here;
+#: the figure-reproduction benches live in their own files and have no
+#: baseline to speed up against.
+BENCHES = {
+    "stackdist-grid": "bench_stackdist_grid.py",
+    "sweep-engine": "bench_sweep_engine.py",
+    "audit-overhead": "bench_audit_overhead.py",
+    "resilience-overhead": "bench_resilience_overhead.py",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write collected bench notes to results/BENCH.json",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(BENCHES),
+        metavar="NAME",
+        help="run only this bench (repeatable); default: all of %(choices)s",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.only or sorted(BENCHES)
+    benchjson.reset()
+    failures = []
+    for name in selected:
+        path = HERE / BENCHES[name]
+        print(f"== bench {name} ({path.name}) ==", flush=True)
+        code = pytest.main(["-q", "--no-header", str(path)])
+        if code != 0:
+            failures.append(name)
+
+    if args.json:
+        out = benchjson.write(HERE.parent / "results" / "BENCH.json")
+        print(f"wrote {out} ({len(benchjson.collected())} benches)")
+
+    if failures:
+        print(f"FAILED benches: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,8 +36,11 @@ from repro.trace.record import Trace
 
 #: Manifest schema version (bump on breaking shape changes).  2 added
 #: the resilience fields (resume/retry/timeout/restart counts, failure
-#: reports, worker-folded memo counters).
-SCHEMA = 2
+#: reports, worker-folded memo counters); 3 added the stack-distance
+#: planner counters (``stackdist_groups``/``cells_derived``) and changed
+#: what ``simulated`` means on functional sweeps (per-cell simulations
+#: only, excluding grid-derived cells).
+SCHEMA = 3
 
 
 @dataclass
@@ -64,10 +67,16 @@ class SweepNote:
     pool_restarts: int = 0
     #: Cells that failed permanently (see the ``failures`` section).
     failed: int = 0
+    #: Stack-distance passes the grid planner scheduled (each covers
+    #: every member associativity of one (trace, projection) group).
+    stackdist_groups: int = 0
+    #: Cells whose results were derived from a grid pass instead of
+    #: being simulated individually.
+    cells_derived: int = 0
 
     @property
     def memoised(self) -> int:
-        return self.cells - self.simulated - self.resumed
+        return self.cells - self.simulated - self.resumed - self.cells_derived
 
 
 class RunManifest:
@@ -168,6 +177,10 @@ class RunManifest:
                 "timeouts": sum(note.timeouts for note in self.sweeps),
                 "pool_restarts": sum(note.pool_restarts for note in self.sweeps),
                 "failed": sum(note.failed for note in self.sweeps),
+                "stackdist_groups": sum(
+                    note.stackdist_groups for note in self.sweeps
+                ),
+                "cells_derived": sum(note.cells_derived for note in self.sweeps),
             },
             "memo": {
                 "hits": hits,
@@ -219,6 +232,8 @@ def note_sweep(
     timeouts: int = 0,
     pool_restarts: int = 0,
     failed: int = 0,
+    stackdist_groups: int = 0,
+    cells_derived: int = 0,
 ) -> None:
     """Report one executor fan-out to every active recorder (no-op when
     nothing is recording)."""
@@ -238,6 +253,8 @@ def note_sweep(
         timeouts=timeouts,
         pool_restarts=pool_restarts,
         failed=failed,
+        stackdist_groups=stackdist_groups,
+        cells_derived=cells_derived,
     )
     for recorder in _active:
         recorder.note_sweep(note)

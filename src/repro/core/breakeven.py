@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.design_space import AffineTimeModel, execution_time_grid, SpeedSizeGrid
+from repro.core.sweep import sweep_functional
 from repro.sim.config import SystemConfig
 from repro.trace.record import Trace
 
@@ -86,6 +87,20 @@ def breakeven_map(
     """
     if set_size <= baseline_set_size:
         raise ValueError("set_size must exceed the baseline")
+    # Warm the full (size x {baseline, set_size}) grid in one batched
+    # sweep before the per-associativity grids: presented together, the
+    # diagonal cells that share a deepest-level set count (size s at
+    # ``set_size`` ways indexes like size s/set_size direct-mapped) ride
+    # one stack-distance pass, and the two grids below resolve from the
+    # memo cache.
+    sweep_functional(
+        traces,
+        [
+            config.with_level(level - 1, associativity=ways, size_bytes=size)
+            for ways in (baseline_set_size, set_size)
+            for size in sizes
+        ],
+    )
     base_grid = _grid_for_set_size(
         traces, config, sizes, cycle_times, baseline_set_size, level
     )

@@ -306,6 +306,19 @@ SWEEP_TIMEOUT = register(
     section="sweep",
 )
 
+STACKDIST = register(
+    "REPRO_STACKDIST",
+    kind="flag",
+    default=True,
+    doc=(
+        "Grid-batch eligible functional sweep cells through the "
+        "single-pass stack-distance engine (one trace replay per set "
+        "count); `0` forces one simulation per cell."
+    ),
+    parse=parse_bool,
+    section="sweep",
+)
+
 FAULTS = register(
     "REPRO_FAULTS",
     kind="spec",

@@ -66,11 +66,21 @@ from repro.sim import memo
 from repro.sim.config import SystemConfig
 from repro.sim.fast import run_functional
 from repro.sim.functional import FunctionalResult
+from repro.sim.stackdist import (
+    StackdistGridResult,
+    grid_projection,
+    run_stackdist_grid,
+    stackdist_eligible,
+)
 from repro.sim.timing import TimingResult, TimingSimulator
 from repro.trace.record import Trace
 
 #: Environment knob for the pool size (0 or 1 disables the pool).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment knob gating the stack-distance grid planner (on by
+#: default; ``0`` forces one simulation per cell).
+STACKDIST_ENV = "REPRO_STACKDIST"
 
 #: Upper bound on the worker count.  Requests beyond it (a fat-fingered
 #: ``REPRO_SWEEP_WORKERS=10000``) clamp instead of fork-bombing the host.
@@ -85,6 +95,20 @@ MIN_CELLS_FOR_POOL = 4
 #: A chunk that fails is split back into single cells by the executor, so
 #: chunking never weakens fault isolation.
 _CHUNKS_PER_WORKER = 4
+
+#: A stack-distance group must cover at least this many outstanding
+#: cells; a lone cell is cheaper on the plain fast path than a pass that
+#: also derives four associativities nobody asked for.  Exception: a
+#: singleton whose *upstream* levels are shared with other planned
+#: passes rides solo anyway -- the cached upstream replay
+#: (:mod:`repro.sim.stackdist`) makes the pass cheaper than a full
+#: per-cell simulation.
+_MIN_GROUP_MEMBERS = 2
+
+
+def stackdist_enabled() -> bool:
+    """Whether the grid planner may batch cells through the stack pass."""
+    return bool(envcfg.get(STACKDIST_ENV))
 
 
 def _clamp_workers(value: int, origin: str) -> int:
@@ -142,6 +166,74 @@ def _run_timing_cell(traces: Sequence[Trace], cell: Cell) -> TimingResult:
     return TimingSimulator(cell.config).run(traces[cell.trace_index])
 
 
+def _run_stackdist_cell(traces: Sequence[Trace], cell: Cell) -> StackdistGridResult:
+    """One single-pass grid group: every member associativity at once."""
+    return run_stackdist_grid(traces[cell.trace_index], cell.config)
+
+
+def _plan_stackdist(
+    pending: List[Cell],
+    pending_keys: List[Tuple],
+    enabled: bool,
+) -> Tuple[List[Cell], List[List[Tuple]], List[Cell], List[Tuple]]:
+    """Partition outstanding cells into stack-distance groups and singles.
+
+    Cells whose configurations are :func:`stackdist_eligible` and share a
+    :func:`grid_projection` (same trace, same deepest-level set count and
+    policies -- they differ only in deepest associativity) are covered by
+    **one** stack pass.  Returns ``(groups, group_member_keys, singles,
+    single_keys)``; both cell lists are renumbered from zero because each
+    becomes its own executor batch (failure reports carry batch-local
+    cell ids).  Group order follows the first member's position and
+    singles keep their original relative order, so scheduling stays
+    deterministic.
+    """
+    if not enabled:
+        return [], [], list(pending), list(pending_keys)
+    buckets: dict = {}
+    for index, cell in enumerate(pending):
+        if stackdist_eligible(cell.config):
+            bucket = (cell.trace_index, grid_projection(cell.config))
+            buckets.setdefault(bucket, []).append(index)
+    # How many eligible cells share each (trace, upstream-levels) front:
+    # projection[1] is the upstream slice (empty at depth 1), so a
+    # count >= 2 means a solo pass reuses a replay paid for anyway.
+    front_share: dict = {}
+    for (trace_index, projection), members in buckets.items():
+        if projection[1]:
+            front = (trace_index, projection[0], projection[1])
+            front_share[front] = front_share.get(front, 0) + len(members)
+    groups: List[Cell] = []
+    group_member_keys: List[List[Tuple]] = []
+    grouped = set()
+    for (trace_index, projection), members in buckets.items():
+        shared_front = bool(projection[1]) and (
+            front_share[(trace_index, projection[0], projection[1])] >= 2
+        )
+        if len(members) < _MIN_GROUP_MEMBERS and not shared_front:
+            continue
+        grouped.update(members)
+        groups.append(
+            Cell(
+                len(groups),
+                trace_index,
+                pending[members[0]].config,
+                cell_signature("stackdist", trace_index, projection),
+            )
+        )
+        group_member_keys.append([pending_keys[m] for m in members])
+    singles: List[Cell] = []
+    single_keys: List[Tuple] = []
+    for index, cell in enumerate(pending):
+        if index in grouped:
+            continue
+        singles.append(
+            Cell(len(singles), cell.trace_index, cell.config, cell.signature)
+        )
+        single_keys.append(pending_keys[index])
+    return groups, group_member_keys, singles, single_keys
+
+
 def _make_validate(kind: str, traces: Sequence[Trace], faults) -> Optional[Callable]:
     """Re-audit results at sweep intake when fault injection is active.
 
@@ -151,6 +243,13 @@ def _make_validate(kind: str, traces: Sequence[Trace], faults) -> Optional[Calla
     """
     if faults is None or not audit_enabled():
         return None
+    if kind == "stackdist":
+        def validate(cell: Cell, result) -> None:
+            for _, member in result.results:
+                audit_functional_result(
+                    traces[cell.trace_index], member, source="sweep-intake"
+                )
+        return validate
     checker = audit_functional_result if kind == "functional" else audit_timing_result
     def validate(cell: Cell, result) -> None:
         checker(traces[cell.trace_index], result, source="sweep-intake")
@@ -288,38 +387,73 @@ def sweep_functional(
             )
             pending_keys.append(key)
 
+    # Plan: cells that differ only in deepest-level associativity share
+    # one stack-distance pass; everything else simulates per cell.
+    groups, group_member_keys, singles, single_keys = _plan_stackdist(
+        pending, pending_keys, stackdist_enabled()
+    )
+
+    def on_group_result(cell: Cell, result: StackdistGridResult) -> None:
+        # Fan every derived member into the memo cache: the members this
+        # sweep asked for materialise below, and extras turn later
+        # per-cell runs into hits.  Only the *requested* members are
+        # journaled (one fsync per pass) -- persisting the speculative
+        # extras would grow the journal ~5x on direct-mapped sweeps.
+        trace = traces[cell.trace_index]
+        requested = set(group_member_keys[cell.cell_id])
+        batch = []
+        for _, member in result.results:
+            key = memo.memo_key(trace, member.config)
+            memo.store(key, member)
+            if key in requested:
+                batch.append((key, member))
+        if journal is not None:
+            journal.record_cells("functional", batch)
+
     def on_result(cell: Cell, result: FunctionalResult) -> None:
-        key = pending_keys[cell.cell_id]
+        key = single_keys[cell.cell_id]
         memo.store(key, result)
         if journal is not None:
             journal.record_cell("functional", key, result)
 
-    outcome = ExecOutcome()
+    group_outcome, outcome = ExecOutcome(), ExecOutcome()
     used_workers, pooled = sweep_workers(workers), False
-    if pending:
-        outcome, used_workers, pooled = _run_cells(
-            "functional", _run_functional_cell, pending, traces, workers,
+    if groups:
+        group_outcome, used_workers, pooled = _run_cells(
+            "stackdist", _run_stackdist_cell, groups, traces, workers,
+            faults, on_group_result,
+        )
+    if singles:
+        outcome, used_workers, singles_pooled = _run_cells(
+            "functional", _run_functional_cell, singles, traces, workers,
             faults, on_result,
         )
+        pooled = pooled or singles_pooled
     failed_keys = {
-        pending_keys[report.cell_id]
+        single_keys[report.cell_id]
         for report in outcome.failures
         if report.cell_id >= 0
     }
+    for report in group_outcome.failures:
+        if report.cell_id >= 0:
+            failed_keys.update(group_member_keys[report.cell_id])
     run_manifest.note_sweep(
         kind="functional",
         configs=len(configs),
         traces=len(traces),
-        simulated=len(pending),
+        simulated=len(singles),
         workers=used_workers,
         pooled=pooled,
         seconds=time.perf_counter() - started,
         resumed=resumed,
-        retries=outcome.retries,
-        timeouts=outcome.timeouts,
-        pool_restarts=outcome.pool_restarts,
-        failed=len(outcome.failures),
+        retries=group_outcome.retries + outcome.retries,
+        timeouts=group_outcome.timeouts + outcome.timeouts,
+        pool_restarts=group_outcome.pool_restarts + outcome.pool_restarts,
+        failed=len(group_outcome.failures) + len(outcome.failures),
+        stackdist_groups=len(groups),
+        cells_derived=len(pending) - len(singles),
     )
+    _settle_failures(group_outcome, on_failure, failures)
     _settle_failures(outcome, on_failure, failures)
     return [
         [

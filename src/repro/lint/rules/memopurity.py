@@ -30,6 +30,7 @@ _STRICT_MODULES = frozenset(
         "sim/fast.py",
         "sim/functional.py",
         "sim/hierarchy.py",
+        "sim/stackdist.py",
     )
 )
 
@@ -67,7 +68,7 @@ def _memo_pattern_name(name: str) -> bool:
         return True
     if name.startswith("run_functional"):
         return True
-    return "memo" in name
+    return "memo" in name or "stackdist" in name
 
 
 @register

@@ -1,7 +1,14 @@
 """Append-only checkpoint journal for sweeps.
 
-One JSONL record per completed cell, flushed *and fsynced* before the
-sweep moves on, so the journal survives a SIGKILL at any instant.  Cells
+One JSONL record per completed cell, flushed to the operating system
+before the sweep moves on -- so the journal survives a SIGKILL at any
+instant (the bytes are in the kernel's page cache, which outlives the
+process).  fsync, which is what protects against *machine* crashes and
+costs milliseconds per call on ordinary disks, is group-committed: one
+lands at least every :data:`FSYNC_EVERY` records, after every batched
+:meth:`SweepJournal.record_cells`, and at close.  A power loss can
+therefore cost at most the last few cells -- a resumed sweep simply
+re-simulates them -- instead of taxing every cell of every sweep.  Cells
 are keyed by the same identities the memoisation layer uses
 (:func:`repro.sim.memo.memo_key` for functional cells,
 :func:`repro.sim.memo.timing_key` for timing cells): a resumed sweep
@@ -44,6 +51,11 @@ from repro.sim.timing import TimingResult
 
 #: Journal schema version (bump on breaking shape changes).
 SCHEMA = 1
+
+#: Group-commit interval: an fsync is forced after this many records
+#: land without one.  Bounds the machine-crash loss window; process
+#: crashes lose nothing (every record is flushed).
+FSYNC_EVERY = 16
 
 
 def journal_digest(kind: str, key: Tuple) -> str:
@@ -141,6 +153,8 @@ class SweepJournal:
         self._restorable: Dict[str, Tuple[str, Dict]] = {}
         #: Cells appended (or restored) during this process's lifetime.
         self.recorded = 0
+        #: Records flushed but not yet fsynced (group commit).
+        self._unsynced = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if resume and self.path.exists():
             self._load()
@@ -174,27 +188,64 @@ class SweepJournal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    def sync(self) -> None:
+        """Force any flushed-but-unsynced records to stable storage."""
+        if self._unsynced and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
     # -- recording ----------------------------------------------------------
 
-    def record_cell(self, kind: str, key: Tuple, result) -> None:
-        """Durably journal one completed cell (fsynced before returning)."""
+    def _cell_record(self, kind: str, key: Tuple, result):
         payload = (
             encode_functional(result) if kind == "functional" else encode_timing(result)
         )
         payload_text = json.dumps(payload, sort_keys=True)
         digest = journal_digest(kind, key)
-        self._append(
-            {
-                "t": "cell",
-                "kind": kind,
-                "key": digest,
-                "trace": result.trace_name,
-                "sum": _payload_checksum(payload_text),
-                "payload": payload,
-            }
-        )
+        record = {
+            "t": "cell",
+            "kind": kind,
+            "key": digest,
+            "trace": result.trace_name,
+            "sum": _payload_checksum(payload_text),
+            "payload": payload,
+        }
+        return digest, payload, record
+
+    def record_cell(self, kind: str, key: Tuple, result) -> None:
+        """Journal one completed cell, flushed before returning.
+
+        The flush makes the record survive a process kill; the fsync
+        that also makes it survive a machine crash is group-committed
+        (every :data:`FSYNC_EVERY` records and at close).
+        """
+        digest, payload, record = self._cell_record(kind, key, result)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
         self._restorable[digest] = (kind, payload)
         self.recorded += 1
+        self._unsynced += 1
+        if self._unsynced >= FSYNC_EVERY:
+            self.sync()
+
+    def record_cells(self, kind: str, entries) -> None:
+        """Journal a batch of ``(key, result)`` cells that completed
+        together (one stack-distance pass derives several cells) with a
+        single write, flush and fsync.  A torn tail loses at most the
+        batch's unflushed suffix; :meth:`_load` drops it by checksum.
+        """
+        lines = []
+        for key, result in entries:
+            digest, payload, record = self._cell_record(kind, key, result)
+            lines.append(json.dumps(record, sort_keys=True) + "\n")
+            self._restorable[digest] = (kind, payload)
+        if not lines:
+            return
+        self._handle.write("".join(lines))
+        self.recorded += len(lines)
+        self._unsynced += len(lines)
+        self.sync()
 
     # -- restoring ----------------------------------------------------------
 
@@ -212,6 +263,7 @@ class SweepJournal:
 
     def close(self) -> None:
         if not self._handle.closed:
+            self.sync()
             self._handle.close()
 
 

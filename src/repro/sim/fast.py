@@ -32,7 +32,7 @@ to produce *identical* counts on eligible configurations
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -241,6 +241,160 @@ def _simulate_level(
     return _simulate_lru_level(blocks, is_write, order_keys, sets, associativity)
 
 
+def _merge_parts(parts) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate event fragments and sort them into time order."""
+    blocks = np.concatenate([p[0] for p in parts])
+    writes = np.concatenate([p[1] for p in parts])
+    buckets = np.concatenate([p[2] for p in parts])
+    keys = np.concatenate([p[3] for p in parts])
+    order = np.argsort(keys, kind="stable")
+    return blocks[order], writes[order], buckets[order], keys[order]
+
+
+def _accumulate_level(
+    stats: CacheStats,
+    is_write: np.ndarray,
+    bucket: np.ndarray,
+    miss: np.ndarray,
+    keys: np.ndarray,
+    victim_keys: np.ndarray,
+    warmup_key: int,
+) -> None:
+    """Fold one level's kernel outputs into its post-warmup counters."""
+    counted = keys >= warmup_key
+    read_bucket = bucket == _BUCKET_READ
+    stats.reads += int(np.count_nonzero(counted & read_bucket))
+    stats.read_misses += int(np.count_nonzero(counted & read_bucket & miss))
+    stats.writes += int(np.count_nonzero(counted & ~read_bucket))
+    stats.write_misses += int(np.count_nonzero(counted & ~read_bucket & miss))
+    stats.blocks_fetched += int(np.count_nonzero(counted & miss))
+    stats.writebacks += int(np.count_nonzero(victim_keys >= warmup_key))
+
+
+def _level_zero_streams(
+    trace: Trace, config: SystemConfig
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Bucket the CPU reference stream into the first level's inputs.
+
+    Each stream is ``(blocks, is_write, bucket, keys)`` with blocks at
+    the first level's granularity; a split level gets its I-side and
+    D-side streams separately.  Order keys: level-0 events carry the
+    record index; each level's outputs use ``key*4 + {1: victim
+    writeback, 2: demand fetch}``, so a stream entering level ``i`` has
+    keys scaled by ``4**i`` and the original record index is
+    ``key // 4**i``.
+    """
+    kinds = trace.kinds
+    keys = np.arange(len(trace), dtype=np.int64)
+    addresses = trace.addresses.astype(np.int64)
+    is_write = kinds == WRITE
+    bucket = np.where(is_write, _BUCKET_WRITE, _BUCKET_READ).astype(np.int8)
+    first = config.levels[0]
+    blocks = addresses >> log2_int(first.block_bytes)
+    if first.split:
+        is_ifetch = kinds == IFETCH
+        return [
+            (blocks[is_ifetch], is_write[is_ifetch], bucket[is_ifetch],
+             keys[is_ifetch]),
+            (blocks[~is_ifetch], is_write[~is_ifetch], bucket[~is_ifetch],
+             keys[~is_ifetch]),
+        ]
+    return [(blocks, is_write, bucket, keys)]
+
+
+def _simulate_front(
+    trace: Trace, config: SystemConfig, levels: int
+) -> Tuple[List[CacheStats], Tuple, int]:
+    """Simulate the first ``levels`` cache levels (``1 <= levels <= depth``).
+
+    Returns ``(level_stats, stream, offset_bits)``: the per-level
+    post-warmup counters, the merged event stream leaving level
+    ``levels - 1`` (blocks at that level's granularity, keys scaled by
+    ``4**levels``) and that level's block-offset bit count.  The stream
+    is what enters level ``levels`` -- or memory, when ``levels`` is the
+    full depth.
+    """
+    warmup = trace.warmup
+    first = config.levels[0]
+    first_geometry = first.geometry()
+    level_stats: List[CacheStats] = []
+    stats = CacheStats()
+    parts = []
+    for s_blocks, s_write, s_bucket, s_keys in _level_zero_streams(trace, config):
+        miss, victims, victim_keys = _simulate_level(
+            s_blocks, s_write, s_keys,
+            first_geometry.sets, first.associativity,
+        )
+        _accumulate_level(
+            stats, s_write, s_bucket, miss, s_keys, victim_keys, warmup
+        )
+        parts.append(
+            (
+                victims,
+                np.ones(len(victims), dtype=bool),
+                np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                victim_keys * 4 + 1,
+            )
+        )
+        parts.append(
+            (
+                s_blocks[miss],
+                np.zeros(int(miss.sum()), dtype=bool),
+                s_bucket[miss],
+                s_keys[miss] * 4 + 2,
+            )
+        )
+    level_stats.append(stats)
+    stream = _merge_parts(parts)
+
+    prev_offset = log2_int(first.block_bytes)
+    for depth_index in range(1, levels):
+        level = config.levels[depth_index]
+        offset_bits = log2_int(level.block_bytes)
+        if offset_bits < prev_offset:
+            raise ValueError(
+                "deeper levels must have blocks at least as large as "
+                "their predecessor's"
+            )
+        stream_blocks, stream_write, stream_bucket, stream_keys = stream
+        blocks_here = stream_blocks >> (offset_bits - prev_offset)
+        warmup_key = warmup * 4**depth_index
+        miss, victims, victim_keys = _simulate_level(
+            blocks_here, stream_write, stream_keys,
+            level.geometry().sets, level.associativity,
+        )
+        stats = CacheStats()
+        _accumulate_level(
+            stats, stream_write, stream_bucket, miss, stream_keys,
+            victim_keys, warmup_key,
+        )
+        level_stats.append(stats)
+        # Demand fetches always enter the next level as *reads*: the
+        # fetched block arrives clean (write-allocate dirties it in the
+        # receiving cache, not downstream), so the fetch never carries
+        # the missing access's write flag.  The statistics bucket still
+        # tracks the originating access so store-induced traffic stays
+        # out of the read miss ratios.
+        clean_fetch = np.zeros(int(miss.sum()), dtype=bool)
+        parts = [
+            (
+                victims,
+                np.ones(len(victims), dtype=bool),
+                np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                victim_keys * 4 + 1,
+            ),
+            (
+                blocks_here[miss],
+                clean_fetch,
+                stream_bucket[miss],
+                stream_keys[miss] * 4 + 2,
+            ),
+        ]
+        stream = _merge_parts(parts)
+        prev_offset = offset_bits
+    return level_stats, stream, prev_offset
+
+
 class FastFunctionalSimulator:
     """Drop-in counterpart of the reference functional simulator.
 
@@ -262,107 +416,7 @@ class FastFunctionalSimulator:
         config = self.config
         warmup = trace.warmup
         kinds = trace.kinds
-        n = len(trace)
-        # Order keys: level-0 events carry the record index; each level's
-        # outputs use key*4 + {1: victim writeback, 2: demand fetch}, so a
-        # stream entering level i has keys scaled by 4**i and the original
-        # record index is key // 4**i.
-        keys = np.arange(n, dtype=np.int64)
-        addresses = trace.addresses.astype(np.int64)
-        is_write = kinds == WRITE
-        bucket = np.where(is_write, _BUCKET_WRITE, _BUCKET_READ).astype(np.int8)
-
-        level_stats: List[CacheStats] = []
-        first = config.levels[0]
-        offset_bits = log2_int(first.block_bytes)
-        blocks = addresses >> offset_bits
-
-        if first.split:
-            is_ifetch = kinds == IFETCH
-            streams = [
-                (blocks[is_ifetch], is_write[is_ifetch], bucket[is_ifetch],
-                 keys[is_ifetch]),
-                (blocks[~is_ifetch], is_write[~is_ifetch], bucket[~is_ifetch],
-                 keys[~is_ifetch]),
-            ]
-        else:
-            streams = [(blocks, is_write, bucket, keys)]
-
-        first_geometry = first.geometry()
-        stats = CacheStats()
-        parts = []
-        for s_blocks, s_write, s_bucket, s_keys in streams:
-            miss, victims, victim_keys = _simulate_level(
-                s_blocks, s_write, s_keys,
-                first_geometry.sets, first.associativity,
-            )
-            self._accumulate(
-                stats, s_write, s_bucket, miss, s_keys, victim_keys, warmup
-            )
-            parts.append(
-                (
-                    victims,
-                    np.ones(len(victims), dtype=bool),
-                    np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
-                    victim_keys * 4 + 1,
-                )
-            )
-            parts.append(
-                (
-                    s_blocks[miss],
-                    np.zeros(int(miss.sum()), dtype=bool),
-                    s_bucket[miss],
-                    s_keys[miss] * 4 + 2,
-                )
-            )
-        level_stats.append(stats)
-        stream = self._merge(parts)
-
-        prev_offset = offset_bits
-        for depth_index in range(1, config.depth):
-            level = config.levels[depth_index]
-            offset_bits = log2_int(level.block_bytes)
-            if offset_bits < prev_offset:
-                raise ValueError(
-                    "deeper levels must have blocks at least as large as "
-                    "their predecessor's"
-                )
-            stream_blocks, stream_write, stream_bucket, stream_keys = stream
-            blocks_here = stream_blocks >> (offset_bits - prev_offset)
-            warmup_key = warmup * 4**depth_index
-            miss, victims, victim_keys = _simulate_level(
-                blocks_here, stream_write, stream_keys,
-                level.geometry().sets, level.associativity,
-            )
-            stats = CacheStats()
-            self._accumulate(
-                stats, stream_write, stream_bucket, miss, stream_keys,
-                victim_keys, warmup_key,
-            )
-            level_stats.append(stats)
-            # Demand fetches always enter the next level as *reads*: the
-            # fetched block arrives clean (write-allocate dirties it in the
-            # receiving cache, not downstream), so the fetch never carries
-            # the missing access's write flag.  The statistics bucket still
-            # tracks the originating access so store-induced traffic stays
-            # out of the read miss ratios.
-            clean_fetch = np.zeros(int(miss.sum()), dtype=bool)
-            parts = [
-                (
-                    victims,
-                    np.ones(len(victims), dtype=bool),
-                    np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
-                    victim_keys * 4 + 1,
-                ),
-                (
-                    blocks_here[miss],
-                    clean_fetch,
-                    stream_bucket[miss],
-                    stream_keys[miss] * 4 + 2,
-                ),
-            ]
-            stream = self._merge(parts)
-            prev_offset = offset_bits
+        level_stats, stream, _ = _simulate_front(trace, config, config.depth)
 
         # Memory traffic: whatever leaves the deepest level, post-warmup.
         # Writes are the deepest victims; reads are the demand fetches.
@@ -386,35 +440,6 @@ class FastFunctionalSimulator:
             memory_writes=memory_writes,
         )
         return maybe_audit_functional(trace, result, source="fast-path")
-
-    @staticmethod
-    def _merge(parts) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Concatenate event fragments and sort them into time order."""
-        blocks = np.concatenate([p[0] for p in parts])
-        writes = np.concatenate([p[1] for p in parts])
-        buckets = np.concatenate([p[2] for p in parts])
-        keys = np.concatenate([p[3] for p in parts])
-        order = np.argsort(keys, kind="stable")
-        return blocks[order], writes[order], buckets[order], keys[order]
-
-    @staticmethod
-    def _accumulate(
-        stats: CacheStats,
-        is_write: np.ndarray,
-        bucket: np.ndarray,
-        miss: np.ndarray,
-        keys: np.ndarray,
-        victim_keys: np.ndarray,
-        warmup_key: int,
-    ) -> None:
-        counted = keys >= warmup_key
-        read_bucket = bucket == _BUCKET_READ
-        stats.reads += int(np.count_nonzero(counted & read_bucket))
-        stats.read_misses += int(np.count_nonzero(counted & read_bucket & miss))
-        stats.writes += int(np.count_nonzero(counted & ~read_bucket))
-        stats.write_misses += int(np.count_nonzero(counted & ~read_bucket & miss))
-        stats.blocks_fetched += int(np.count_nonzero(counted & miss))
-        stats.writebacks += int(np.count_nonzero(victim_keys >= warmup_key))
 
 
 def trace_eligible(trace: Trace) -> bool:

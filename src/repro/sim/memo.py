@@ -30,7 +30,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-from repro.sim.config import SystemConfig
+from repro.cache.policy import PrefetchKind
+from repro.sim.config import LevelConfig, SystemConfig
 from repro.sim.fast import run_functional
 from repro.sim.functional import FunctionalResult
 from repro.trace.record import Trace
@@ -96,30 +97,44 @@ def trace_fingerprint(trace: Trace) -> str:
     return fingerprint
 
 
+def level_projection(level: LevelConfig) -> Tuple:
+    """The count-relevant slice of one cache level, canonicalised.
+
+    Functionally inert field combinations collapse to one canonical
+    point: a direct-mapped level's stated replacement policy is dead
+    configuration (one way leaves nothing to choose), and so is the
+    prefetch distance of a level that never prefetches.  Collapsing
+    them here means the memo cache, the sweep executor's grid
+    deduplication and the stack-distance grouping
+    (:mod:`repro.sim.stackdist`) all treat such configurations as the
+    single functional configuration they are -- simulated once, shared
+    everywhere.
+    """
+    return (
+        level.size_bytes,
+        level.block_bytes,
+        level.associativity,
+        level.split,
+        "lru" if level.associativity == 1 else level.replacement,
+        level.write_policy,
+        level.fetch_blocks,
+        level.write_allocate,
+        level.prefetch,
+        1 if level.prefetch is PrefetchKind.NONE else level.prefetch_distance,
+    )
+
+
 def functional_projection(config: SystemConfig) -> Tuple:
     """The count-relevant slice of a configuration.
 
     Two configurations with equal projections produce identical
     functional results on every trace; cycle times, write-hit latencies
-    and the memory/bus/buffer model are deliberately excluded.
+    and the memory/bus/buffer model are deliberately excluded, and each
+    level is canonicalised through :func:`level_projection`.
     """
     return (
         config.enforce_inclusion,
-        tuple(
-            (
-                level.size_bytes,
-                level.block_bytes,
-                level.associativity,
-                level.split,
-                level.replacement,
-                level.write_policy,
-                level.fetch_blocks,
-                level.write_allocate,
-                level.prefetch,
-                level.prefetch_distance,
-            )
-            for level in config.levels
-        ),
+        tuple(level_projection(level) for level in config.levels),
     )
 
 

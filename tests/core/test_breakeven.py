@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.analytical.associativity import incremental_breakeven_ns
+from repro.audit import manifest
 from repro.core.breakeven import breakeven_map
 from repro.core.metrics import measure_triad
+from repro.sim import memo
 from repro.sim.functional import FunctionalSimulator
 from repro.units import KB
 
@@ -84,3 +86,26 @@ class TestBreakevenMap:
     def test_validation(self, small_traces, base_config):
         with pytest.raises(ValueError):
             breakeven_map(small_traces, base_config, SIZES, CYCLES, set_size=1)
+
+    def test_batched_warm_sweep_shares_stack_passes(
+        self, small_traces, base_config, monkeypatch
+    ):
+        """The warm-up sweep presents both associativities at once, so
+        the diagonal pair (32 KB 4-way, 8 KB direct-mapped) shares one
+        stack-distance pass and the per-associativity grids that follow
+        are pure memo hits.
+        """
+        monkeypatch.setenv("REPRO_STACKDIST", "1")
+        memo.clear_memo_cache()
+        with manifest.recording("breakeven-warm") as run:
+            breakeven_map(small_traces, base_config, SIZES, CYCLES, set_size=4)
+        warm = run.sweeps[0]
+        assert warm.simulated == 0
+        # Four requested cells per trace over three set counts: the
+        # diagonal pair rides one pass, the leftovers ride solo passes.
+        assert warm.stackdist_groups == 3 * len(small_traces)
+        assert warm.cells_derived == 4 * len(small_traces)
+        # The per-associativity grids after the warm-up re-simulate
+        # nothing.
+        assert all(note.simulated == 0 for note in run.sweeps[1:])
+        assert all(note.stackdist_groups == 0 for note in run.sweeps[1:])

@@ -255,6 +255,10 @@ class TestWorkerErrors:
             return real(trace, config)
 
         monkeypatch.setattr(sweep, "run_functional", poisoned)
+        # Keep the cells on the per-cell functional path: with the grid
+        # planner on they would ride stack passes and never touch the
+        # poisoned run_functional.
+        monkeypatch.setenv(sweep.STACKDIST_ENV, "0")
         configs = [
             base_config,
             base_config.with_level(1, size_bytes=16 * KB),
@@ -284,3 +288,176 @@ class TestWorkerErrors:
         for config, row in zip(configs, grid):
             for trace, result in zip(small_traces, row):
                 assert_counts_equal(result, run_functional(trace, config))
+
+
+class TestStackdistPlanner:
+    """Grid batching: cells differing only in deepest-level associativity
+    ride one stack-distance pass; everything else keeps per-cell
+    semantics (and the knob can force the old behaviour)."""
+
+    @staticmethod
+    def grid_configs(base_config, l2_kb=64, ways=(1, 2, 4, 8)):
+        """Same deepest-level set count at every associativity."""
+        return [
+            base_config.with_level(1, associativity=a, size_bytes=l2_kb * KB * a)
+            for a in ways
+        ]
+
+    def test_one_pass_per_group_with_exact_counts(
+        self, small_traces, base_config, monkeypatch
+    ):
+        from repro.audit import manifest
+        from repro.sim import stackdist
+
+        configs = self.grid_configs(base_config)
+        monkeypatch.setenv(sweep.STACKDIST_ENV, "0")
+        baseline = sweep_functional(small_traces, configs, workers=1)
+        memo.clear_memo_cache()
+        stackdist.clear_front_cache()
+        monkeypatch.setenv(sweep.STACKDIST_ENV, "1")
+        with manifest.recording("planner-on") as run:
+            derived = sweep_functional(small_traces, configs, workers=1)
+        for row_a, row_b in zip(baseline, derived):
+            for a, b in zip(row_a, row_b):
+                assert_counts_equal(a, b)
+        note = run.sweeps[0]
+        assert note.stackdist_groups == len(small_traces)
+        assert note.cells_derived == len(configs) * len(small_traces)
+        assert note.simulated == 0
+        assert note.memoised == 0
+
+    def test_results_carry_the_callers_config(self, small_traces, base_config):
+        configs = self.grid_configs(base_config)
+        grid = sweep_functional(small_traces, configs, workers=1)
+        for config, row in zip(configs, grid):
+            for result in row:
+                assert result.config is config
+
+    def test_env_knob_disables_grouping(
+        self, small_traces, base_config, monkeypatch
+    ):
+        from repro.audit import manifest
+
+        monkeypatch.setenv(sweep.STACKDIST_ENV, "0")
+        assert not sweep.stackdist_enabled()
+        configs = self.grid_configs(base_config)
+        with manifest.recording("planner-off") as run:
+            sweep_functional(small_traces, configs, workers=1)
+        note = run.sweeps[0]
+        assert note.stackdist_groups == 0
+        assert note.cells_derived == 0
+        assert note.simulated == len(configs) * len(small_traces)
+
+    def test_mixed_eligibility_falls_back_per_cell(
+        self, small_traces, base_config, monkeypatch
+    ):
+        from repro.audit import manifest
+
+        configs = self.grid_configs(base_config) + [
+            # FIFO at 2 ways: fast-ineligible, simulated per cell.
+            base_config.with_level(
+                1, associativity=2, size_bytes=128 * KB, replacement="fifo"
+            ),
+            # Eligible but alone at its set count: it still rides a solo
+            # stack pass because its upstream L1 replay is shared with
+            # the group above.
+            base_config.with_level(1, size_bytes=32 * KB),
+        ]
+        with manifest.recording("planner-mixed") as run:
+            grid = sweep_functional(small_traces, configs, workers=1)
+        note = run.sweeps[0]
+        assert note.stackdist_groups == 2 * len(small_traces)
+        assert note.cells_derived == 5 * len(small_traces)
+        assert note.simulated == len(small_traces)
+        for config, row in zip(configs, grid):
+            for trace, result in zip(small_traces, row):
+                assert_counts_equal(result, run_functional(trace, config))
+
+    def test_derived_extras_memo_hit_later_runs(
+        self, small_traces, base_config
+    ):
+        from repro.audit import manifest
+
+        # The pass derives every STACK_ASSOCIATIVITY; a later sweep over
+        # a member nobody asked for the first time must hit the memo.
+        sweep_functional(
+            small_traces, self.grid_configs(base_config), workers=1
+        )
+        sixteen = base_config.with_level(
+            1, associativity=16, size_bytes=64 * KB * 16
+        )
+        with manifest.recording("planner-extra") as run:
+            sweep_functional(small_traces, [sixteen], workers=1)
+        note = run.sweeps[0]
+        assert note.simulated == 0
+        assert note.stackdist_groups == 0
+        assert note.memoised == len(small_traces)
+
+    def test_pool_matches_serial_for_groups(
+        self, small_traces, base_config, monkeypatch
+    ):
+        from repro.sim import stackdist
+
+        # Two set counts x two traces = four groups, enough to engage
+        # the pool for the stackdist batch itself.
+        configs = self.grid_configs(base_config, l2_kb=64) + (
+            self.grid_configs(base_config, l2_kb=32)
+        )
+        serial = sweep_functional(small_traces, configs, workers=1)
+        memo.clear_memo_cache()
+        stackdist.clear_front_cache()
+        pooled = sweep_functional(small_traces, configs, workers=2)
+        for row_a, row_b in zip(serial, pooled):
+            for a, b in zip(row_a, row_b):
+                assert_counts_equal(a, b)
+
+    def test_corrupted_grid_result_caught_at_intake(
+        self, small_traces, base_config, monkeypatch
+    ):
+        from repro.audit import AuditError
+
+        # A histogram gone wrong inside the stack pass must not poison
+        # the grid: the injected corruption breaks a conservation law on
+        # one derived member, and the sweep-intake re-audit rejects the
+        # whole group.
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt_result:1")
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "0")
+        configs = self.grid_configs(base_config)
+        with pytest.raises(AuditError):
+            sweep_functional(small_traces, configs, workers=1)
+
+
+class TestGridDedup:
+    def test_inert_replacement_policies_share_one_simulation(
+        self, small_traces, base_config, monkeypatch
+    ):
+        from repro.audit import manifest
+
+        # Direct-mapped levels make the stated replacement policy dead
+        # configuration: these two configs are functionally identical
+        # and must cost one simulation, returning a shared payload.
+        monkeypatch.setenv(sweep.STACKDIST_ENV, "0")
+        lru = base_config
+        fifo = base_config.with_level(1, replacement="fifo")
+        assert memo.functional_projection(lru) == memo.functional_projection(fifo)
+        with manifest.recording("dedup") as run:
+            grid = sweep_functional(small_traces, [lru, fifo], workers=1)
+        note = run.sweeps[0]
+        assert note.simulated == len(small_traces)
+        assert note.memoised == len(small_traces)
+        for j in range(len(small_traces)):
+            assert grid[0][j].level_stats is grid[1][j].level_stats
+            assert_counts_equal(grid[0][j], grid[1][j])
+
+    def test_dead_prefetch_distance_shares_one_simulation(
+        self, small_traces, base_config, monkeypatch
+    ):
+        monkeypatch.setenv(sweep.STACKDIST_ENV, "0")
+        variant = base_config.with_level(1, prefetch_distance=7)
+        assert memo.functional_projection(base_config) == (
+            memo.functional_projection(variant)
+        )
+        grid = sweep_functional(small_traces, [base_config, variant], workers=1)
+        for j in range(len(small_traces)):
+            assert grid[0][j].level_stats is grid[1][j].level_stats
