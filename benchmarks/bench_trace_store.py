@@ -1,0 +1,200 @@
+"""BENCH-TRACE-STORE: the memmap trace store versus heap traces.
+
+Three interleaved comparisons, each against what the repository did
+before the store landed:
+
+* **open latency** -- ``TraceStore.open().as_trace()`` (O(header), data
+  pages untouched) versus ``Trace.load`` on the same trace saved as the
+  old compressed ``.npz``;
+* **worker handoff** -- pickling :class:`~repro.trace.store.TraceHandle`
+  references and resolving them, versus pickling the trace arrays
+  themselves once per worker (what shipping traces through ``Process``
+  args costs under spawn, and what fork pays again in copy-on-write
+  page touches);
+* **end-to-end pooled sweep** -- disk-cached suite -> supervised pool ->
+  functional counts, store path versus npz-plus-heap path, counts
+  required identical.
+
+A chunked-replay parity check rides along: ``REPRO_TRACE_CHUNK`` on a
+store-backed trace must reproduce the whole-array counts exactly.  The
+full-scale acceptance bars apply at >= 2M total records.
+"""
+
+import pickle
+import sys
+import time
+
+import numpy as np
+
+import benchjson
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.baseline import base_machine
+from repro.resilience.executor import Cell, run_pooled
+from repro.resilience.faults import cell_signature
+from repro.resilience.policy import RetryPolicy
+from repro.sim import memo
+from repro.sim.fast import run_functional
+from repro.trace.record import Trace
+from repro.trace.store import TraceStore, export_traces, resolve_traces
+from repro.units import KB
+
+#: Workers for the handoff and sweep legs (matches a small CI runner).
+WORKERS = 4
+
+#: Interleaved timing rounds for the open-latency leg.
+OPEN_ROUNDS = 3
+
+
+def _compute_functional(traces, cell):
+    return run_functional(traces[cell.trace_index], cell.config)
+
+
+def _counts(result):
+    return (
+        result.cpu_reads, result.memory_reads, result.memory_writes,
+        tuple(
+            (s.reads, s.read_misses, s.writes, s.write_misses, s.writebacks)
+            for s in result.level_stats
+        ),
+    )
+
+
+def _make_cells(traces, config):
+    key = memo.functional_projection(config)
+    return [
+        Cell(j, j, config, cell_signature("functional", j, key))
+        for j in range(len(traces))
+    ]
+
+
+def _pooled_counts(loaded, config):
+    outcome = run_pooled(
+        "functional", _compute_functional, [_make_cells(loaded, config)],
+        loaded, workers=WORKERS, policy=RetryPolicy(max_attempts=2),
+    )
+    if outcome is None:  # sandbox without process creation: run serially
+        return [_counts(run_functional(t, config)) for t in loaded]
+    assert not outcome.failures, outcome.failures
+    return [_counts(outcome.results[j]) for j in range(len(loaded))]
+
+
+def test_trace_store(traces, emit, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_CHUNK", raising=False)
+    records = sum(len(t) for t in traces)
+    config = base_machine(l2_size=64 * KB)
+    # Materialise heap copies: the suite itself may already be store-backed.
+    heap = [
+        Trace(np.array(t.kinds), np.array(t.addresses), name=t.name,
+              warmup=t.warmup)
+        for t in traces
+    ]
+    for i, trace in enumerate(heap):
+        trace.save(tmp_path / f"t{i}.npz")
+        TraceStore.save(trace, tmp_path / f"t{i}.mlt")
+
+    # -- leg 1: open latency (interleaved rounds) ---------------------------
+    npz_open_s = store_open_s = 0.0
+    for _ in range(OPEN_ROUNDS):
+        for i in range(len(heap)):
+            start = time.perf_counter()
+            Trace.load(tmp_path / f"t{i}.npz")
+            npz_open_s += time.perf_counter() - start
+            start = time.perf_counter()
+            TraceStore.open(tmp_path / f"t{i}.mlt").as_trace()
+            store_open_s += time.perf_counter() - start
+    open_speedup = npz_open_s / store_open_s if store_open_s else float("inf")
+
+    # -- leg 2: per-worker handoff cost -------------------------------------
+    # Baseline: every worker start (including each restart) re-ships the
+    # arrays -- one pickle round per worker.  Store path: the export runs
+    # once per pool; workers pickle only the handles and attach.
+    start = time.perf_counter()
+    for _ in range(WORKERS):
+        pickle.loads(pickle.dumps(heap))
+    pickle_s = time.perf_counter() - start
+    start = time.perf_counter()
+    handles, lease = export_traces(heap)
+    export_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(WORKERS):
+        resolve_traces(pickle.loads(pickle.dumps(handles)))
+    handle_s = time.perf_counter() - start
+    lease.release()
+    handoff_speedup = pickle_s / handle_s if handle_s else float("inf")
+
+    # -- leg 3: end-to-end pooled sweep from the disk cache -----------------
+    start = time.perf_counter()
+    heap_loaded = [Trace.load(tmp_path / f"t{i}.npz") for i in range(len(heap))]
+    heap_counts = _pooled_counts(heap_loaded, config)
+    heap_sweep_s = time.perf_counter() - start
+    start = time.perf_counter()
+    store_loaded = [
+        TraceStore.open(tmp_path / f"t{i}.mlt").as_trace()
+        for i in range(len(heap))
+    ]
+    store_counts = _pooled_counts(store_loaded, config)
+    store_sweep_s = time.perf_counter() - start
+    sweep_speedup = heap_sweep_s / store_sweep_s if store_sweep_s else float("inf")
+    sweep_parity = heap_counts == store_counts
+
+    # -- chunked streaming replay parity ------------------------------------
+    whole = _counts(run_functional(store_loaded[0], config))
+    monkeypatch.setenv("REPRO_TRACE_CHUNK", str(1 << 18))
+    chunked = _counts(run_functional(store_loaded[0], config))
+    monkeypatch.delenv("REPRO_TRACE_CHUNK")
+    chunk_parity = whole == chunked
+
+    full_scale = records >= 2_000_000
+    checks = {
+        "store open faster than npz load": open_speedup > 1.0,
+        "handle handoff cheaper than pickling traces": handoff_speedup > 1.0,
+        "pooled counts identical across heap and store suites": sweep_parity,
+        "chunked replay counts identical on a store trace": chunk_parity,
+    }
+    if full_scale:
+        checks["end-to-end sweep faster from the store at >= 2M records"] = (
+            sweep_speedup > 1.0
+        )
+
+    rows = [
+        ["open suite", f"{npz_open_s / OPEN_ROUNDS:.4f}",
+         f"{store_open_s / OPEN_ROUNDS:.4f}", f"{open_speedup:.1f}x"],
+        [f"handoff x{WORKERS} workers", f"{pickle_s:.4f}", f"{handle_s:.4f}",
+         f"{handoff_speedup:.1f}x"],
+        ["shm export (once per pool)", "-", f"{export_s:.4f}", "-"],
+        ["load + pooled sweep", f"{heap_sweep_s:.2f}", f"{store_sweep_s:.2f}",
+         f"{sweep_speedup:.2f}x"],
+    ]
+    bench_line = (
+        f"BENCH trace-store: open {open_speedup:.0f}x handoff "
+        f"{handoff_speedup:.0f}x sweep {sweep_speedup:.2f}x "
+        f"({len(heap)} traces x {records // len(heap)} records/trace)"
+    )
+    print(bench_line, file=sys.__stdout__, flush=True)
+    benchjson.note(
+        "trace-store-open", records, store_open_s / OPEN_ROUNDS,
+        speedup=open_speedup, baseline_wall_s=round(npz_open_s / OPEN_ROUNDS, 4),
+        traces=len(heap),
+    )
+    benchjson.note(
+        "trace-store-handoff", records, handle_s, speedup=handoff_speedup,
+        baseline_wall_s=round(pickle_s, 4), export_wall_s=round(export_s, 4),
+        workers=WORKERS, traces=len(heap),
+    )
+    benchjson.note(
+        "trace-store-sweep", records, store_sweep_s, speedup=sweep_speedup,
+        baseline_wall_s=round(heap_sweep_s, 4), traces=len(heap),
+        parity=bool(sweep_parity and chunk_parity),
+    )
+
+    report = ExperimentReport(
+        experiment_id="BENCH-TRACE-STORE",
+        title="Memmap trace store vs heap traces (open, handoff, sweep)",
+        headers=["leg", "heap/npz (s)", "store (s)", "speedup"],
+        rows=rows,
+        checks=checks,
+        notes=[bench_line],
+    )
+    emit(report)
+    assert report.all_checks_pass, report.render()

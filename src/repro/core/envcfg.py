@@ -141,6 +141,19 @@ def parse_str(variable: EnvVar, text: str) -> str:
     return text
 
 
+def parse_choice(*options: str) -> Callable[[EnvVar, str], str]:
+    def parse(variable: EnvVar, text: str) -> str:
+        value = text.strip().lower()
+        if value not in options:
+            choices = "/".join(options)
+            raise ValueError(
+                f"{variable.name} must be one of {choices}, got {text!r}"
+            )
+        return value
+
+    return parse
+
+
 # -- the registry ------------------------------------------------------------
 
 _REGISTRY: Dict[str, EnvVar] = {}
@@ -316,6 +329,31 @@ STACKDIST = register(
         "count); `0` forces one simulation per cell."
     ),
     parse=parse_bool,
+    section="sweep",
+)
+
+TRACE_CHUNK = register(
+    "REPRO_TRACE_CHUNK",
+    kind="int",
+    default=0,
+    doc=(
+        "Records per chunk for streaming trace replay in the fast and "
+        "stack-distance kernels (bounds peak residency, count-identical); "
+        "`0` replays whole-array."
+    ),
+    parse=parse_int(minimum=0),
+    section="sweep",
+)
+
+SWEEP_CONTEXT = register(
+    "REPRO_SWEEP_CONTEXT",
+    kind="choice",
+    default=None,
+    doc=(
+        "Multiprocessing start method for the sweep pool (`fork`, "
+        "`spawn` or `forkserver`); unset prefers fork where available."
+    ),
+    parse=parse_choice("fork", "spawn", "forkserver"),
     section="sweep",
 )
 

@@ -7,6 +7,8 @@ Examples::
     mlcache run all -o results/       # everything, saved per experiment
     mlcache simulate machine.cfg      # run a config-file machine, like the
                                       # paper's simulator input files
+    mlcache trace save t.npz t.mlt    # convert to the memmap store format
+    mlcache trace info t.mlt          # header, digest, segment offsets
     REPRO_RECORDS=1000000 REPRO_TRACES=8 mlcache run F4-2   # paper scale
 """
 
@@ -76,6 +78,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to python -m repro.lint "
              "(paths, --format, --select, --baseline, ...)",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="convert and inspect memmap trace store files "
+             "(.mlt; see docs/workloads.md)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_save = trace_sub.add_parser(
+        "save",
+        help="convert a .npz or .din trace into the store format, which "
+             "opens O(1) as memory-mapped views",
+    )
+    trace_save.add_argument("input", type=Path, help=".npz or .din trace file")
+    trace_save.add_argument(
+        "output", type=Path, help="store file to write (conventionally .mlt)"
+    )
+    trace_info = trace_sub.add_parser(
+        "info",
+        help="print a store file's header without touching its data pages",
+    )
+    trace_info.add_argument("path", type=Path, help="store (.mlt) file")
     report = sub.add_parser(
         "report",
         help="assemble EXPERIMENTS.md from saved results/ reports",
@@ -163,6 +185,39 @@ def _simulate(args) -> int:
     return 0
 
 
+def _trace(args) -> int:
+    import json
+
+    from repro.trace.record import Trace
+    from repro.trace.store import TraceStore
+
+    if args.trace_command == "save":
+        if args.input.suffix == ".din":
+            from repro.trace.dinero import read_dinero
+
+            trace = read_dinero(args.input)
+        else:
+            trace = Trace.load(args.input)
+        store = TraceStore.save(trace, args.output)
+        size = args.output.stat().st_size
+        print(
+            f"wrote {args.output}: {store.records} records, "
+            f"warmup {store.warmup}, {size} bytes"
+        )
+        print(f"digest {store.digest}")
+        return 0
+    store = TraceStore.open(args.path)
+    print(store.path)
+    print(f"  name      {store.name}")
+    print(f"  records   {store.records}")
+    print(f"  warmup    {store.warmup}")
+    print(f"  digest    {store.digest}")
+    print(f"  segments  kinds@{store.kinds_offset} addresses@{store.addresses_offset}")
+    if store.metadata:
+        print(f"  metadata  {json.dumps(store.metadata, sort_keys=True)}")
+    return 0
+
+
 def _report(args) -> int:
     from repro.experiments.expectations import EXPECTATIONS
 
@@ -221,6 +276,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "simulate":
         return _simulate(args)
+    if args.command == "trace":
+        return _trace(args)
     if args.command == "report":
         return _report(args)
     if args.resume and args.output is None:

@@ -32,6 +32,7 @@ from repro.core import envcfg
 from repro.trace.instr import InstructionStreamGenerator
 from repro.trace.multiprogram import MultiprogramScheduler, ProcessSpec
 from repro.trace.record import Trace
+from repro.trace.store import STORE_SUFFIX, TraceStore
 from repro.trace.synthetic import StackDistanceGenerator
 from repro.trace.warmup import warmup_boundary
 from repro.trace.workload import SyntheticWorkload
@@ -170,13 +171,22 @@ def paper_trace_suite(
         name = f"{kind}{i}"
         if disk is not None:
             digest = hashlib.sha256(f"{key}-{name}".encode()).hexdigest()[:16]
-            path = disk / f"trace-{digest}.npz"
+            path = disk / f"trace-{digest}{STORE_SUFFIX}"
             if path.exists():
-                traces.append(Trace.load(path))
+                traces.append(TraceStore.open(path).as_trace())
+                continue
+            legacy = disk / f"trace-{digest}.npz"
+            if legacy.exists():
+                # Migrate pre-store caches: one load, then memmaps forever.
+                TraceStore.save(Trace.load(legacy), path)
+                traces.append(TraceStore.open(path).as_trace())
                 continue
         trace = build_trace(name, index=i, records=records, kernel=kernel)
         if disk is not None:
-            trace.save(path)
+            # Hand back the memmap-backed view rather than the heap trace:
+            # the suite then opens O(1) and exports to workers as a path.
+            TraceStore.save(trace, path)
+            trace = TraceStore.open(path).as_trace()
         traces.append(trace)
     _memory_cache[key] = traces
     return traces

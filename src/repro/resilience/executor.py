@@ -46,6 +46,7 @@ from repro.resilience.policy import FailureReport, RetryPolicy
 from repro.sim import memo
 from repro.sim.config import SystemConfig, format_config
 from repro.trace.record import Trace
+from repro.trace.store import TraceHandle, export_traces, resolve_traces
 
 #: Supervisor poll interval (seconds): the upper bound on how stale the
 #: deadline/liveness checks can be.
@@ -111,11 +112,18 @@ def _evaluate_cell(
 
 def _worker_main(
     conn,
-    traces: List[Trace],
+    trace_handles: Sequence[TraceHandle],
     compute: Callable[[Sequence[Trace], Cell], Any],
     faults: Optional[FaultPlan],
 ) -> None:
     """Worker process loop: serve jobs until EOF or a ``None`` sentinel.
+
+    Workers receive trace *handles* (:mod:`repro.trace.store`), not the
+    traces: a store path reopens as memmap views, a shared-memory name
+    attaches zero-copy.  Spawning a worker therefore ships kilobytes
+    regardless of trace size, pool restarts re-touch no trace pages, and
+    the loop is start-method-agnostic (fork and spawn both resolve the
+    same handles).
 
     SIGINT is ignored so a ctrl-C lands only in the supervisor, whose
     ``finally`` then tears the workers down deterministically.  Pipe EOF
@@ -127,6 +135,7 @@ def _worker_main(
     lingering forever.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    traces = resolve_traces(trace_handles)
     supervisor_pid = os.getppid()
     while True:
         try:
@@ -178,6 +187,7 @@ class _Supervisor:
         kind: str,
         compute: Callable[[Sequence[Trace], Cell], Any],
         traces: Sequence[Trace],
+        trace_handles: Sequence[TraceHandle],
         context,
         workers: int,
         policy: RetryPolicy,
@@ -187,7 +197,9 @@ class _Supervisor:
     ) -> None:
         self.kind = kind
         self.compute = compute
+        # Kept for failure reports (trace names); workers never see these.
         self.traces = list(traces)
+        self.trace_handles = list(trace_handles)
         self.context = context
         self.workers = workers
         self.policy = policy
@@ -207,7 +219,7 @@ class _Supervisor:
         parent_conn, child_conn = self.context.Pipe(duplex=True)
         process = self.context.Process(
             target=_worker_main,
-            args=(child_conn, self.traces, self.compute, self.faults),
+            args=(child_conn, self.trace_handles, self.compute, self.faults),
             daemon=True,
         )
         process.start()
@@ -425,6 +437,28 @@ class _Supervisor:
         return self.outcome
 
 
+def _pool_context():
+    """The multiprocessing context the sweep pool runs under.
+
+    ``REPRO_SWEEP_CONTEXT`` selects the start method explicitly; unset
+    prefers ``fork`` (cheapest, and required by compute callables that
+    are not picklable) and falls back to the platform default where fork
+    does not exist.  The trace-handle handoff makes the worker loop
+    itself correct under any of them.
+    """
+    import multiprocessing
+
+    from repro.core import envcfg
+
+    method = envcfg.get("REPRO_SWEEP_CONTEXT")
+    if method is not None:
+        return multiprocessing.get_context(str(method))
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
 def run_pooled(
     kind: str,
     compute: Callable[[Sequence[Trace], Cell], Any],
@@ -438,26 +472,31 @@ def run_pooled(
 ) -> Optional[ExecOutcome]:
     """Evaluate ``chunks`` of cells over a supervised worker pool.
 
+    Traces are exported to zero-copy handles once per call
+    (:func:`repro.trace.store.export_traces`): store-backed traces ship
+    as paths, heap traces as shared-memory segments owned by this
+    process until the pool is done.  Workers -- including every respawn
+    after a death, hang or kill -- resolve the handles instead of
+    inheriting the arrays.
+
     Returns ``None`` when worker processes cannot be created at all (a
-    sandbox forbidding ``fork``, say); the caller falls back to
+    sandbox forbidding process creation, say); the caller falls back to
     :func:`run_serial` with identical results.  Everything else --
     worker exceptions, hangs, deaths, invalid results -- is handled per
     cell and reported in the :class:`ExecOutcome`.
     """
-    import multiprocessing
-
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        context = multiprocessing.get_context()
+    context = _pool_context()
     jobs = [list(chunk) for chunk in chunks if chunk]
+    trace_handles, lease = export_traces(traces)
     supervisor = _Supervisor(
-        kind, compute, traces, context, workers, policy, faults, validate, on_result
+        kind, compute, traces, trace_handles, context, workers, policy,
+        faults, validate, on_result,
     )
     try:
         supervisor.start(len(jobs))
     except (AttributeError, OSError, ValueError, ImportError, PermissionError):
         supervisor.close()
+        lease.release()
         return None
     try:
         for job_cells in jobs:
@@ -465,8 +504,9 @@ def run_pooled(
         return supervisor.run()
     finally:
         # Pool hygiene: a KeyboardInterrupt (or any exception) mid-sweep
-        # must not leak worker processes.
+        # must not leak worker processes or shared-memory segments.
         supervisor.close()
+        lease.release()
 
 
 def run_serial(

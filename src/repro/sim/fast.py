@@ -32,7 +32,7 @@ to produce *identical* counts on eligible configurations
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from repro.cache.stats import CacheStats
 from repro.sim.config import SystemConfig
 from repro.sim.functional import FunctionalResult
 from repro.trace.record import IFETCH, WRITE, Trace
+from repro.trace.store import replay_chunk_records
 from repro.units import log2_int
 
 #: Event-bucket codes inside the vectorised pipeline.
@@ -140,6 +141,7 @@ def _simulate_lru_level(
     order_keys: np.ndarray,
     sets: int,
     associativity: int,
+    state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One set-associative write-back LRU level, vectorised across sets.
 
@@ -149,6 +151,13 @@ def _simulate_lru_level(
     ``(sets_touched, associativity)`` LRU state (way 0 = most recently
     used, ``-1`` = invalid), so the Python loop runs for the deepest
     per-set access count, not the stream length.
+
+    ``state`` supports chunked streaming replay: pass a persistent
+    ``(tags, dirty)`` pair of shape ``(sets, associativity)`` (see
+    :func:`_new_level_state`) and the kernel starts from it and updates
+    it in place, so feeding a stream in pieces produces the same counts
+    as feeding it whole.  Without ``state`` the level starts cold on a
+    compact touched-sets-only matrix.
 
     Same contract as :func:`_simulate_dm_level`: returns
     ``(miss_mask, victim_blocks, victim_keys)`` with dirty victims stamped
@@ -176,13 +185,20 @@ def _simulate_lru_level(
     blocks_s = blocks[set_order][step_order]
     write_s = is_write[set_order][step_order]
     keys_s = order_keys[set_order][step_order]
-    rank_s = set_rank[step_order]
     step_starts = np.append(0, np.cumsum(np.bincount(seq)))
 
-    touched = int(set_rank[-1]) + 1
     ways = np.arange(associativity)
-    tags = np.full((touched, associativity), -1, dtype=np.int64)
-    dirty = np.zeros((touched, associativity), dtype=bool)
+    if state is None:
+        # Compact state: rows are touched-set ranks.
+        touched = int(set_rank[-1]) + 1
+        tags = np.full((touched, associativity), -1, dtype=np.int64)
+        dirty = np.zeros((touched, associativity), dtype=bool)
+        rank_s = set_rank[step_order]
+    else:
+        # Persistent state: rows are actual set indices, carried between
+        # calls.
+        tags, dirty = state
+        rank_s = sorted_sets[step_order]
     miss_s = np.empty(n, dtype=bool)
     victim_parts: List[np.ndarray] = []
     victim_key_parts: List[np.ndarray] = []
@@ -272,7 +288,7 @@ def _accumulate_level(
 
 
 def _level_zero_streams(
-    trace: Trace, config: SystemConfig
+    trace: Trace, config: SystemConfig, key_offset: int = 0
 ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
     """Bucket the CPU reference stream into the first level's inputs.
 
@@ -282,10 +298,12 @@ def _level_zero_streams(
     record index; each level's outputs use ``key*4 + {1: victim
     writeback, 2: demand fetch}``, so a stream entering level ``i`` has
     keys scaled by ``4**i`` and the original record index is
-    ``key // 4**i``.
+    ``key // 4**i``.  ``key_offset`` shifts the record indices -- chunked
+    replay passes each chunk's start so keys stay global (and strictly
+    increasing across chunks).
     """
     kinds = trace.kinds
-    keys = np.arange(len(trace), dtype=np.int64)
+    keys = np.arange(key_offset, key_offset + len(trace), dtype=np.int64)
     addresses = trace.addresses.astype(np.int64)
     is_write = kinds == WRITE
     bucket = np.where(is_write, _BUCKET_WRITE, _BUCKET_READ).astype(np.int8)
@@ -395,6 +413,187 @@ def _simulate_front(
     return level_stats, stream, prev_offset
 
 
+def _new_level_state(
+    sets: int, associativity: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A cold persistent ``(tags, dirty)`` state for one cache level."""
+    return (
+        np.full((sets, associativity), -1, dtype=np.int64),
+        np.zeros((sets, associativity), dtype=bool),
+    )
+
+
+class _ChunkedFront:
+    """Stream a trace through the first ``levels`` cache levels in chunks.
+
+    The chunked counterpart of :func:`_simulate_front`: each level keeps a
+    persistent ``(sets, associativity)`` state between chunks (a
+    direct-mapped level runs as 1-way LRU, which is the same cache), so
+    counts are identical to whole-array replay while peak residency is
+    bounded by one chunk's event arrays plus the level states.  Iterating
+    :meth:`streams` drives the replay; per-level counters accumulate into
+    ``level_stats`` and each iteration yields the merged event stream
+    leaving the deepest simulated level for that chunk (keys global,
+    scaled by ``4**levels``).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: SystemConfig,
+        levels: int,
+        chunk_records: int,
+    ) -> None:
+        if chunk_records <= 0:
+            raise ValueError(
+                f"chunk size must be positive, got {chunk_records}"
+            )
+        self.trace = trace
+        self.config = config
+        self.levels = levels
+        self.chunk_records = chunk_records
+        first = config.levels[0]
+        first_geometry = first.geometry()
+        self._zero_states = [
+            _new_level_state(first_geometry.sets, first.associativity)
+            for _ in range(2 if first.split else 1)
+        ]
+        self._deep_states = [
+            _new_level_state(
+                config.levels[i].geometry().sets,
+                config.levels[i].associativity,
+            )
+            for i in range(1, levels)
+        ]
+        self.level_stats = [CacheStats() for _ in range(levels)]
+
+    def streams(self) -> Iterator[Tuple]:
+        config = self.config
+        warmup = self.trace.warmup
+        first = config.levels[0]
+        first_geometry = first.geometry()
+        for index, chunk in enumerate(self.trace.chunks(self.chunk_records)):
+            base = index * self.chunk_records
+            parts = []
+            zero_streams = _level_zero_streams(chunk, config, key_offset=base)
+            for side, (s_blocks, s_write, s_bucket, s_keys) in enumerate(
+                zero_streams
+            ):
+                miss, victims, victim_keys = _simulate_lru_level(
+                    s_blocks, s_write, s_keys,
+                    first_geometry.sets, first.associativity,
+                    state=self._zero_states[side],
+                )
+                _accumulate_level(
+                    self.level_stats[0], s_write, s_bucket, miss, s_keys,
+                    victim_keys, warmup,
+                )
+                parts.append(
+                    (
+                        victims,
+                        np.ones(len(victims), dtype=bool),
+                        np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                        victim_keys * 4 + 1,
+                    )
+                )
+                parts.append(
+                    (
+                        s_blocks[miss],
+                        np.zeros(int(miss.sum()), dtype=bool),
+                        s_bucket[miss],
+                        s_keys[miss] * 4 + 2,
+                    )
+                )
+            stream = _merge_parts(parts)
+
+            prev_offset = log2_int(first.block_bytes)
+            for depth_index in range(1, self.levels):
+                level = config.levels[depth_index]
+                offset_bits = log2_int(level.block_bytes)
+                if offset_bits < prev_offset:
+                    raise ValueError(
+                        "deeper levels must have blocks at least as large "
+                        "as their predecessor's"
+                    )
+                stream_blocks, stream_write, stream_bucket, stream_keys = stream
+                blocks_here = stream_blocks >> (offset_bits - prev_offset)
+                warmup_key = warmup * 4**depth_index
+                miss, victims, victim_keys = _simulate_lru_level(
+                    blocks_here, stream_write, stream_keys,
+                    level.geometry().sets, level.associativity,
+                    state=self._deep_states[depth_index - 1],
+                )
+                _accumulate_level(
+                    self.level_stats[depth_index], stream_write,
+                    stream_bucket, miss, stream_keys, victim_keys, warmup_key,
+                )
+                # Demand fetches enter the next level as clean reads (see
+                # _simulate_front).
+                parts = [
+                    (
+                        victims,
+                        np.ones(len(victims), dtype=bool),
+                        np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                        victim_keys * 4 + 1,
+                    ),
+                    (
+                        blocks_here[miss],
+                        np.zeros(int(miss.sum()), dtype=bool),
+                        stream_bucket[miss],
+                        stream_keys[miss] * 4 + 2,
+                    ),
+                ]
+                stream = _merge_parts(parts)
+                prev_offset = offset_bits
+            yield stream
+
+
+def run_functional_chunked(
+    trace: Trace, config: SystemConfig, chunk_records: int
+) -> FunctionalResult:
+    """Chunked streaming counterpart of :class:`FastFunctionalSimulator`.
+
+    Replays the trace ``chunk_records`` records at a time through
+    persistent per-level cache state.  Counts are identical to
+    whole-array replay (``tests/sim/test_chunked_replay.py`` holds the
+    differential contract); peak residency is bounded per chunk, which
+    is what lets memmap-backed store traces run without ever
+    materialising in full.
+    """
+    if not fast_eligible(config):
+        raise ValueError(
+            "configuration outside the vectorised path; chunked replay "
+            "requires fast eligibility"
+        )
+    if not trace_eligible(trace):
+        raise ValueError("trace outside the vectorised path (addresses >= 2**63)")
+    front = _ChunkedFront(trace, config, config.depth, chunk_records)
+    threshold = trace.warmup * 4**config.depth
+    memory_reads = 0
+    memory_writes = 0
+    for stream in front.streams():
+        _, stream_write, _, stream_keys = stream
+        counted = stream_keys >= threshold
+        memory_writes += int(np.count_nonzero(counted & stream_write))
+        memory_reads += int(np.count_nonzero(counted & ~stream_write))
+
+    measured_kinds = trace.kinds[trace.warmup:]
+    cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))
+    cpu_reads = int(measured_kinds.size) - cpu_writes
+    cpu_ifetches = int(np.count_nonzero(measured_kinds == IFETCH))
+    result = FunctionalResult(
+        trace_name=trace.name,
+        config=config,
+        cpu_reads=cpu_reads,
+        cpu_writes=cpu_writes,
+        cpu_ifetches=cpu_ifetches,
+        level_stats=front.level_stats,
+        memory_reads=memory_reads,
+        memory_writes=memory_writes,
+    )
+    return maybe_audit_functional(trace, result, source="fast-chunked")
+
+
 class FastFunctionalSimulator:
     """Drop-in counterpart of the reference functional simulator.
 
@@ -452,9 +651,15 @@ def run_functional(trace: Trace, config: SystemConfig) -> FunctionalResult:
     """Run a functional simulation on the fastest correct engine.
 
     Dispatches to the vectorised simulator when the configuration and the
-    trace are eligible, otherwise to the reference implementation.
+    trace are eligible, otherwise to the reference implementation.  With
+    ``REPRO_TRACE_CHUNK`` set (and smaller than the trace), the eligible
+    path streams the trace in chunks instead -- same counts, bounded
+    residency.
     """
     if fast_eligible(config) and trace_eligible(trace):
+        chunk = replay_chunk_records()
+        if chunk is not None and chunk < len(trace):
+            return run_functional_chunked(trace, config, chunk)
         return FastFunctionalSimulator(config).run(trace)
     from repro.sim.functional import FunctionalSimulator
 

@@ -35,6 +35,7 @@ from repro.sim.config import LevelConfig, SystemConfig
 from repro.sim.fast import run_functional
 from repro.sim.functional import FunctionalResult
 from repro.trace.record import Trace
+from repro.trace.store import trace_content_digest
 
 #: Metadata slot holding a trace's cached fingerprint.
 _FINGERPRINT_SLOT = "_functional_fingerprint"
@@ -81,7 +82,11 @@ def trace_fingerprint(trace: Trace) -> str:
 
     Computed once and cached in ``trace.metadata``; traces are treated as
     immutable once built (every generator in :mod:`repro.trace` returns a
-    finished trace).
+    finished trace).  The record-content part of the hash is the trace's
+    content digest (:func:`repro.trace.store.trace_content_digest`):
+    computed in fixed-size chunks -- a memmap-backed store trace is never
+    materialised in full -- and *trusted* when the store recorded it at
+    save time, making fingerprinting a store-opened trace O(1).
     """
     cached = trace.metadata.get(_FINGERPRINT_SLOT)
     if cached is not None:
@@ -90,8 +95,7 @@ def trace_fingerprint(trace: Trace) -> str:
     hasher.update(trace.name.encode())
     hasher.update(str(trace.warmup).encode())
     hasher.update(str(len(trace)).encode())
-    hasher.update(trace.kinds.tobytes())
-    hasher.update(trace.addresses.tobytes())
+    hasher.update(trace_content_digest(trace).encode())
     fingerprint = hasher.hexdigest()
     trace.metadata[_FINGERPRINT_SLOT] = fingerprint
     return fingerprint

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -51,12 +51,14 @@ from repro.sim.config import SystemConfig
 from repro.sim.fast import (
     MAX_FAST_ASSOCIATIVITY,
     _BUCKET_WRITE,
+    _ChunkedFront,
     _level_zero_streams,
     _simulate_front,
     fast_eligible,
 )
 from repro.sim.functional import FunctionalResult
 from repro.trace.record import IFETCH, WRITE, Trace
+from repro.trace.store import replay_chunk_records
 from repro.units import log2_int
 
 #: The associativities one stack pass derives: every power of two the
@@ -163,6 +165,14 @@ class StackdistGridResult:
         )
 
 
+def _new_stack_state(sets: int) -> Tuple[np.ndarray, np.ndarray]:
+    """A cold persistent ``(tags, reach)`` stack state for chunked replay."""
+    return (
+        np.full((sets, _WIDTH), -1, dtype=np.int64),
+        np.full((sets, _WIDTH), _CLEAN, dtype=np.int64),
+    )
+
+
 def _stack_pass(
     blocks: np.ndarray,
     is_write: np.ndarray,
@@ -170,6 +180,7 @@ def _stack_pass(
     order_keys: np.ndarray,
     sets: int,
     warmup_key: int,
+    state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One width-16 LRU stack replay of a single reference stream.
 
@@ -177,6 +188,12 @@ def _stack_pass(
     by set, replay in per-set time order, one vectorised step across all
     touched sets -- but over a fixed width-:data:`_WIDTH` stack whose
     positions double as every member cache's LRU order.
+
+    ``state`` supports chunked streaming replay: pass a persistent
+    ``(tags, reach)`` pair of shape ``(sets, _WIDTH)`` (see
+    :func:`_new_stack_state`); the touched rows are gathered into the
+    pass's rank-ordered working arrays and scattered back afterwards, so
+    replaying a stream piecewise yields the same histograms as one call.
 
     Returns ``(read_hist, write_hist, writebacks)``:
 
@@ -201,8 +218,9 @@ def _stack_pass(
     # contiguous *prefix* of the rank-ordered arrays: plain views,
     # updated in place, instead of per-step gather/scatter copies.
     counts = np.bincount(set_index, minlength=sets)
+    ids_by_rank = np.argsort(-counts, kind="stable")
     rank_of_set = np.empty(sets, dtype=np.int64)
-    rank_of_set[np.argsort(-counts, kind="stable")] = np.arange(sets)
+    rank_of_set[ids_by_rank] = np.arange(sets)
     rank = rank_of_set[set_index]
     # Stable sort by rank: within a set, accesses stay in time order.
     set_order = np.argsort(rank, kind="stable")
@@ -224,8 +242,17 @@ def _stack_pass(
     touched = int(sorted_ranks[-1]) + 1
     ways = np.arange(_WIDTH)
     depths = ways[None, :] + 1  # way w holds stack depth w + 1
-    tags = np.full((touched, _WIDTH), -1, dtype=np.int64)
-    reach = np.full((touched, _WIDTH), _CLEAN, dtype=np.int64)
+    if state is None:
+        tags = np.full((touched, _WIDTH), -1, dtype=np.int64)
+        reach = np.full((touched, _WIDTH), _CLEAN, dtype=np.int64)
+        touched_ids = None
+    else:
+        # Ranks order sets by descending count, so the touched sets are
+        # exactly the first ``touched`` ranks: gather their persistent
+        # rows into rank order, scatter the final state back at the end.
+        touched_ids = ids_by_rank[:touched]
+        tags = state[0][touched_ids]
+        reach = state[1][touched_ids]
     dist_s = np.empty(n, dtype=np.int64)
     counted_s = keys_s >= warmup_key
     all_counted = bool(counted_s.all())
@@ -288,6 +315,9 @@ def _stack_pass(
         row_tags[:, 0] = blocks_s[lo:hi]
         row_reach[:, 0] = head_reach
 
+    if touched_ids is not None and state is not None:
+        state[0][touched_ids] = tags
+        state[1][touched_ids] = reach
     writebacks += wb_rows.sum(axis=0)
     counted_dist = dist_s[counted_s]
     counted_write = (bucket[set_order][step_order])[counted_s] == _BUCKET_WRITE
@@ -335,18 +365,10 @@ def clear_front_cache() -> None:
     _front_cache.clear()
 
 
-def run_stackdist_grid(trace: Trace, config: SystemConfig) -> StackdistGridResult:
-    """Replay ``trace`` once against ``config``'s grid group.
-
-    Returns the exact functional result of every member associativity
-    (counts identical to :func:`repro.sim.fast.run_functional` on each
-    member configuration).
-    """
-    if not stackdist_eligible(config):
-        raise ValueError(
-            "configuration outside the stack-distance path (the deepest "
-            "level must be fast-eligible LRU); use run_functional"
-        )
+def _grid_histograms(
+    trace: Trace, config: SystemConfig
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[CacheStats]]:
+    """Whole-array stack replay: histograms plus upstream statistics."""
     warmup = trace.warmup
     depth = config.depth
     deepest = config.levels[-1]
@@ -379,6 +401,94 @@ def run_stackdist_grid(trace: Trace, config: SystemConfig) -> StackdistGridResul
         read_hist += part_read
         write_hist += part_write
         writebacks += part_wb
+    return read_hist, write_hist, writebacks, upstream
+
+
+def _grid_histograms_chunked(
+    trace: Trace, config: SystemConfig, chunk_records: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[CacheStats]]:
+    """Chunked stack replay; count-identical to :func:`_grid_histograms`.
+
+    Each chunk runs through persistent per-level front state
+    (:class:`repro.sim.fast._ChunkedFront`) and a persistent stack state
+    at the deepest level, so peak residency is bounded per chunk.  The
+    upstream front cache is bypassed -- its entries hold whole-trace
+    streams, exactly what chunked replay exists to avoid.
+    """
+    warmup = trace.warmup
+    depth = config.depth
+    deepest = config.levels[-1]
+    sets = deepest.geometry().sets
+    read_hist = np.zeros(_WIDTH + 1, dtype=np.int64)
+    write_hist = np.zeros(_WIDTH + 1, dtype=np.int64)
+    writebacks = np.zeros(_WIDTH, dtype=np.int64)
+    if depth == 1:
+        # A split first level is two member caches: one stack per side.
+        states = [
+            _new_stack_state(sets)
+            for _ in range(2 if deepest.split else 1)
+        ]
+        for index, chunk in enumerate(trace.chunks(chunk_records)):
+            base = index * chunk_records
+            zero_streams = _level_zero_streams(chunk, config, key_offset=base)
+            for side, (s_blocks, s_write, s_bucket, s_keys) in enumerate(
+                zero_streams
+            ):
+                part_read, part_write, part_wb = _stack_pass(
+                    s_blocks, s_write, s_bucket, s_keys, sets, warmup,
+                    state=states[side],
+                )
+                read_hist += part_read
+                write_hist += part_write
+                writebacks += part_wb
+        return read_hist, write_hist, writebacks, []
+
+    front = _ChunkedFront(trace, config, depth - 1, chunk_records)
+    prev_offset = log2_int(config.levels[depth - 2].block_bytes)
+    offset_bits = log2_int(deepest.block_bytes)
+    if offset_bits < prev_offset:
+        raise ValueError(
+            "deeper levels must have blocks at least as large as "
+            "their predecessor's"
+        )
+    warmup_key = warmup * 4 ** (depth - 1)
+    state = _new_stack_state(sets)
+    for stream in front.streams():
+        s_blocks, s_write, s_bucket, s_keys = stream
+        part_read, part_write, part_wb = _stack_pass(
+            s_blocks >> (offset_bits - prev_offset), s_write, s_bucket,
+            s_keys, sets, warmup_key, state=state,
+        )
+        read_hist += part_read
+        write_hist += part_write
+        writebacks += part_wb
+    return read_hist, write_hist, writebacks, front.level_stats
+
+
+def run_stackdist_grid(trace: Trace, config: SystemConfig) -> StackdistGridResult:
+    """Replay ``trace`` once against ``config``'s grid group.
+
+    Returns the exact functional result of every member associativity
+    (counts identical to :func:`repro.sim.fast.run_functional` on each
+    member configuration).  With ``REPRO_TRACE_CHUNK`` set (and smaller
+    than the trace), the replay streams in chunks through persistent
+    stack state -- same histograms, bounded residency.
+    """
+    if not stackdist_eligible(config):
+        raise ValueError(
+            "configuration outside the stack-distance path (the deepest "
+            "level must be fast-eligible LRU); use run_functional"
+        )
+    warmup = trace.warmup
+    chunk = replay_chunk_records()
+    if chunk is not None and chunk < len(trace):
+        read_hist, write_hist, writebacks, upstream = _grid_histograms_chunked(
+            trace, config, chunk
+        )
+    else:
+        read_hist, write_hist, writebacks, upstream = _grid_histograms(
+            trace, config
+        )
 
     measured_kinds = trace.kinds[warmup:]
     cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))

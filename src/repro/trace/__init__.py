@@ -22,6 +22,7 @@ traces are proprietary, so this package provides:
 """
 
 from repro.trace.record import IFETCH, READ, WRITE, KIND_NAMES, Trace, concat_traces
+from repro.trace.store import TraceStore
 from repro.trace.synthetic import (
     ParetoStackDistanceModel,
     StackDistanceGenerator,
@@ -50,6 +51,7 @@ __all__ = [
     "WRITE",
     "KIND_NAMES",
     "Trace",
+    "TraceStore",
     "concat_traces",
     "ParetoStackDistanceModel",
     "StackDistanceGenerator",

@@ -11,6 +11,7 @@ and loaded without translation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
@@ -44,6 +45,18 @@ def _derived_free_metadata(metadata: dict) -> dict:
         for key, value in metadata.items()
         if not (isinstance(key, str) and key.startswith("_"))
     }
+
+
+def strip_derived_metadata(metadata: dict) -> None:
+    """Delete derived (underscore-prefixed) entries from ``metadata`` in place.
+
+    The in-place twin of :func:`_derived_free_metadata`, for call sites that
+    mutate an existing trace (:func:`repro.trace.warmup.mark_warmup`) rather
+    than build a new one: rebinding ``trace.metadata`` would strand any
+    caller already holding the dict.
+    """
+    for key in [k for k in metadata if isinstance(k, str) and k.startswith("_")]:
+        del metadata[key]
 
 
 @dataclass
@@ -96,10 +109,19 @@ class Trace:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            start = index.start or 0
-            if start < 0:
-                start += len(self)
-            warmup = max(0, self.warmup - start)
+            start, stop, step = index.indices(len(self))
+            if step < 0:
+                raise ValueError(
+                    "trace slices must have a positive step: reversing a "
+                    "trace has no warmup semantics"
+                )
+            # Records selected by the slice that fall before the original
+            # warmup boundary: original indices start, start+step, ... that
+            # are < min(warmup, stop).  Clamping through slice.indices keeps
+            # out-of-range starts (trace[-200:] on a 100-record trace) from
+            # inflating the residual warmup past the boundary itself.
+            bounded = min(self.warmup, stop)
+            warmup = (bounded - start + step - 1) // step if bounded > start else 0
             sliced = Trace(
                 self.kinds[index],
                 self.addresses[index],
@@ -109,6 +131,20 @@ class Trace:
             sliced.warmup = min(warmup, len(sliced))
             return sliced
         return int(self.kinds[index]), int(self.addresses[index])
+
+    def chunks(self, records: int) -> Iterator["Trace"]:
+        """Yield contiguous chunk views of at most ``records`` records each.
+
+        Chunks are zero-copy: their arrays are views of this trace's arrays
+        (basic slicing), so streaming a memmap-backed trace
+        (:mod:`repro.trace.store`) touches only one chunk of pages at a
+        time.  Each chunk carries the residual warmup for its range, per
+        the slicing rules above.  An empty trace yields no chunks.
+        """
+        if records <= 0:
+            raise ValueError(f"chunk size must be positive, got {records}")
+        for start in range(0, len(self), records):
+            yield self[start : start + records]
 
     def records(self) -> Iterator[Tuple[int, int]]:
         """Iterate (kind, address) pairs as plain Python ints.
@@ -161,25 +197,80 @@ class Trace:
             warmup=warmup,
         )
 
+    @classmethod
+    def trusted(
+        cls,
+        kinds: np.ndarray,
+        addresses: np.ndarray,
+        name: str,
+        warmup: int,
+        metadata: dict,
+    ) -> "Trace":
+        """Build a trace from pre-validated arrays without the content scan.
+
+        ``__post_init__`` reads every record to validate kinds -- an O(n)
+        pass that would defeat the O(1) open of a memmap-backed store
+        (:mod:`repro.trace.store`).  Callers guarantee the arrays hold only
+        valid kinds (the store format is raw dumps of already-validated
+        traces); dtype, shape and warmup bounds are still checked because
+        they are O(1).
+        """
+        if kinds.dtype != np.uint8 or addresses.dtype != np.uint64:
+            raise ValueError(
+                f"trusted trace arrays must be uint8/uint64, got "
+                f"{kinds.dtype}/{addresses.dtype}"
+            )
+        if kinds.ndim != 1 or kinds.shape != addresses.shape:
+            raise ValueError(
+                f"kinds and addresses must be parallel 1-d arrays, got shapes "
+                f"{kinds.shape} and {addresses.shape}"
+            )
+        if not 0 <= warmup <= kinds.size:
+            raise ValueError(
+                f"warmup must be within the trace length ({kinds.size}), "
+                f"got {warmup}"
+            )
+        trace = object.__new__(cls)
+        trace.kinds = kinds
+        trace.addresses = addresses
+        trace.name = name
+        trace.warmup = int(warmup)
+        trace.metadata = dict(metadata)
+        return trace
+
     def save(self, path) -> None:
-        """Persist the trace to an ``.npz`` file."""
+        """Persist the trace to an ``.npz`` file.
+
+        Non-derived metadata rides along as a JSON document; derived
+        (underscore-prefixed) entries describe in-memory cache state, not
+        the trace, and are dropped.  Metadata must therefore be
+        JSON-serialisable -- workload provenance (strings, numbers) is.
+        """
         np.savez_compressed(
             path,
             kinds=self.kinds,
             addresses=self.addresses,
             name=np.array(self.name),
             warmup=np.array(self.warmup),
+            metadata=np.array(json.dumps(_derived_free_metadata(self.metadata))),
         )
 
     @classmethod
     def load(cls, path) -> "Trace":
-        """Load a trace previously stored with :meth:`save`."""
+        """Load a trace previously stored with :meth:`save`.
+
+        Files written before metadata persistence load with empty metadata.
+        """
         with np.load(path, allow_pickle=False) as data:
+            metadata = (
+                json.loads(str(data["metadata"])) if "metadata" in data else {}
+            )
             return cls(
                 data["kinds"],
                 data["addresses"],
                 name=str(data["name"]),
                 warmup=int(data["warmup"]),
+                metadata=metadata,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

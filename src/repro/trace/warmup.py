@@ -8,7 +8,7 @@ carrying a ``warmup`` marker on every trace: simulators run the full trace
 
 from __future__ import annotations
 
-from repro.trace.record import Trace
+from repro.trace.record import Trace, strip_derived_metadata
 from repro.units import check_power_of_two
 
 
@@ -35,8 +35,18 @@ def warmup_boundary(
 
 
 def mark_warmup(trace: Trace, records: int) -> Trace:
-    """Return ``trace`` with its warmup marker set to ``records``."""
-    trace.warmup = min(max(0, records), len(trace))
+    """Return ``trace`` with its warmup marker set to ``records``.
+
+    Moving the marker changes the trace's functional identity -- the
+    memoisation fingerprint hashes the warmup boundary -- so any cached
+    derived metadata (underscore-prefixed entries such as
+    ``_functional_fingerprint``) is dropped when the marker actually
+    moves.  A no-op re-mark keeps the cache.
+    """
+    marker = min(max(0, records), len(trace))
+    if marker != trace.warmup:
+        trace.warmup = marker
+        strip_derived_metadata(trace.metadata)
     return trace
 
 

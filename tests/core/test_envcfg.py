@@ -123,7 +123,7 @@ def test_registered_names_cover_the_known_knobs():
         "REPRO_AUDIT", "REPRO_RECORDS", "REPRO_TRACES", "REPRO_TRACE_CACHE",
         "REPRO_FULL", "REPRO_SWEEP_WORKERS", "REPRO_SWEEP_RETRIES",
         "REPRO_SWEEP_TIMEOUT", "REPRO_FAULTS", "REPRO_FAULTS_SEED",
-        "REPRO_FAULTS_HANG_S",
+        "REPRO_FAULTS_HANG_S", "REPRO_TRACE_CHUNK", "REPRO_SWEEP_CONTEXT",
     ):
         assert expected in names
 

@@ -182,3 +182,58 @@ class TestExpectations:
         assert "## F3-1" in text
         assert "== F3-1: demo ==" in text
         assert "no saved report" in text  # the other experiments
+
+
+class TestTraceCommand:
+    """``mlcache trace save`` / ``mlcache trace info``."""
+
+    def make_npz(self, tmp_path):
+        from repro.trace.record import IFETCH, READ, WRITE, Trace
+
+        trace = Trace.from_records(
+            [(IFETCH, 0x100), (READ, 0x200), (WRITE, 0x300)],
+            name="converted", warmup=1,
+        )
+        trace.metadata["origin"] = "test"
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        return path
+
+    def test_save_converts_npz_to_store(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        from repro.trace.store import TraceStore
+
+        npz = self.make_npz(tmp_path)
+        out = tmp_path / "t.mlt"
+        assert main(["trace", "save", str(npz), str(out)]) == 0
+        assert "3 records" in capsys.readouterr().out
+        store = TraceStore.open(out)
+        assert store.name == "converted"
+        assert store.warmup == 1
+        assert store.metadata == {"origin": "test"}
+
+    def test_save_converts_dinero(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        from repro.trace.store import TraceStore
+
+        din = tmp_path / "t.din"
+        din.write_text("2 100\n0 200\n1 300\n")
+        out = tmp_path / "t.mlt"
+        assert main(["trace", "save", str(din), str(out)]) == 0
+        assert TraceStore.open(out).records == 3
+
+    def test_info_prints_header_fields(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        from repro.trace.store import TraceStore
+
+        npz = self.make_npz(tmp_path)
+        out = tmp_path / "t.mlt"
+        assert main(["trace", "save", str(npz), str(out)]) == 0
+        digest = TraceStore.open(out).digest
+        capsys.readouterr()
+        assert main(["trace", "info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "converted" in text
+        assert "records   3" in text
+        assert digest in text
+        assert '"origin": "test"' in text

@@ -71,7 +71,7 @@ class TestSuite:
     def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
         first = paper_trace_suite(records=4_000, count=1)
-        assert len(list(tmp_path.glob("trace-*.npz"))) == 1
+        assert len(list(tmp_path.glob("trace-*.mlt"))) == 1
         # Clear the memory cache and reload from disk.
         from repro.experiments import workloads
 
@@ -79,3 +79,30 @@ class TestSuite:
         second = paper_trace_suite(records=4_000, count=1)
         assert np.array_equal(first[0].addresses, second[0].addresses)
         assert second[0].warmup == first[0].warmup
+
+    def test_disk_cached_suite_is_memmap_backed(self, tmp_path, monkeypatch):
+        from repro.experiments import workloads
+
+        workloads._memory_cache.clear()
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        suite = paper_trace_suite(records=4_000, count=1)
+        assert isinstance(suite[0].addresses, np.memmap)
+
+    def test_legacy_npz_cache_is_migrated(self, tmp_path, monkeypatch):
+        from repro.experiments import workloads
+
+        workloads._memory_cache.clear()
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        built = paper_trace_suite(records=4_000, count=1)
+        (store_path,) = tmp_path.glob("trace-*.mlt")
+        # Rewrite the cache entry as the pre-store .npz format.
+        legacy = store_path.with_suffix(".npz")
+        from repro.trace.store import TraceStore
+
+        TraceStore.open(store_path).as_trace().save(legacy)
+        store_path.unlink()
+        workloads._memory_cache.clear()
+        migrated = paper_trace_suite(records=4_000, count=1)
+        assert store_path.exists()  # re-saved in the store format
+        assert np.array_equal(migrated[0].addresses, built[0].addresses)
+        assert migrated[0].warmup == built[0].warmup

@@ -75,6 +75,72 @@ class TestTraceSlicing:
         assert trace[5:].warmup == 0
 
 
+class TestSliceWarmupAccounting:
+    """Regression tests: residual-warmup arithmetic in ``__getitem__``.
+
+    Two bugs lived here.  A start below ``-len(trace)`` was used raw, so
+    ``trace[-200:]`` on a 100-record trace *inflated* the residual warmup
+    past the boundary itself.  And the slice step was ignored outright:
+    ``trace[::2]`` kept the full warmup count even though only every
+    other warm record survives into the slice.
+    """
+
+    def test_negative_start_past_beginning_is_clamped(self):
+        trace = make_trace([(READ, i) for i in range(100)], warmup=10)
+        # Pre-fix this came out as 10 - (-200) = 210, clamped to len = 100.
+        assert trace[-200:].warmup == 10
+
+    def test_negative_start_within_range(self):
+        trace = make_trace([(READ, i) for i in range(100)], warmup=10)
+        assert trace[-95:].warmup == 5
+
+    def test_step_counts_only_selected_warm_records(self):
+        trace = make_trace([(READ, i) for i in range(10)], warmup=6)
+        # Selected original indices: 0, 3, 6, 9; warm ones (< 6): 0, 3.
+        assert trace[0:10:3].warmup == 2
+
+    def test_step_with_offset_start(self):
+        trace = make_trace([(READ, i) for i in range(10)], warmup=5)
+        # Selected original indices: 1, 3, 5, 7, 9; warm ones: 1, 3.
+        assert trace[1::2].warmup == 2
+
+    def test_step_slice_entirely_past_warmup(self):
+        trace = make_trace([(READ, i) for i in range(10)], warmup=3)
+        assert trace[4::2].warmup == 0
+
+    def test_negative_step_rejected(self):
+        trace = make_trace([(READ, i) for i in range(10)])
+        with pytest.raises(ValueError, match="positive step"):
+            trace[::-1]
+
+
+class TestChunks:
+    def test_chunks_cover_the_trace_in_order(self):
+        trace = make_trace([(READ, 16 * i) for i in range(10)])
+        chunks = list(trace.chunks(3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        rejoined = [record for chunk in chunks for record in chunk.records()]
+        assert rejoined == list(trace.records())
+
+    def test_chunks_carry_residual_warmup(self):
+        trace = make_trace([(READ, i) for i in range(10)], warmup=4)
+        assert [c.warmup for c in trace.chunks(3)] == [3, 1, 0, 0]
+
+    def test_chunks_are_zero_copy_views(self):
+        trace = make_trace([(READ, i) for i in range(10)])
+        chunk = next(trace.chunks(4))
+        assert np.shares_memory(chunk.kinds, trace.kinds)
+        assert np.shares_memory(chunk.addresses, trace.addresses)
+
+    def test_chunk_size_must_be_positive(self):
+        trace = make_trace([(READ, 0)])
+        with pytest.raises(ValueError, match="positive"):
+            next(trace.chunks(0))
+
+    def test_empty_trace_yields_no_chunks(self):
+        assert list(make_trace([]).chunks(4)) == []
+
+
 class TestTracePersistence:
     def test_save_load_roundtrip(self, tmp_path):
         trace = make_trace(
@@ -86,6 +152,23 @@ class TestTracePersistence:
         assert list(loaded.records()) == list(trace.records())
         assert loaded.name == "x"
         assert loaded.warmup == 1
+
+    def test_save_load_preserves_metadata(self, tmp_path):
+        """Regression: ``save`` silently dropped ``trace.metadata``, so a
+        workload's provenance (generator, seed, ...) vanished on the way
+        through the disk cache."""
+        trace = make_trace([(READ, 0)], name="x")
+        trace.metadata.update({"origin": "synthetic", "seed": 7})
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        assert Trace.load(path).metadata == {"origin": "synthetic", "seed": 7}
+
+    def test_save_drops_derived_metadata(self, tmp_path):
+        trace = make_trace([(READ, 0)])
+        trace.metadata.update({"origin": "synthetic", "_derived": "stale"})
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        assert Trace.load(path).metadata == {"origin": "synthetic"}
 
 
 class TestConcat:

@@ -1,0 +1,201 @@
+"""Tests for the zero-copy trace store and worker handoff."""
+
+import numpy as np
+import pytest
+
+from repro.sim import memo
+from repro.trace.record import IFETCH, READ, WRITE, Trace
+from repro.trace.store import (
+    CONTENT_DIGEST_SLOT,
+    STORE_PATH_SLOT,
+    STORE_SUFFIX,
+    TraceHandle,
+    TraceStore,
+    content_digest,
+    export_traces,
+    resolve_traces,
+    trace_content_digest,
+)
+from repro.trace.workload import SyntheticWorkload
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    memo.clear_memo_cache()
+    yield
+    memo.clear_memo_cache()
+
+
+def sample_trace(records=1000, warmup=100, seed=5, name="stored"):
+    trace = SyntheticWorkload(seed=seed).trace(records, warmup=warmup)
+    trace.name = name
+    trace.metadata["origin"] = "synthetic"
+    return trace
+
+
+class TestStoreFormat:
+    def test_save_open_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / ("t" + STORE_SUFFIX)
+        saved = TraceStore.save(trace, path)
+        opened = TraceStore.open(path)
+        assert opened == saved
+        loaded = opened.as_trace()
+        assert loaded.name == "stored"
+        assert loaded.warmup == 100
+        assert np.array_equal(loaded.kinds, trace.kinds)
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert loaded.metadata["origin"] == "synthetic"
+
+    def test_open_returns_memmap_views(self, tmp_path):
+        trace = sample_trace()
+        TraceStore.save(trace, tmp_path / "t.mlt")
+        loaded = TraceStore.open(tmp_path / "t.mlt").as_trace()
+        assert isinstance(loaded.kinds, np.memmap)
+        assert isinstance(loaded.addresses, np.memmap)
+
+    def test_opened_arrays_are_read_only(self, tmp_path):
+        trace = sample_trace()
+        TraceStore.save(trace, tmp_path / "t.mlt")
+        loaded = TraceStore.open(tmp_path / "t.mlt").as_trace()
+        with pytest.raises(ValueError):
+            loaded.kinds[0] = WRITE
+
+    def test_save_drops_derived_metadata_but_records_digest(self, tmp_path):
+        trace = sample_trace()
+        trace.metadata["_stale"] = "derived"
+        digest = trace_content_digest(trace)
+        saved = TraceStore.save(trace, tmp_path / "t.mlt")
+        assert saved.digest == digest
+        assert "_stale" not in saved.metadata
+        assert saved.metadata == {"origin": "synthetic"}
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = Trace.from_records([], name="empty")
+        TraceStore.save(trace, tmp_path / "t.mlt")
+        loaded = TraceStore.open(tmp_path / "t.mlt").as_trace()
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.mlt"
+        path.write_bytes(b"NOTATRCE" + b"\0" * 64)
+        with pytest.raises(ValueError, match="bad magic"):
+            TraceStore.open(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.mlt"
+        TraceStore.save(trace, path)
+        path.write_bytes(path.read_bytes()[:-100])
+        with pytest.raises(ValueError, match="truncated"):
+            TraceStore.open(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.mlt"
+        TraceStore.save(trace, path)
+        raw = path.read_bytes()
+        mutated = raw.replace(b'"version": 1', b'"version": 9', 1)
+        assert mutated != raw
+        path.write_bytes(mutated)
+        with pytest.raises(ValueError, match="unsupported store version"):
+            TraceStore.open(path)
+
+
+class TestDigestTrust:
+    def test_digest_matches_whole_array_hash(self):
+        import hashlib
+
+        trace = sample_trace(records=3000)
+        expected = hashlib.sha256(
+            trace.kinds.tobytes() + trace.addresses.tobytes()
+        ).hexdigest()
+        assert content_digest(trace.kinds, trace.addresses) == expected
+
+    def test_open_seeds_the_digest_slot(self, tmp_path):
+        trace = sample_trace()
+        TraceStore.save(trace, tmp_path / "t.mlt")
+        loaded = TraceStore.open(tmp_path / "t.mlt").as_trace()
+        assert loaded.metadata[CONTENT_DIGEST_SLOT] == trace_content_digest(trace)
+
+    def test_fingerprint_identical_across_heap_and_store(self, tmp_path):
+        trace = sample_trace()
+        TraceStore.save(trace, tmp_path / "t.mlt")
+        loaded = TraceStore.open(tmp_path / "t.mlt").as_trace()
+        assert memo.trace_fingerprint(loaded) == memo.trace_fingerprint(trace)
+
+    def test_slicing_a_store_trace_drops_store_slots(self, tmp_path):
+        trace = sample_trace()
+        TraceStore.save(trace, tmp_path / "t.mlt")
+        loaded = TraceStore.open(tmp_path / "t.mlt").as_trace()
+        assert STORE_PATH_SLOT in loaded.metadata
+        half = loaded[: len(loaded) // 2]
+        assert STORE_PATH_SLOT not in half.metadata
+        assert CONTENT_DIGEST_SLOT not in half.metadata
+        assert memo.trace_fingerprint(half) != memo.trace_fingerprint(loaded)
+
+
+class TestWorkerHandoff:
+    def test_store_backed_traces_export_as_paths(self, tmp_path):
+        trace = sample_trace()
+        TraceStore.save(trace, tmp_path / "t.mlt")
+        loaded = TraceStore.open(tmp_path / "t.mlt").as_trace()
+        handles, lease = export_traces([loaded])
+        try:
+            assert handles[0].kind == "store"
+            assert lease.segments == []
+            (resolved,) = resolve_traces(handles)
+            assert np.array_equal(resolved.addresses, trace.addresses)
+            assert resolved.warmup == trace.warmup
+        finally:
+            lease.release()
+
+    def test_heap_traces_export_via_shared_memory(self):
+        trace = sample_trace()
+        fingerprint = memo.trace_fingerprint(trace)
+        handles, lease = export_traces([trace])
+        try:
+            assert handles[0].kind == "shm"
+            (resolved,) = resolve_traces(handles)
+            assert np.array_equal(resolved.kinds, trace.kinds)
+            assert np.array_equal(resolved.addresses, trace.addresses)
+            assert resolved.name == trace.name
+            assert resolved.warmup == trace.warmup
+            assert resolved.metadata["origin"] == "synthetic"
+            # Digest and fingerprint ride along so workers skip re-hashing.
+            assert resolved.metadata[CONTENT_DIGEST_SLOT] == trace_content_digest(trace)
+            assert memo.trace_fingerprint(resolved) == fingerprint
+        finally:
+            lease.release()
+
+    def test_empty_traces_export_inline(self):
+        handles, lease = export_traces([Trace.from_records([])])
+        try:
+            assert handles[0].kind == "inline"
+            (resolved,) = resolve_traces(handles)
+            assert len(resolved) == 0
+        finally:
+            lease.release()
+
+    def test_lease_release_is_idempotent(self):
+        handles, lease = export_traces([sample_trace(records=64, warmup=0)])
+        assert handles[0].kind == "shm"
+        lease.release()
+        lease.release()
+        assert lease.segments == []
+
+    def test_unknown_handle_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace handle kind"):
+            resolve_traces([TraceHandle("carrier-pigeon", ())])
+
+    def test_mixed_kind_records_survive_handoff(self):
+        trace = Trace.from_records(
+            [(IFETCH, 0x10), (READ, 0x20), (WRITE, 0x30)], warmup=1
+        )
+        handles, lease = export_traces([trace])
+        try:
+            (resolved,) = resolve_traces(handles)
+            assert list(resolved.records()) == list(trace.records())
+        finally:
+            lease.release()

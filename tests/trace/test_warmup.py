@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.trace.record import READ, Trace
+from repro.trace.record import READ, Trace, concat_traces
 from repro.trace.warmup import mark_warmup, skip_warmup, warmup_boundary
 
 
@@ -59,3 +59,85 @@ class TestMarkAndSkip:
     def test_skip_warmup_noop_without_marker(self):
         trace = trace_of(5)
         assert len(skip_warmup(trace)) == 5
+
+
+class TestMarkWarmupMetadata:
+    """Regression: ``mark_warmup`` mutates the boundary in place but used
+    to leave content-derived metadata behind -- a re-marked trace kept its
+    old cached fingerprint and aliased the memo entries of the previous
+    warmup boundary."""
+
+    def test_mark_warmup_strips_cached_fingerprint(self):
+        from repro.sim import memo
+
+        trace = trace_of(100)
+        before = memo.trace_fingerprint(trace)
+        mark_warmup(trace, 30)
+        assert memo._FINGERPRINT_SLOT not in trace.metadata
+        assert memo.trace_fingerprint(trace) != before
+
+    def test_noop_mark_keeps_fingerprint(self):
+        from repro.sim import memo
+
+        trace = trace_of(100, warmup=30)
+        fingerprint = memo.trace_fingerprint(trace)
+        mark_warmup(trace, 30)
+        assert trace.metadata.get(memo._FINGERPRINT_SLOT) == fingerprint
+
+    def test_mark_warmup_keeps_plain_metadata(self):
+        trace = trace_of(10)
+        trace.metadata.update({"origin": "synthetic", "_stale": 1})
+        mark_warmup(trace, 5)
+        assert trace.metadata == {"origin": "synthetic"}
+
+    def test_mark_warmup_mutates_in_place(self):
+        trace = trace_of(10)
+        held = trace.metadata
+        assert mark_warmup(trace, 5) is trace
+        # Callers holding the dict must see the stripped version, not a
+        # rebound copy.
+        assert held is trace.metadata
+
+
+class TestSkipConcatInteractions:
+    """``skip_warmup`` and ``concat_traces`` compose: both are used to
+    build long already-warm runs, and both must agree on warmup and
+    derived-metadata handling."""
+
+    def test_skip_then_concat_has_no_warmup(self):
+        joined = concat_traces([skip_warmup(trace_of(10, warmup=4)), trace_of(6)])
+        assert len(joined) == 12
+        assert joined.warmup == 0
+
+    def test_concat_keeps_first_warmup_then_skip_drops_it(self):
+        joined = concat_traces([trace_of(10, warmup=4), trace_of(6, warmup=3)])
+        assert joined.warmup == 4  # later traces' markers are ignored
+        tail = skip_warmup(joined)
+        assert len(tail) == 12
+        assert tail.warmup == 0
+        assert tail[0] == (READ, 4 * 16)
+
+    def test_skip_warmup_strips_derived_metadata(self):
+        from repro.sim import memo
+
+        trace = trace_of(10, warmup=4)
+        memo.trace_fingerprint(trace)
+        tail = skip_warmup(trace)
+        assert memo._FINGERPRINT_SLOT not in tail.metadata
+
+    def test_concat_of_marked_trace_strips_fingerprint(self):
+        from repro.sim import memo
+
+        a = trace_of(10)
+        mark_warmup(a, 4)
+        memo.trace_fingerprint(a)
+        joined = concat_traces([a, trace_of(5)])
+        assert memo._FINGERPRINT_SLOT not in joined.metadata
+
+    def test_mark_skip_mark_roundtrip(self):
+        trace = trace_of(20)
+        mark_warmup(trace, 8)
+        tail = skip_warmup(trace)
+        mark_warmup(tail, 5)
+        assert len(tail) == 12
+        assert tail.warmup == 5
