@@ -45,6 +45,7 @@ BENCHES = {
     "sweep-engine": "bench_sweep_engine.py",
     "audit-overhead": "bench_audit_overhead.py",
     "resilience-overhead": "bench_resilience_overhead.py",
+    "integrity-overhead": "bench_integrity_overhead.py",
     "trace-store": "bench_trace_store.py",
 }
 

@@ -202,10 +202,20 @@ class RunManifest:
         }
 
     def write(self, path) -> Path:
-        """Serialise to ``path`` as JSON; returns the path written."""
+        """Serialise to ``path`` as JSON; returns the path written.
+
+        Atomic (tmp + fsync + rename): a manifest is the audit record of
+        a run, so a crash mid-write must leave the previous manifest --
+        or nothing -- rather than torn JSON.
+        """
+        # Lazy: resilience's package init imports sim modules; audit must
+        # stay importable before they are.
+        from repro.resilience.integrity import atomic_write_text
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            path, json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
         return path
 
 

@@ -388,6 +388,33 @@ FAULTS_HANG_S = register(
     section="resilience",
 )
 
+STORE_VERIFY = register(
+    "REPRO_STORE_VERIFY",
+    kind="flag",
+    default=True,
+    doc=(
+        "Re-hash trace-store data segments against their recorded "
+        "digests when the workload disk cache opens them (catches bit "
+        "rot; corrupt stores quarantine and rebuild); `0` trusts the "
+        "header alone."
+    ),
+    parse=parse_bool,
+    section="storage",
+)
+
+LOCK_TIMEOUT_S = register(
+    "REPRO_LOCK_TIMEOUT_S",
+    kind="float (seconds)",
+    default=600.0,
+    doc=(
+        "How long a sweep waits for another process's advisory lock on "
+        "a shared trace-cache entry before failing with the holder's "
+        "identity (the journal lock never waits)."
+    ),
+    parse=parse_float(positive=True),
+    section="storage",
+)
+
 
 # -- generated documentation -------------------------------------------------
 
@@ -469,7 +496,11 @@ def _run_cli(argv: Optional[Sequence[str]] = None) -> int:
         regenerated = rewrite_doc_tables(text)
         if regenerated != text:
             if args.update is not None and path in args.update:
-                path.write_text(regenerated)
+                # Atomic: a crash mid-update must not tear a docs file
+                # the CI freshness gate then misreads as stale garbage.
+                from repro.resilience.integrity import atomic_write_text
+
+                atomic_write_text(path, regenerated)
                 print(f"updated {path}")
             else:
                 stale.append(str(path))

@@ -9,6 +9,7 @@ Examples::
                                       # paper's simulator input files
     mlcache trace save t.npz t.mlt    # convert to the memmap store format
     mlcache trace info t.mlt          # header, digest, segment offsets
+    mlcache doctor results/ --fix     # scan artifacts, repair crash residue
     REPRO_RECORDS=1000000 REPRO_TRACES=8 mlcache run F4-2   # paper scale
 """
 
@@ -78,6 +79,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to python -m repro.lint "
              "(paths, --format, --select, --baseline, ...)",
     )
+    doctor = sub.add_parser(
+        "doctor",
+        help="scan artifact directories (trace stores, journals, "
+             "manifests, locks) for corruption and crash residue; "
+             "repair with --fix (see docs/resilience.md)",
+    )
+    doctor.add_argument(
+        "doctor_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.resilience.doctor "
+             "(paths, --fix, --json)",
+    )
     trace = sub.add_parser(
         "trace",
         help="convert and inspect memmap trace store files "
@@ -127,8 +139,10 @@ def _run_one(
     text = report.render() + f"\n({elapsed:.1f}s)\n"
     print(text)
     if output is not None:
+        from repro.resilience.integrity import atomic_write_text
+
         output.mkdir(parents=True, exist_ok=True)
-        (output / f"{report.experiment_id}.txt").write_text(text)
+        atomic_write_text(output / f"{report.experiment_id}.txt", text)
         recorder.write(output / f"{report.experiment_id}.manifest.json")
     return report.all_checks_pass
 
@@ -269,6 +283,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    # Same pattern for the artifact doctor (see docs/resilience.md).
+    if argv[:1] == ["doctor"]:
+        from repro.resilience.doctor import main as doctor_main
+
+        return doctor_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id in experiment_ids():

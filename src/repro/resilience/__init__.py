@@ -17,21 +17,40 @@ This package supplies the three layers the sweep executor
 * :mod:`repro.resilience.faults` -- a seeded probabilistic
   fault-injection harness (``REPRO_FAULTS``) used by the test suite and
   the CI chaos job to prove every recovery path.
+* :mod:`repro.resilience.integrity` -- the durable artifact layer:
+  atomic writes (tmp + fsync + rename) for every trusted file, corrupt-
+  artifact quarantine, and pid+boot-id advisory locks for concurrent
+  sweeps.  :mod:`repro.resilience.doctor` is its offline repair CLI
+  (``mlcache doctor``).
 
 See ``docs/resilience.md`` for the knobs, formats and grammar.
 """
 
 from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.integrity import (
+    AdvisoryLock,
+    LockHeldError,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    quarantine,
+)
 from repro.resilience.journal import SweepJournal, current_journal, journaling
 from repro.resilience.policy import FailureReport, RetryPolicy, SweepFailure
 
 __all__ = [
+    "AdvisoryLock",
     "FailureReport",
     "FaultPlan",
     "InjectedFault",
+    "LockHeldError",
     "RetryPolicy",
     "SweepFailure",
     "SweepJournal",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
     "current_journal",
     "journaling",
+    "quarantine",
 ]

@@ -23,6 +23,20 @@ output directory for inspection or CI upload.
 The digest is a sha256 over a canonical rendering of every cell of both
 grids (functional event counts and timing nanosecond totals), so any
 lost, duplicated, corrupted or reordered cell changes it.
+
+``--storage`` runs the *storage* variant of the drill, the executable
+proof behind the durable artifact layer
+(:mod:`repro.resilience.integrity`): the sweep reads its traces through
+the on-disk workload cache (``REPRO_TRACE_CACHE``), the faulted phase
+adds the disk faults (``torn_write``/``enospc``/``rename_fail``/
+``bitflip``) to the storm and is SIGKILLed mid-run, and then the parent
+*vandalises* the survivors -- flips a bit inside a cached trace store,
+deletes another, appends torn journal lines, plants an orphaned tmp file
+and a stale lock -- before running ``mlcache doctor --fix`` and
+resuming.  The drill passes only if the doctor repairs everything it
+found (corrupt artifacts quarantined, never silently read), and the
+resumed grid digest is still byte-identical to the fault-free golden
+run.
 """
 
 from __future__ import annotations
@@ -53,6 +67,20 @@ DEFAULT_FAULTS = "worker_raise:0.2,corrupt_result:0.1,worker_kill:0.05"
 #: seed the whole drill is deterministic: the worst cell fails 4
 #: consecutive attempts, comfortably inside this budget.
 CHAOS_RETRIES = "6"
+
+#: Fault mix for the storage drill's storm phase: the four disk faults
+#: hammer the trace-cache publish path (each failed or poisoned save
+#: degrades to a heap trace or quarantines, never aborts) on top of a
+#: lighter worker-fault mix.
+DEFAULT_STORAGE_FAULTS = (
+    "torn_write:0.3,enospc:0.2,rename_fail:0.2,bitflip:0.2,"
+    "worker_raise:0.15,worker_kill:0.05"
+)
+
+#: Worker-fault-only mix for the storage drill's resume phase: recovery
+#: still runs under duress, but the parent-side journal/doctor artifacts
+#: it depends on are not being re-damaged while it verifies them.
+RESUME_FAULTS = "worker_raise:0.15"
 
 
 def build_traces(records: int, count: int = 2) -> List[Trace]:
@@ -126,7 +154,15 @@ def _run_sweep(args) -> int:
     from repro.core.sweep import sweep_functional, sweep_timing
     from repro.resilience.journal import journaling
 
-    traces = build_traces(args.records)
+    if args.suite:
+        # The storage drill sweeps through the on-disk workload cache
+        # (REPRO_TRACE_CACHE in the environment) so the trace-store
+        # publish/verify/quarantine paths are in the line of fire.
+        from repro.experiments.workloads import paper_trace_suite
+
+        traces = paper_trace_suite(records=args.records, count=2)
+    else:
+        traces = build_traces(args.records)
     configs = build_configs()
     context = (
         journaling(args.journal, resume=args.resume, name="chaos")
@@ -156,7 +192,9 @@ def _count_journal_cells(path: Path) -> int:
     return count
 
 
-def _child_command(args, journal: Path, digest_file: Path, resume: bool) -> List[str]:
+def _child_command(
+    args, journal: Path, digest_file: Path, resume: bool, suite: bool = False
+) -> List[str]:
     command = [
         sys.executable, "-m", "repro.resilience.chaos",
         "--phase", "sweep",
@@ -167,7 +205,46 @@ def _child_command(args, journal: Path, digest_file: Path, resume: bool) -> List
         command += ["--journal", str(journal)]
     if resume:
         command += ["--resume"]
+    if suite:
+        command += ["--suite"]
     return command
+
+
+def _clean_env() -> dict:
+    """The fault-free child environment (audit on, src importable)."""
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_TRACE_CACHE", None)
+    env["REPRO_AUDIT"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [str(Path(__file__).resolve().parents[2]),
+                    os.environ.get("PYTHONPATH", "")] if p
+    )
+    return env
+
+
+def _kill_when_journaled(child, journal: Path, kill_after: int,
+                         phase_timeout: float) -> bool:
+    """Watch the journal grow; SIGKILL the child at ``kill_after`` cells.
+
+    Returns whether the kill landed (the child may finish first on tiny
+    grids); a hang past ``phase_timeout`` aborts the drill.
+    """
+    killed = False
+    deadline = time.monotonic() + phase_timeout
+    while child.poll() is None:
+        if _count_journal_cells(journal) >= kill_after:
+            child.send_signal(signal.SIGKILL)
+            killed = True
+            break
+        if time.monotonic() > deadline:
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+            raise SystemExit("[chaos] FAIL: faulted run hung past the "
+                             f"{phase_timeout}s phase timeout")
+        time.sleep(0.02)
+    child.wait()
+    return killed
 
 
 def _orchestrate(args) -> int:
@@ -180,13 +257,7 @@ def _orchestrate(args) -> int:
         "kill_after_cells": args.kill_after,
     }
 
-    clean_env = dict(os.environ)
-    clean_env.pop("REPRO_FAULTS", None)
-    clean_env["REPRO_AUDIT"] = "1"
-    clean_env["PYTHONPATH"] = os.pathsep.join(
-        p for p in [str(Path(__file__).resolve().parents[2]),
-                    os.environ.get("PYTHONPATH", "")] if p
-    )
+    clean_env = _clean_env()
     chaos_env = dict(clean_env)
     chaos_env["REPRO_FAULTS"] = args.faults
     chaos_env["REPRO_SWEEP_RETRIES"] = CHAOS_RETRIES
@@ -208,20 +279,9 @@ def _orchestrate(args) -> int:
         _child_command(args, journal, chaos_digest, resume=False),
         env=chaos_env,
     )
-    killed = False
-    deadline = time.monotonic() + args.phase_timeout
-    while child.poll() is None:
-        if _count_journal_cells(journal) >= args.kill_after:
-            child.send_signal(signal.SIGKILL)
-            killed = True
-            break
-        if time.monotonic() > deadline:
-            child.send_signal(signal.SIGKILL)
-            child.wait()
-            raise SystemExit("[chaos] FAIL: faulted run hung past the "
-                             f"{args.phase_timeout}s phase timeout")
-        time.sleep(0.02)
-    child.wait()
+    killed = _kill_when_journaled(
+        child, journal, args.kill_after, args.phase_timeout
+    )
     summary["killed_mid_run"] = killed
     summary["cells_at_kill"] = _count_journal_cells(journal)
     if killed:
@@ -252,6 +312,176 @@ def _orchestrate(args) -> int:
     return 0
 
 
+def _vandalise(
+    cache: Path, golden_cache: Path, journal: Path, dead_pid: int
+) -> dict:
+    """Damage the storm's survivors the way real failures would.
+
+    Flips one bit inside a cached trace store's data pages (bit rot the
+    header cannot reveal), deletes another store outright (resume must
+    fall back to re-deriving it from the generator), appends a block of
+    torn lines to the journal (to force it past the compaction
+    threshold), and plants an orphaned tmp file plus a stale lock
+    recording the dead child as holder.  If the storm's disk faults
+    prevented every store save (each degraded to a heap trace), healthy
+    stores are first copied in from the golden cache -- the cache key is
+    deterministic, so the filenames match -- to guarantee the bitflip
+    victim exists.  Returns what was done, for the drill summary.
+    """
+    import shutil
+
+    acts: dict = {"bitflipped": None, "deleted": None}
+    stores = sorted(cache.glob("*.mlt"))
+    if not stores:
+        for source in sorted(golden_cache.glob("*.mlt")):
+            shutil.copy2(source, cache / source.name)
+        stores = sorted(cache.glob("*.mlt"))
+        acts["reseeded_from_golden"] = [p.name for p in stores]
+    if stores:
+        victim = stores[0]
+        size = victim.stat().st_size
+        with open(victim, "r+b") as handle:
+            handle.seek(size - 9)  # inside the addresses segment
+            byte = handle.read(1)
+            handle.seek(size - 9)
+            handle.write(bytes([byte[0] ^ 0x40]))
+        acts["bitflipped"] = victim.name
+    if len(stores) > 1:
+        stores[1].unlink()
+        acts["deleted"] = stores[1].name
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write('{"t": "cell", "kind": "functional", "torn\n' * 80)
+    acts["torn_journal_lines"] = 80
+    (cache / f"vandal.mlt.tmp-{dead_pid}-0").write_bytes(b"\x00" * 128)
+    from repro.resilience.integrity import boot_id
+
+    (cache / "vandal.lock").write_text(json.dumps(
+        {"pid": dead_pid, "boot_id": boot_id(), "name": "vandal"}
+    ) + "\n")
+    return acts
+
+
+def _orchestrate_storage(args) -> int:
+    """The storage drill: disk-fault storm -> vandalism -> doctor -> resume."""
+    import dataclasses
+
+    from repro.resilience import doctor as doctor_mod
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    cache = out / "storage-cache"
+    journal = out / "storage.journal.jsonl"
+    faults = (
+        args.faults if args.faults != DEFAULT_FAULTS else DEFAULT_STORAGE_FAULTS
+    )
+    summary = {
+        "drill": "storage",
+        "faults": faults,
+        "records": args.records,
+        "kill_after_cells": args.kill_after,
+    }
+
+    clean_env = _clean_env()
+    golden_env = dict(clean_env)
+    golden_env["REPRO_TRACE_CACHE"] = str(out / "golden-cache")
+    storm_env = dict(clean_env)
+    storm_env["REPRO_TRACE_CACHE"] = str(cache)
+    storm_env["REPRO_FAULTS"] = faults
+    storm_env["REPRO_SWEEP_RETRIES"] = CHAOS_RETRIES
+    resume_env = dict(storm_env)
+    resume_env["REPRO_FAULTS"] = RESUME_FAULTS
+    if args.workers:
+        storm_env["REPRO_SWEEP_WORKERS"] = str(args.workers)
+        resume_env["REPRO_SWEEP_WORKERS"] = str(args.workers)
+
+    print("[storage] golden run (no faults, pristine cache)...")
+    golden_file = out / "golden.digest"
+    subprocess.run(
+        _child_command(args, None, golden_file, resume=False, suite=True),
+        env=golden_env, check=True,
+    )
+    golden = golden_file.read_text().strip()
+
+    print(f"[storage] disk-fault storm (REPRO_FAULTS={faults}), "
+          f"killing after {args.kill_after} journaled cells...")
+    child = subprocess.Popen(
+        _child_command(args, journal, out / "storm.digest", resume=False,
+                       suite=True),
+        env=storm_env,
+    )
+    killed = _kill_when_journaled(
+        child, journal, args.kill_after, args.phase_timeout
+    )
+    summary["killed_mid_run"] = killed
+    summary["cells_at_kill"] = _count_journal_cells(journal)
+    print(f"[storage] storm over ({summary['cells_at_kill']} cells "
+          f"journaled); vandalising survivors...")
+    summary["vandalism"] = _vandalise(
+        cache, out / "golden-cache", journal, dead_pid=child.pid
+    )
+
+    # The killed child's pool workers share its journal-lock file
+    # description until they notice the reparent and exit; give them a
+    # moment so the doctor sees a stale lock, not a held one.
+    from repro.resilience.integrity import probe_lock
+
+    lock_path = journal.with_name(journal.name + ".lock")
+    orphan_deadline = time.monotonic() + 15.0
+    while (probe_lock(lock_path) == "held"
+           and time.monotonic() < orphan_deadline):
+        time.sleep(0.1)
+
+    print("[storage] mlcache doctor --fix over the wreckage...")
+    findings = doctor_mod.scan([out])  # the cache dir nests under out
+    doctor_mod.repair(findings)
+    summary["doctor_findings"] = [dataclasses.asdict(f) for f in findings]
+    unfixed = [
+        f for f in findings if f.fixed is None and f.kind != "held_lock"
+    ]
+    summary["doctor_unfixed"] = len(unfixed)
+    for finding in findings:
+        print(f"[storage]   {finding.fixed or 'UNFIXED'}: "
+              f"{finding.kind} {finding.path}")
+
+    print("[storage] resumed run (worker faults only)...")
+    resumed_file = out / "resumed.digest"
+    subprocess.run(
+        _child_command(args, journal, resumed_file, resume=True, suite=True),
+        env=resume_env, check=True, timeout=args.phase_timeout,
+    )
+    resumed = resumed_file.read_text().strip()
+
+    quarantined = sorted(
+        str(p.relative_to(out))
+        for p in out.rglob("quarantine/*")
+        if not p.name.endswith(".reason.json")
+    )
+    summary["quarantined"] = quarantined
+    summary["golden_digest"] = golden
+    summary["resumed_digest"] = resumed
+    summary["identical"] = resumed == golden
+    (out / "storage-summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    failures = []
+    if resumed != golden:
+        failures.append(f"resumed digest {resumed[:16]}... != golden "
+                        f"{golden[:16]}...")
+    if unfixed:
+        failures.append(f"{len(unfixed)} doctor finding(s) unfixed")
+    if not quarantined:
+        failures.append("nothing was quarantined (the bitflipped store "
+                        "must never be silently read)")
+    if failures:
+        for failure in failures:
+            print(f"[storage] FAIL: {failure}")
+        return 1
+    print(f"[storage] PASS: doctor repaired {len(findings)} finding(s), "
+          f"{len(quarantined)} artifact(s) quarantined, resumed grid "
+          f"identical to golden ({golden[:16]}...), artefacts in {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.resilience.chaos",
@@ -271,6 +501,10 @@ def main(argv=None) -> int:
                              "(0 keeps the environment's setting)")
     parser.add_argument("--phase-timeout", type=float, default=600.0,
                         help="wall-clock limit per phase (hang detector)")
+    parser.add_argument("--storage", action="store_true",
+                        help="run the storage drill instead: disk-fault "
+                             "storm through the on-disk trace cache, "
+                             "vandalism, mlcache doctor --fix, resume")
     # Child-phase plumbing (not for interactive use).
     parser.add_argument("--phase", choices=["sweep"], default=None,
                         help=argparse.SUPPRESS)
@@ -280,9 +514,13 @@ def main(argv=None) -> int:
                         help=argparse.SUPPRESS)
     parser.add_argument("--digest-file", type=Path, default=None,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--suite", action="store_true",
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
     if args.phase == "sweep":
         return _run_sweep(args)
+    if args.storage:
+        return _orchestrate_storage(args)
     return _orchestrate(args)
 
 

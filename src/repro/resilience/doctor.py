@@ -1,0 +1,290 @@
+"""``mlcache doctor``: scan artifact directories, report damage, repair.
+
+The durable artifact layer (:mod:`repro.resilience.integrity`) makes
+normal operation crash-safe, but crashes still leave *residue* -- an
+orphaned ``.tmp-`` file from a rename that never committed, a stale lock
+record from a SIGKILLed sweep, a journal bloated with superseded cells
+-- and hardware can rot bytes no crash discipline prevents.  The doctor
+is the offline sweep over that residue:
+
+* **Trace stores** (``*.mlt``): header parse + full per-segment digest
+  verification.  Corrupt stores are quarantined on ``--fix`` (the
+  workload cache rebuilds them on next use; a corrupt store is *never*
+  deleted, and never read again from its poisoned path).
+* **Checkpoint journals** (``*.journal.jsonl``): live/dead cell counts
+  via the same torn-line/checksum rules resume uses.  ``--fix``
+  compacts journals whose dead records outnumber live cells.
+* **JSON artifacts** (``*.json``): parseability.  Unparseable manifests
+  and summaries are quarantined on ``--fix`` (atomic writes make these
+  impossible to tear going forward; damage means bit rot or a legacy
+  writer).
+* **Atomic-write orphans** (``*.tmp-*``): always junk by construction
+  -- a committed write renames its tmp away.  Removed on ``--fix``.
+* **Locks** (``*.lock``): classified via flock probe + holder record as
+  held (a live sweep -- left alone), stale (holder died; removed on
+  ``--fix``) or free residue (harmless, ignored).
+
+Quarantine directories are never descended into.  Exit status: 0 when
+the tree is healthy (or everything found was fixed), 1 when issues
+remain.  ``--json`` emits the findings machine-readably; CI runs the
+doctor over the repo's own ``results/`` as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from repro.resilience.integrity import (
+    QUARANTINE_DIR,
+    LockHeldError,
+    holder_record,
+    is_tmp_artifact,
+    probe_lock,
+    quarantine,
+)
+
+__all__ = ["Finding", "scan", "repair", "main"]
+
+
+@dataclass
+class Finding:
+    """One problem (or fix) the doctor has to report."""
+
+    path: str
+    kind: str  # corrupt_store | journal_bloat | corrupt_json | orphan_tmp | stale_lock | held_lock | unreadable
+    detail: str
+    #: Whether ``--fix`` knows a repair for this finding.
+    fixable: bool = True
+    #: Action taken by ``--fix`` (``quarantined``/``compacted``/
+    #: ``removed``), or ``None`` when unfixed.
+    fixed: Optional[str] = None
+
+
+def _walk(root: Path) -> Iterator[Path]:
+    """Every file under ``root``, skipping quarantine directories."""
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        if QUARANTINE_DIR in path.parent.parts:
+            continue
+        yield path
+
+
+def _journal_health(path: Path) -> tuple:
+    """(live, dead) cell counts using resume's own tolerance rules."""
+    # Local import to reuse the exact checksum logic.
+    from repro.resilience.journal import _payload_checksum
+
+    live: dict = {}
+    dead = 0
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            dead += 1
+            continue
+        if not isinstance(record, dict) or record.get("t") != "cell":
+            continue
+        payload_text = json.dumps(record.get("payload"), sort_keys=True)
+        if record.get("sum") != _payload_checksum(payload_text):
+            dead += 1
+            continue
+        if record.get("key") in live:
+            dead += 1
+        live[record.get("key")] = True
+    return len(live), dead
+
+
+def _examine(path: Path) -> Optional[Finding]:
+    name = path.name
+    if is_tmp_artifact(path):
+        return Finding(
+            str(path), "orphan_tmp",
+            "orphaned atomic-write temporary (a committed write renames "
+            "its tmp away; this one's writer died first)",
+        )
+    if name.endswith(".lock"):
+        state = probe_lock(path)
+        if state == "held":
+            holder = holder_record(path) or {}
+            return Finding(
+                str(path), "held_lock",
+                f"lock held by live pid {holder.get('pid')} "
+                f"({holder.get('name') or 'unnamed'}) -- not an error, "
+                f"another sweep is running",
+                fixable=False,
+            )
+        if state == "stale":
+            holder = holder_record(path) or {}
+            return Finding(
+                str(path), "stale_lock",
+                f"holder pid {holder.get('pid')} is dead "
+                f"(boot {str(holder.get('boot_id'))[:8]}); safe to remove",
+            )
+        return None
+    if name.endswith(".mlt"):
+        from repro.trace.store import StoreCorruptError, TraceStore
+
+        try:
+            TraceStore.open(path, verify=True)
+        except StoreCorruptError as error:
+            return Finding(str(path), "corrupt_store", str(error))
+        except ValueError as error:  # unsupported version: report, no fix
+            return Finding(str(path), "unreadable", str(error), fixable=False)
+        except OSError as error:
+            return Finding(str(path), "unreadable", str(error), fixable=False)
+        return None
+    if name.endswith(".journal.jsonl"):
+        try:
+            live, dead = _journal_health(path)
+        except OSError as error:
+            return Finding(str(path), "unreadable", str(error), fixable=False)
+        if dead and dead >= max(1, live):
+            return Finding(
+                str(path), "journal_bloat",
+                f"{dead} dead records vs {live} live cells "
+                f"(torn lines, checksum failures, superseded duplicates); "
+                f"compaction will drop them",
+            )
+        return None
+    if name.endswith(".json"):
+        try:
+            json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            return Finding(
+                str(path), "corrupt_json", f"unparseable JSON: {error}"
+            )
+        except OSError as error:
+            return Finding(str(path), "unreadable", str(error), fixable=False)
+        return None
+    return None
+
+
+def scan(roots: List[Path]) -> List[Finding]:
+    """Examine every artifact under ``roots``; one finding per problem."""
+    findings: List[Finding] = []
+    for root in roots:
+        if not root.exists():
+            continue
+        for path in _walk(root):
+            finding = _examine(path)
+            if finding is not None:
+                findings.append(finding)
+    return findings
+
+
+def repair(findings: List[Finding]) -> None:
+    """Apply the known repair for each fixable finding, in place."""
+    for finding in findings:
+        if not finding.fixable:
+            continue
+        path = Path(finding.path)
+        try:
+            if finding.kind in ("corrupt_store", "corrupt_json"):
+                if quarantine(path, finding.detail) is not None:
+                    finding.fixed = "quarantined"
+            elif finding.kind == "journal_bloat":
+                from repro.resilience.journal import SweepJournal
+
+                journal = SweepJournal(path, resume=True)
+                try:
+                    # Resume may have auto-compacted already; compact()
+                    # is then a cheap no-op rewrite of live cells.
+                    journal.compact()
+                finally:
+                    journal.close()
+                finding.fixed = "compacted"
+            elif finding.kind in ("orphan_tmp", "stale_lock"):
+                path.unlink(missing_ok=True)
+                finding.fixed = "removed"
+        except (OSError, LockHeldError) as error:
+            # Fix failed (e.g. a sweep grabbed the journal between scan
+            # and repair); leave the finding open rather than crash.
+            finding.detail += f" (fix failed: {error})"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mlcache doctor",
+        description=(
+            "Scan artifact directories (trace stores, journals, "
+            "manifests, locks, tmp files) for corruption and crash "
+            "residue; repair with --fix."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, default=None,
+        help="directories or files to scan (default: results/ and the "
+        "workload trace cache, when present)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="repair what can be repaired: quarantine corrupt stores and "
+        "JSON, compact bloated journals, remove orphaned tmp files and "
+        "stale locks",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    roots = list(args.paths or [])
+    if not roots:
+        roots = [Path("results")]
+        from repro.experiments.workloads import trace_cache_dir
+
+        cache = trace_cache_dir()
+        if cache is not None:
+            roots.append(cache)
+    findings = scan(roots)
+    if args.fix:
+        repair(findings)
+
+    unfixed = [
+        f for f in findings
+        if f.fixed is None and f.kind != "held_lock"
+    ]
+    if args.as_json:
+        print(json.dumps(
+            {
+                "roots": [str(root) for root in roots],
+                "findings": [dataclasses.asdict(f) for f in findings],
+                "unfixed": len(unfixed),
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for finding in findings:
+            status = finding.fixed or (
+                "info" if not finding.fixable or finding.kind == "held_lock"
+                else "UNFIXED"
+            )
+            print(f"[{status}] {finding.kind}: {finding.path}")
+            print(f"    {finding.detail}")
+        scanned = ", ".join(str(root) for root in roots)
+        if not findings:
+            print(f"doctor: scanned {scanned}: all artifacts healthy")
+        else:
+            print(
+                f"doctor: scanned {scanned}: {len(findings)} finding(s), "
+                f"{len(unfixed)} unfixed"
+                + ("" if args.fix else " (re-run with --fix to repair)")
+            )
+    return 1 if unfixed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,11 +19,25 @@ Faults:
   perturbed in a way the audit invariants of :mod:`repro.audit` must
   catch (run chaos workloads with ``REPRO_AUDIT=1``).
 
+Disk faults (consumed by the atomic-write primitive of
+:mod:`repro.resilience.integrity`, not by the cell evaluator):
+
+* ``torn_write`` -- the temporary file is truncated mid-payload and the
+  write raises, modelling a crash between ``write`` and ``rename``;
+* ``enospc`` -- the write raises ``OSError(ENOSPC)`` after a partial
+  payload, modelling a full disk;
+* ``rename_fail`` -- the payload lands completely but the commit rename
+  raises, leaving an orphaned ``.tmp-`` file;
+* ``bitflip`` -- one bit of the payload is silently flipped before the
+  commit, modelling bit rot that only digest verification can catch.
+
 Injection is *deterministic*: whether fault ``f`` fires for a given cell
 on a given attempt is a pure function of ``(REPRO_FAULTS_SEED, f, cell
 signature, attempt)``, hashed to a uniform draw.  The pattern is
 therefore reproducible across runs and independent of worker scheduling,
-while retries of the same cell still get fresh draws.
+while retries of the same cell still get fresh draws.  (Disk faults use
+a per-process write sequence number as the attempt, so repeated writes
+to the same path also get fresh draws.)
 """
 
 from __future__ import annotations
@@ -41,8 +55,15 @@ FAULTS_ENV = "REPRO_FAULTS"
 SEED_ENV = "REPRO_FAULTS_SEED"
 HANG_ENV = "REPRO_FAULTS_HANG_S"
 
+#: Disk faults, applied inside the atomic-write primitive
+#: (:mod:`repro.resilience.integrity`) rather than around cell
+#: evaluation.
+DISK_FAULT_KINDS = ("torn_write", "enospc", "rename_fail", "bitflip")
+
 #: Recognised fault names.
-FAULT_KINDS = ("worker_raise", "worker_hang", "worker_kill", "corrupt_result")
+FAULT_KINDS = (
+    "worker_raise", "worker_hang", "worker_kill", "corrupt_result",
+) + DISK_FAULT_KINDS
 
 #: Defaults mirrored from the envcfg registry (kept as module constants
 #: for the :meth:`FaultPlan.parse` signature, which is env-independent).

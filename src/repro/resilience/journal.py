@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.stats import CacheStats
+from repro.resilience.integrity import AdvisoryLock
 from repro.sim.functional import FunctionalResult
 from repro.sim.timing import TimingResult
 
@@ -56,6 +57,19 @@ SCHEMA = 1
 #: land without one.  Bounds the machine-crash loss window; process
 #: crashes lose nothing (every record is flushed).
 FSYNC_EVERY = 16
+
+#: Resume auto-compacts when the journal carries at least this many dead
+#: records *and* they outnumber the live cells -- long kill/resume
+#: chains then stay O(live cells) instead of accreting every torn line
+#: and superseded duplicate forever.
+AUTO_COMPACT_MIN_DEAD = 64
+
+#: Grace period when acquiring the journal's writer lock.  A SIGKILLed
+#: sweep's pool workers share its lock file description until they
+#: notice the reparent and exit; a few seconds of patience lets an
+#: immediate ``--resume`` ride that window out, while a journal held by
+#: a genuinely live sweep still fails fast with the holder's identity.
+LOCK_GRACE_S = 5.0
 
 
 def journal_digest(kind: str, key: Tuple) -> str:
@@ -155,7 +169,21 @@ class SweepJournal:
         self.recorded = 0
         #: Records flushed but not yet fsynced (group commit).
         self._unsynced = 0
+        #: Dead records seen at load: torn lines, checksum failures, and
+        #: cells superseded by a later record for the same key.  Feeds
+        #: the auto-compaction heuristic and ``mlcache doctor``.
+        self.dead = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One journal, one writer: concurrent sweeps appending to the
+        # same file would interleave records and corrupt each other's
+        # resume state, so a second opener fails fast (LockHeldError
+        # names the holder).  The flock dies with the process -- a
+        # SIGKILLed sweep never wedges its successor.
+        self._lock = AdvisoryLock(
+            self.path.with_name(self.path.name + ".lock"),
+            name=f"journal:{name or self.path.stem}",
+        )
+        self._lock.acquire(timeout_s=LOCK_GRACE_S)
         if resume and self.path.exists():
             self._load()
         # "a" positions at end-of-file, so tell() doubles as a size check;
@@ -165,6 +193,10 @@ class SweepJournal:
             self._append(
                 {"t": "header", "schema": SCHEMA, "name": name, "pid": os.getpid()}
             )
+        elif resume and self.dead >= max(
+            AUTO_COMPACT_MIN_DEAD, len(self._restorable)
+        ):
+            self.compact()
 
     def _load(self) -> None:
         for line in self.path.read_text(encoding="utf-8").splitlines():
@@ -174,13 +206,17 @@ class SweepJournal:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                self.dead += 1
                 continue  # torn write from a killed process
             if record.get("t") != "cell":
                 continue
             payload = record.get("payload")
             payload_text = json.dumps(payload, sort_keys=True)
             if record.get("sum") != _payload_checksum(payload_text):
+                self.dead += 1
                 continue
+            if record["key"] in self._restorable:
+                self.dead += 1  # the earlier record is now superseded
             self._restorable[record["key"]] = (record["kind"], payload)
 
     def _append(self, record: Dict) -> None:
@@ -261,10 +297,69 @@ class SweepJournal:
     def restorable_cells(self) -> int:
         return len(self._restorable)
 
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the journal to just its live cells, atomically.
+
+        Builds a fresh segment (header + one record per restorable cell,
+        insertion order) and swaps it in with the atomic-write primitive
+        -- a crash at any instant leaves either the old segment or the
+        new one fully valid, never a blend.  If the swap itself fails
+        (ENOSPC, injected ``rename_fail``), the old segment is untouched
+        and appending resumes on it.  Returns the number of dead records
+        dropped.
+        """
+        from repro.resilience.integrity import atomic_writer
+
+        self.sync()
+        self._handle.close()
+        lines = [
+            json.dumps(
+                {
+                    "t": "header",
+                    "schema": SCHEMA,
+                    "name": self.name,
+                    "pid": os.getpid(),
+                    "compacted": True,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        ]
+        for digest, (kind, payload) in self._restorable.items():
+            payload_text = json.dumps(payload, sort_keys=True)
+            lines.append(
+                json.dumps(
+                    {
+                        "t": "cell",
+                        "kind": kind,
+                        "key": digest,
+                        "trace": payload.get("trace_name", ""),
+                        "sum": _payload_checksum(payload_text),
+                        "payload": payload,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        dropped = self.dead
+        try:
+            with atomic_writer(self.path) as handle:
+                handle.write("".join(lines).encode("utf-8"))
+        finally:
+            # Success: append to the fresh segment.  Failure: the old
+            # segment was never touched (the damage, if any, is on the
+            # orphaned tmp file), so appending there stays correct.
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self.dead = 0
+        return dropped
+
     def close(self) -> None:
         if not self._handle.closed:
             self.sync()
             self._handle.close()
+        self._lock.release()
 
 
 # -- activation --------------------------------------------------------------

@@ -54,6 +54,7 @@ from repro.trace.record import Trace, _derived_free_metadata
 
 __all__ = [
     "STORE_SUFFIX",
+    "StoreCorruptError",
     "TraceStore",
     "trace_content_digest",
     "replay_chunk_records",
@@ -80,9 +81,35 @@ STORE_PATH_SLOT = "_store_path"
 #: residency to ~9 MB regardless of trace length.
 _HASH_CHUNK_RECORDS = 1 << 20
 
+#: Upper bound on a plausible header length; anything larger means the
+#: length field itself is damaged (reading it as a size would try to
+#: allocate garbage).
+_MAX_HEADER_BYTES = 1 << 20
+
+
+class StoreCorruptError(ValueError):
+    """A store file is damaged: torn header, truncated segments, bad
+    digest, or not a store at all.
+
+    Subclasses :class:`ValueError` so callers of the original untyped
+    errors keep working; integrity-aware callers (the workload disk
+    cache, ``mlcache doctor``) catch this type specifically to
+    quarantine the file and rebuild instead of crashing the sweep.
+    ``FileNotFoundError`` and "unsupported store version" are *not*
+    corruption and stay distinct.
+    """
+
 
 def _align(offset: int, boundary: int) -> int:
     return (offset + boundary - 1) // boundary * boundary
+
+
+def _hash_array(array: np.ndarray) -> str:
+    """Chunked SHA-256 of one raw segment (memmap-safe residency)."""
+    hasher = hashlib.sha256()
+    for start in range(0, len(array), _HASH_CHUNK_RECORDS):
+        hasher.update(array[start : start + _HASH_CHUNK_RECORDS].tobytes())
+    return hasher.hexdigest()
 
 
 def content_digest(kinds: np.ndarray, addresses: np.ndarray) -> str:
@@ -138,17 +165,29 @@ class TraceStore:
     digest: str
     kinds_offset: int
     addresses_offset: int
+    #: Per-segment digests; ``None`` on stores written before they were
+    #: recorded (verification then falls back to the combined digest).
+    kinds_digest: Optional[str] = None
+    addresses_digest: Optional[str] = None
 
     @classmethod
     def save(cls, trace: Trace, path) -> "TraceStore":
-        """Write ``trace`` to ``path`` in the store format.
+        """Write ``trace`` to ``path`` in the store format, atomically.
 
         Derived metadata is dropped (as with :meth:`Trace.save`) except
         for the content digest, which the format records explicitly --
-        reusing a cached digest when the trace carries one.
+        reusing a cached digest when the trace carries one.  The bytes
+        land via the atomic-write primitive (tmp + fsync + rename), so a
+        crash mid-save never leaves a torn store at ``path``.
         """
+        # Lazy: the resilience package init pulls in sim modules; a
+        # top-level import here would close that cycle.
+        from repro.resilience.integrity import atomic_writer
+
         path = Path(path)
         digest = trace_content_digest(trace)
+        kinds_digest = _hash_array(trace.kinds)
+        addresses_digest = _hash_array(trace.addresses)
         metadata = _derived_free_metadata(trace.metadata)
         header = {
             "version": _VERSION,
@@ -157,6 +196,8 @@ class TraceStore:
             "name": trace.name,
             "metadata": metadata,
             "digest": digest,
+            "kinds_digest": kinds_digest,
+            "addresses_digest": addresses_digest,
         }
         # Two-pass header sizing: offsets depend on the header length,
         # which depends on the offsets' digit count.  The first pass uses
@@ -173,7 +214,7 @@ class TraceStore:
         if len(blob) > kinds_offset - 16:
             raise AssertionError("store header overflowed its reserved space")
         blob += b" " * (kinds_offset - 16 - len(blob))
-        with open(path, "wb") as handle:
+        with atomic_writer(path) as handle:
             handle.write(_MAGIC)
             handle.write(len(blob).to_bytes(8, "little"))
             handle.write(blob)
@@ -189,40 +230,130 @@ class TraceStore:
             digest=digest,
             kinds_offset=kinds_offset,
             addresses_offset=addresses_offset,
+            kinds_digest=kinds_digest,
+            addresses_digest=addresses_digest,
         )
 
     @classmethod
-    def open(cls, path) -> "TraceStore":
-        """Parse a store file's header; O(1) in the trace length."""
+    def open(cls, path, verify: bool = False) -> "TraceStore":
+        """Parse a store file's header; O(1) in the trace length.
+
+        Any damage -- wrong magic, torn or unparseable header, segment
+        offsets pointing past end of file -- raises
+        :class:`StoreCorruptError`.  ``verify=True`` additionally
+        re-hashes the data segments against the recorded digests (O(n),
+        the only way to catch bit rot inside the segments).
+        ``FileNotFoundError`` propagates unchanged, and a parseable
+        header with an unknown version raises plain :class:`ValueError`
+        (that file is healthy, just newer than this reader).
+        """
         path = Path(path)
         with open(path, "rb") as handle:
             magic = handle.read(8)
             if magic != _MAGIC:
-                raise ValueError(f"{path} is not a trace store (bad magic)")
-            (length,) = (int.from_bytes(handle.read(8), "little"),)
-            header = json.loads(handle.read(length))
+                raise StoreCorruptError(
+                    f"{path} is not a trace store (bad magic)"
+                )
+            raw_length = handle.read(8)
+            if len(raw_length) < 8:
+                raise StoreCorruptError(f"{path}: truncated store header")
+            length = int.from_bytes(raw_length, "little")
+            if length > _MAX_HEADER_BYTES:
+                raise StoreCorruptError(
+                    f"{path}: implausible header length {length}"
+                )
+            blob = handle.read(length)
+            if len(blob) < length:
+                raise StoreCorruptError(f"{path}: truncated store header")
+        try:
+            header = json.loads(blob)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise StoreCorruptError(
+                f"{path}: corrupt store header (unparseable JSON)"
+            ) from None
+        if not isinstance(header, dict):
+            raise StoreCorruptError(
+                f"{path}: corrupt store header (not an object)"
+            )
         if header.get("version") != _VERSION:
             raise ValueError(
                 f"{path}: unsupported store version {header.get('version')!r}"
             )
-        records = int(header["records"])
-        addresses_offset = int(header["addresses_offset"])
+        try:
+            records = int(header["records"])
+            warmup = int(header["warmup"])
+            name = str(header["name"])
+            metadata = dict(header["metadata"])
+            digest = str(header["digest"])
+            kinds_offset = int(header["kinds_offset"])
+            addresses_offset = int(header["addresses_offset"])
+        except (KeyError, TypeError, ValueError):
+            raise StoreCorruptError(
+                f"{path}: corrupt store header (missing or malformed fields)"
+            ) from None
+        if (
+            records < 0
+            or kinds_offset < 16
+            or addresses_offset < kinds_offset + records
+        ):
+            raise StoreCorruptError(
+                f"{path}: corrupt store header (inconsistent layout)"
+            )
         expected = addresses_offset + 8 * records
         actual = path.stat().st_size
         if actual < expected:
-            raise ValueError(
+            raise StoreCorruptError(
                 f"{path}: truncated store ({actual} bytes, need {expected})"
             )
-        return cls(
+        store = cls(
             path=path,
             records=records,
-            warmup=int(header["warmup"]),
-            name=str(header["name"]),
-            metadata=dict(header["metadata"]),
-            digest=str(header["digest"]),
-            kinds_offset=int(header["kinds_offset"]),
+            warmup=warmup,
+            name=name,
+            metadata=metadata,
+            digest=digest,
+            kinds_offset=kinds_offset,
             addresses_offset=addresses_offset,
+            kinds_digest=header.get("kinds_digest"),
+            addresses_digest=header.get("addresses_digest"),
         )
+        if verify:
+            store.verify()
+        return store
+
+    def verify(self) -> None:
+        """Re-hash the data segments against the recorded digests.
+
+        Per-segment digests (recorded by current writers) pinpoint which
+        segment rotted; legacy stores without them fall back to the
+        combined content digest.  Raises :class:`StoreCorruptError`
+        naming the first mismatching segment.  Chunked hashing over the
+        memmaps keeps residency bounded.
+        """
+        kinds = np.memmap(
+            self.path, dtype=np.uint8, mode="r",
+            offset=self.kinds_offset, shape=(self.records,),
+        )
+        addresses = np.memmap(
+            self.path, dtype=np.uint64, mode="r",
+            offset=self.addresses_offset, shape=(self.records,),
+        )
+        if self.kinds_digest is not None and self.addresses_digest is not None:
+            if _hash_array(kinds) != self.kinds_digest:
+                raise StoreCorruptError(
+                    f"{self.path}: kinds segment digest mismatch "
+                    f"(bit rot or torn write)"
+                )
+            if _hash_array(addresses) != self.addresses_digest:
+                raise StoreCorruptError(
+                    f"{self.path}: addresses segment digest mismatch "
+                    f"(bit rot or torn write)"
+                )
+        elif content_digest(kinds, addresses) != self.digest:
+            raise StoreCorruptError(
+                f"{self.path}: content digest mismatch "
+                f"(legacy store, combined digest)"
+            )
 
     def as_trace(self) -> Trace:
         """A trace whose arrays are read-only memmap views of the file.

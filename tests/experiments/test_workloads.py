@@ -106,3 +106,108 @@ class TestSuite:
         assert store_path.exists()  # re-saved in the store format
         assert np.array_equal(migrated[0].addresses, built[0].addresses)
         assert migrated[0].warmup == built[0].warmup
+
+
+class TestCacheResilience:
+    """Damage to the disk cache is a *miss* -- quarantined, rebuilt,
+    logged -- never a crash and never silently read."""
+
+    RECORDS = 4_100  # distinct cache key from the other suite tests
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        from repro.experiments import workloads
+
+        workloads._memory_cache.clear()
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        self.cache = tmp_path
+        yield
+        workloads._memory_cache.clear()
+
+    def _clear_memory(self):
+        from repro.experiments import workloads
+
+        workloads._memory_cache.clear()
+
+    def _build(self):
+        return paper_trace_suite(records=self.RECORDS, count=1)
+
+    def test_bitrotted_entry_is_quarantined_and_rebuilt(self, caplog):
+        import logging
+
+        (built,) = self._build()
+        # Copy out of the memmap before damaging its backing inode.
+        expected = np.array(built.addresses)
+        (store_path,) = self.cache.glob("trace-*.mlt")
+        blob = bytearray(store_path.read_bytes())
+        blob[-5] ^= 0x01  # rot inside the addresses segment
+        store_path.write_bytes(bytes(blob))
+        self._clear_memory()
+
+        with caplog.at_level(logging.WARNING, "repro.experiments.workloads"):
+            (rebuilt,) = self._build()
+        assert "trace-cache-corrupt" in caplog.text
+        assert "quarantine-and-rebuild" in caplog.text
+        # The poisoned bytes were preserved as evidence, never re-read...
+        jailed = [
+            p for p in (self.cache / "quarantine").iterdir()
+            if not p.name.endswith(".reason.json")
+        ]
+        assert len(jailed) == 1
+        # ...and the rebuilt store is the same deterministic trace.
+        assert store_path.exists()
+        assert np.array_equal(rebuilt.addresses, expected)
+
+    def test_torn_entry_is_quarantined_and_rebuilt(self):
+        (built,) = self._build()
+        expected = np.array(built.addresses)
+        (store_path,) = self.cache.glob("trace-*.mlt")
+        store_path.write_bytes(store_path.read_bytes()[:20])
+        self._clear_memory()
+        (rebuilt,) = self._build()
+        assert np.array_equal(rebuilt.addresses, expected)
+        assert (self.cache / "quarantine").exists()
+
+    def test_failed_save_degrades_to_heap(self, caplog, monkeypatch):
+        import logging
+
+        monkeypatch.setenv("REPRO_FAULTS", "rename_fail:1.0")
+        with caplog.at_level(logging.WARNING, "repro.experiments.workloads"):
+            (trace,) = self._build()
+        assert "trace-cache-save-failed" in caplog.text
+        assert "degrade-to-heap" in caplog.text
+        # The sweep proceeds on the heap trace; no torn store was
+        # published (the damage sits on an orphaned tmp for doctor).
+        assert not isinstance(trace.addresses, np.memmap)
+        assert not list(self.cache.glob("trace-*.mlt"))
+        assert len(trace) == self.RECORDS
+
+    def test_corrupted_save_is_caught_by_the_reopen(self, caplog, monkeypatch):
+        """An injected bitflip lands *during* the write; the post-save
+        verify catches it because the header digests were hashed from
+        the in-memory arrays before the bytes hit disk."""
+        import logging
+
+        monkeypatch.setenv("REPRO_FAULTS", "bitflip:1.0")
+        with caplog.at_level(logging.WARNING, "repro.experiments.workloads"):
+            (trace,) = self._build()
+        assert "trace-cache-publish-corrupt" in caplog.text
+        assert not isinstance(trace.addresses, np.memmap)  # known-good heap
+        jailed = list((self.cache / "quarantine").iterdir())
+        assert jailed  # the poisoned store, preserved
+        assert not list(self.cache.glob("trace-*.mlt"))
+
+    def test_deleted_store_re_derives_instead_of_aborting(self, caplog):
+        import logging
+
+        (built,) = self._build()
+        (store_path,) = self.cache.glob("trace-*.mlt")
+        store_path.unlink()  # e.g. cache dir pruned between run and resume
+        with caplog.at_level(logging.WARNING, "repro.experiments.workloads"):
+            (rederived,) = self._build()
+        assert "trace-suite-store-missing" in caplog.text
+        assert "re-derive" in caplog.text
+        assert store_path.exists()  # rebuilt from the generator
+        assert np.array_equal(rederived.addresses, built.addresses)
+        assert rederived.warmup == built.warmup

@@ -1,0 +1,194 @@
+"""``mlcache doctor``: scanning artifact trees, classifying damage,
+repairing with ``--fix``."""
+
+import json
+
+import pytest
+
+from repro.resilience.doctor import main, scan
+from repro.resilience.integrity import AdvisoryLock, boot_id
+from repro.resilience.journal import _payload_checksum
+from repro.trace.store import TraceStore
+
+DEAD_PID = 2 ** 22 + 1  # beyond pid_max on Linux: never a live process
+
+
+def _journal_text(live_payloads, torn_lines=0):
+    lines = [
+        json.dumps({"t": "header", "schema": 1, "name": "t", "pid": 1}) + "\n"
+    ]
+    for index, payload in enumerate(live_payloads):
+        text = json.dumps(payload, sort_keys=True)
+        lines.append(
+            json.dumps(
+                {
+                    "t": "cell",
+                    "kind": "functional",
+                    "key": f"cell-{index}",
+                    "trace": "t",
+                    "sum": _payload_checksum(text),
+                    "payload": payload,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    lines.extend('{"t": "cell", "kind": "functional", "to\n' * torn_lines)
+    return "".join(lines)
+
+
+@pytest.fixture
+def wreckage(tmp_path, tiny_traces):
+    """An artifact tree with one of every kind of damage (and some
+    healthy artifacts that must be left alone)."""
+    root = tmp_path / "results"
+    root.mkdir()
+
+    paths = {}
+    paths["healthy_store"] = root / "good.mlt"
+    TraceStore.save(tiny_traces[0], paths["healthy_store"])
+
+    paths["corrupt_store"] = root / "rotten.mlt"
+    TraceStore.save(tiny_traces[0], paths["corrupt_store"])
+    blob = bytearray(paths["corrupt_store"].read_bytes())
+    blob[-9] ^= 0x40  # one bit in the addresses segment
+    paths["corrupt_store"].write_bytes(bytes(blob))
+
+    paths["truncated_store"] = root / "torn.mlt"
+    paths["truncated_store"].write_bytes(b"MLCT")
+
+    paths["healthy_json"] = root / "summary.json"
+    paths["healthy_json"].write_text('{"ok": true}')
+
+    paths["corrupt_json"] = root / "manifest.json"
+    paths["corrupt_json"].write_text('{"experiment": "F5-1", "resu')
+
+    paths["orphan_tmp"] = root / "save.mlt.tmp-4242-0"
+    paths["orphan_tmp"].write_bytes(b"half a store")
+
+    paths["stale_lock"] = root / "dead.lock"
+    paths["stale_lock"].write_text(
+        json.dumps({"pid": DEAD_PID, "boot_id": boot_id(), "name": "ghost"})
+    )
+
+    paths["released_lock"] = root / "clean.lock"
+    paths["released_lock"].write_text("")  # blank record: clean release
+
+    paths["bloated_journal"] = root / "sweep.journal.jsonl"
+    paths["bloated_journal"].write_text(
+        _journal_text([{"x": 1}, {"x": 2}], torn_lines=3)
+    )
+
+    # Already-quarantined damage is never re-reported.
+    jail = root / "quarantine"
+    jail.mkdir()
+    (jail / "old.mlt.99-0").write_bytes(b"previously quarantined garbage")
+
+    return root, paths
+
+
+class TestScan:
+    def test_healthy_tree_scans_clean(self, tmp_path, tiny_traces):
+        root = tmp_path / "results"
+        root.mkdir()
+        TraceStore.save(tiny_traces[0], root / "good.mlt")
+        (root / "summary.json").write_text('{"ok": true}')
+        (root / "clean.lock").write_text("")
+        assert scan([root]) == []
+
+    def test_classifies_every_kind_of_damage(self, wreckage):
+        root, paths = wreckage
+        by_path = {f.path: f for f in scan([root])}
+        assert by_path[str(paths["corrupt_store"])].kind == "corrupt_store"
+        assert by_path[str(paths["truncated_store"])].kind == "corrupt_store"
+        assert by_path[str(paths["corrupt_json"])].kind == "corrupt_json"
+        assert by_path[str(paths["orphan_tmp"])].kind == "orphan_tmp"
+        assert by_path[str(paths["stale_lock"])].kind == "stale_lock"
+        assert by_path[str(paths["bloated_journal"])].kind == "journal_bloat"
+        # Healthy artifacts, clean lock residue and the quarantine
+        # directory produce no findings.
+        assert len(by_path) == 6
+
+    def test_corrupt_store_detail_names_the_damage(self, wreckage):
+        root, paths = wreckage
+        (finding,) = [
+            f for f in scan([root]) if f.path == str(paths["corrupt_store"])
+        ]
+        assert "addresses" in finding.detail  # the segment that rotted
+
+    def test_held_lock_is_informational(self, tmp_path):
+        root = tmp_path / "busy"
+        root.mkdir()
+        lock = AdvisoryLock(root / "sweep.lock", name="live-sweep").acquire()
+        try:
+            (finding,) = scan([root])
+            assert finding.kind == "held_lock"
+            assert not finding.fixable
+            assert "live-sweep" in finding.detail
+            # A live sweep is not ill health: exit 0, nothing to fix.
+            assert main([str(root)]) == 0
+        finally:
+            lock.release()
+
+    def test_missing_root_is_not_an_error(self, tmp_path):
+        assert scan([tmp_path / "nope"]) == []
+
+
+class TestFix:
+    def test_scan_only_reports_and_exits_nonzero(self, wreckage, capsys):
+        root, _ = wreckage
+        assert main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "6 finding(s), 6 unfixed" in out
+        assert "re-run with --fix" in out
+
+    def test_fix_repairs_the_whole_tree(self, wreckage, capsys):
+        root, paths = wreckage
+        assert main([str(root), "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "[quarantined] corrupt_store" in out
+        assert "[compacted] journal_bloat" in out
+        assert "[removed] orphan_tmp" in out
+        assert "[removed] stale_lock" in out
+
+        # Corrupt artifacts were moved, not deleted: the bytes survive in
+        # quarantine with a reason sidecar, and the paths are free.
+        assert not paths["corrupt_store"].exists()
+        jailed = [
+            p for p in (root / "quarantine").iterdir()
+            if p.name.startswith("rotten.mlt.")
+            and not p.name.endswith(".reason.json")
+        ]
+        assert len(jailed) == 1
+        reason = json.loads(
+            jailed[0].with_name(jailed[0].name + ".reason.json").read_text()
+        )
+        assert reason["artifact"] == str(paths["corrupt_store"])
+
+        # Crash residue was deleted; the journal kept its live cells.
+        assert not paths["orphan_tmp"].exists()
+        assert not paths["stale_lock"].exists()
+        text = paths["bloated_journal"].read_text()
+        assert text.count('"t": "cell"') == 2
+        assert "torn" not in text
+
+        # Healthy artifacts are untouched.
+        assert paths["healthy_store"].exists()
+        assert paths["healthy_json"].read_text() == '{"ok": true}'
+
+    def test_fixed_tree_rescans_clean(self, wreckage):
+        root, _ = wreckage
+        main([str(root), "--fix"])
+        assert scan([root]) == []
+
+    def test_json_output(self, wreckage, capsys):
+        root, _ = wreckage
+        assert main([str(root), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["roots"] == [str(root)]
+        assert report["unfixed"] == 6
+        kinds = sorted(f["kind"] for f in report["findings"])
+        assert kinds == [
+            "corrupt_json", "corrupt_store", "corrupt_store",
+            "journal_bloat", "orphan_tmp", "stale_lock",
+        ]

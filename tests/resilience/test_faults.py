@@ -141,5 +141,8 @@ class TestInjection:
 
     def test_fault_kinds_are_exactly_the_documented_set(self):
         assert set(FAULT_KINDS) == {
-            "worker_raise", "worker_hang", "worker_kill", "corrupt_result"
+            "worker_raise", "worker_hang", "worker_kill", "corrupt_result",
+            # Disk faults, consumed by the atomic-write primitive in
+            # repro.resilience.integrity rather than around cells.
+            "torn_write", "enospc", "rename_fail", "bitflip",
         }

@@ -1,0 +1,218 @@
+"""The durable artifact layer: atomic writes, disk-fault injection,
+quarantine, and the advisory-lock primitives (single-process API; the
+cross-process behaviour lives in test_locking.py)."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.integrity import (
+    NO_FAULTS,
+    AdvisoryLock,
+    LockHeldError,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    boot_id,
+    holder_is_stale,
+    holder_record,
+    is_tmp_artifact,
+    probe_lock,
+    quarantine,
+)
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_bytes(path, b"payload")
+        assert path.read_bytes() == b"payload"
+        atomic_write_text(path, "résumé")
+        assert path.read_text(encoding="utf-8") == "résumé"
+
+    def test_no_tmp_residue_on_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "a.bin", b"x" * 1000)
+        assert [p.name for p in tmp_path.iterdir()] == ["a.bin"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "a.bin"
+        atomic_write_bytes(path, b"x")
+        assert path.read_bytes() == b"x"
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        """A write that raises from inside the block leaves the previous
+        contents untouched and no tmp file behind."""
+        path = tmp_path / "a.bin"
+        atomic_write_bytes(path, b"old")
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with atomic_writer(path) as handle:
+                handle.write(b"half of the new conten")
+                raise RuntimeError("crash mid-write")
+        assert path.read_bytes() == b"old"
+        assert [p.name for p in tmp_path.iterdir()] == ["a.bin"]
+
+    def test_writer_yields_a_real_file(self, tmp_path):
+        """numpy's tofile needs a real handle with a fileno."""
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "a.raw"
+        array = np.arange(16, dtype=np.uint64)
+        with atomic_writer(path) as handle:
+            array.tofile(handle)
+        assert path.read_bytes() == array.tobytes()
+
+    def test_tmp_marker_is_recognised(self, tmp_path):
+        assert is_tmp_artifact(tmp_path / "a.mlt.tmp-123-4")
+        assert not is_tmp_artifact(tmp_path / "a.mlt")
+
+
+class TestDiskFaults:
+    def test_torn_write_truncates_tmp_and_raises(self, tmp_path):
+        path = tmp_path / "a.bin"
+        plan = FaultPlan.parse("torn_write:1.0")
+        with pytest.raises(InjectedFault, match="torn_write"):
+            atomic_write_bytes(path, b"x" * 100, faults=plan)
+        assert not path.exists()
+        (orphan,) = tmp_path.iterdir()
+        assert is_tmp_artifact(orphan)
+        assert orphan.stat().st_size < 100
+
+    def test_enospc_raises_oserror(self, tmp_path):
+        plan = FaultPlan.parse("enospc:1.0")
+        with pytest.raises(OSError) as info:
+            atomic_write_bytes(tmp_path / "a.bin", b"x" * 100, faults=plan)
+        assert info.value.errno == errno.ENOSPC
+        assert not (tmp_path / "a.bin").exists()
+
+    def test_rename_fail_leaves_complete_orphan(self, tmp_path):
+        path = tmp_path / "a.bin"
+        plan = FaultPlan.parse("rename_fail:1.0")
+        with pytest.raises(InjectedFault, match="rename_fail"):
+            atomic_write_bytes(path, b"x" * 100, faults=plan)
+        assert not path.exists()
+        (orphan,) = tmp_path.iterdir()
+        # The payload landed completely; only the commit rename failed.
+        assert orphan.read_bytes() == b"x" * 100
+
+    def test_bitflip_is_silent_and_flips_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "a.bin"
+        plan = FaultPlan.parse("bitflip:1.0")
+        atomic_write_bytes(path, b"\x00" * 64, faults=plan)
+        flipped = sum(bin(b).count("1") for b in path.read_bytes())
+        assert flipped == 1
+
+    def test_explicit_no_faults_plan_suppresses_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "torn_write:1.0")
+        atomic_write_bytes(tmp_path / "a.bin", b"x", faults=NO_FAULTS)
+        assert (tmp_path / "a.bin").read_bytes() == b"x"
+
+    def test_env_plan_applies_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "rename_fail:1.0")
+        with pytest.raises(InjectedFault):
+            atomic_write_bytes(tmp_path / "a.bin", b"x")
+
+    def test_draws_are_per_write_not_per_path(self, tmp_path):
+        """Repeated writes to one path get fresh draws (the per-process
+        sequence number is the attempt), so a retry can succeed."""
+        plan = FaultPlan.parse("torn_write:0.5")
+        outcomes = set()
+        for _ in range(16):
+            try:
+                atomic_write_bytes(tmp_path / "a.bin", b"x" * 10, faults=plan)
+                outcomes.add("ok")
+            except InjectedFault:
+                outcomes.add("torn")
+        assert outcomes == {"ok", "torn"}
+
+
+class TestQuarantine:
+    def test_moves_file_and_writes_reason_sidecar(self, tmp_path):
+        victim = tmp_path / "bad.mlt"
+        victim.write_bytes(b"corrupt bytes")
+        destination = quarantine(victim, "digest mismatch")
+        assert not victim.exists()
+        assert destination.parent == tmp_path / "quarantine"
+        assert destination.read_bytes() == b"corrupt bytes"
+        sidecar = json.loads(
+            destination.with_name(destination.name + ".reason.json").read_text()
+        )
+        assert sidecar["reason"] == "digest mismatch"
+        assert sidecar["artifact"] == str(victim)
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert quarantine(tmp_path / "gone.mlt", "whatever") is None
+
+    def test_path_is_immediately_reusable(self, tmp_path):
+        victim = tmp_path / "bad.mlt"
+        victim.write_bytes(b"old")
+        quarantine(victim, "reason")
+        atomic_write_bytes(victim, b"rebuilt")
+        assert victim.read_bytes() == b"rebuilt"
+
+    def test_two_quarantines_of_same_name_both_survive(self, tmp_path):
+        for payload in (b"first", b"second"):
+            victim = tmp_path / "bad.mlt"
+            victim.write_bytes(payload)
+            quarantine(victim, "reason")
+        contents = {
+            p.read_bytes()
+            for p in (tmp_path / "quarantine").iterdir()
+            if not p.name.endswith(".reason.json")
+        }
+        assert contents == {b"first", b"second"}
+
+
+class TestAdvisoryLockApi:
+    def test_acquire_release_round_trip(self, tmp_path):
+        lock = AdvisoryLock(tmp_path / "a.lock", name="test")
+        assert not lock.held
+        lock.acquire()
+        assert lock.held
+        holder = holder_record(tmp_path / "a.lock")
+        assert holder["pid"] == os.getpid()
+        assert holder["boot_id"] == boot_id()
+        assert holder["name"] == "test"
+        lock.release()
+        assert not lock.held
+        # Release blanks the record but leaves the file (unlinking races
+        # waiters holding the old inode).
+        assert (tmp_path / "a.lock").exists()
+        assert holder_record(tmp_path / "a.lock") is None
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = AdvisoryLock(tmp_path / "a.lock").acquire()
+        lock.release()
+        lock.release()
+
+    def test_context_manager_releases(self, tmp_path):
+        with AdvisoryLock(tmp_path / "a.lock").acquire() as lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_probe_states(self, tmp_path):
+        path = tmp_path / "a.lock"
+        assert probe_lock(path) == "free"  # no file at all
+        lock = AdvisoryLock(path, name="probe").acquire()
+        assert probe_lock(path) == "held"
+        lock.release()
+        assert probe_lock(path) == "free"  # blank record: clean release
+
+    def test_dead_holder_record_is_stale(self, tmp_path):
+        assert holder_is_stale({"pid": 2 ** 22 + 1, "boot_id": boot_id()})
+        assert holder_is_stale({"pid": os.getpid(), "boot_id": "not-this-boot"})
+        assert not holder_is_stale({"pid": os.getpid(), "boot_id": boot_id()})
+
+    def test_lock_held_error_names_the_holder(self, tmp_path):
+        path = tmp_path / "a.lock"
+        path.write_text(json.dumps(
+            {"pid": 4242, "boot_id": boot_id(), "name": "other-sweep"}
+        ))
+        error = LockHeldError(path, holder_record(path))
+        assert "4242" in str(error)
+        assert "other-sweep" in str(error)
+
+    def test_boot_id_is_stable(self):
+        assert boot_id() == boot_id()
+        assert boot_id()

@@ -244,3 +244,203 @@ class TestKillResume:
         for i, config in enumerate(configs):
             for j, trace in enumerate(traces):
                 assert_counts_equal(grid[i][j], run_functional(trace, config))
+
+
+class TestDeadRecords:
+    def _littered_journal(self, path, trace, config, torn=2):
+        """A journal with one live cell recorded twice (one superseded)
+        plus ``torn`` torn trailing lines."""
+        key = memo.memo_key(trace, config)
+        result = run_functional(trace, config)
+        journal = SweepJournal(path)
+        journal.record_cell("functional", key, result)
+        journal.record_cell("functional", key, result)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"t": "cell", "kind": "functional", "torn\n' * torn)
+        return key, result
+
+    def test_resume_counts_the_dead(self, tmp_path, tiny_traces, tiny_config):
+        path = tmp_path / "j.jsonl"
+        self._littered_journal(path, tiny_traces[0], tiny_config, torn=2)
+        journal = SweepJournal(path, resume=True)
+        # One superseded duplicate + two torn lines.
+        assert journal.dead == 3
+        assert journal.restorable_cells == 1
+        journal.close()
+
+    def test_clean_journal_has_no_dead(self, tmp_path, tiny_traces, tiny_config):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record_cell(
+            "functional",
+            memo.memo_key(tiny_traces[0], tiny_config),
+            run_functional(tiny_traces[0], tiny_config),
+        )
+        journal.close()
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.dead == 0
+        reopened.close()
+
+
+class TestCompaction:
+    def _cell_lines(self, path):
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line).get("t") == "cell"
+        ]
+
+    def test_compact_drops_dead_and_preserves_cells(
+        self, tmp_path, tiny_traces, tiny_config
+    ):
+        path = tmp_path / "j.jsonl"
+        key, result = TestDeadRecords()._littered_journal(
+            path, tiny_traces[0], tiny_config
+        )
+        journal = SweepJournal(path, resume=True)
+        dead = journal.dead
+        assert journal.compact() == dead
+        assert journal.dead == 0
+        journal.close()
+
+        assert len(self._cell_lines(path)) == 1
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["compacted"] is True
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.dead == 0
+        assert_counts_equal(
+            reopened.restore("functional", key, tiny_config), result
+        )
+        reopened.close()
+
+    def test_compacted_journal_accepts_appends(
+        self, tmp_path, tiny_traces, tiny_config
+    ):
+        path = tmp_path / "j.jsonl"
+        TestDeadRecords()._littered_journal(path, tiny_traces[0], tiny_config)
+        journal = SweepJournal(path, resume=True)
+        journal.compact()
+        second_key = memo.memo_key(tiny_traces[1], tiny_config)
+        journal.record_cell(
+            "functional",
+            second_key,
+            run_functional(tiny_traces[1], tiny_config),
+        )
+        journal.close()
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.restorable_cells == 2
+        assert reopened.restore("functional", second_key, tiny_config) is not None
+        reopened.close()
+
+    def test_resume_auto_compacts_past_the_threshold(
+        self, tmp_path, tiny_traces, tiny_config, monkeypatch
+    ):
+        import repro.resilience.journal as journal_module
+
+        monkeypatch.setattr(journal_module, "AUTO_COMPACT_MIN_DEAD", 2)
+        path = tmp_path / "j.jsonl"
+        TestDeadRecords()._littered_journal(
+            path, tiny_traces[0], tiny_config, torn=2
+        )
+        journal = SweepJournal(path, resume=True)  # 3 dead >= max(2, 1 live)
+        assert journal.dead == 0
+        journal.close()
+        assert "torn" not in path.read_text()
+
+    def test_no_auto_compact_below_the_threshold(
+        self, tmp_path, tiny_traces, tiny_config
+    ):
+        path = tmp_path / "j.jsonl"
+        TestDeadRecords()._littered_journal(
+            path, tiny_traces[0], tiny_config, torn=2
+        )
+        journal = SweepJournal(path, resume=True)
+        # 3 dead, but the default threshold is 64: the litter stays (a
+        # rewrite per resume would cost more than it saves).
+        assert journal.dead == 3
+        journal.close()
+        assert "torn" in path.read_text()
+
+
+class TestCompactionAtomicity:
+    """A crash mid-compaction must leave either the old segment or the
+    new one fully valid -- never a blend.  The injected disk faults fire
+    at the atomic swap's commit point, which is exactly where a SIGKILL
+    or ENOSPC would land."""
+
+    def _compact_under_fault(self, path, fault, monkeypatch):
+        from repro.resilience.faults import InjectedFault
+
+        journal = SweepJournal(path, resume=True)
+        dead_before = journal.dead
+        monkeypatch.setenv("REPRO_FAULTS", fault)
+        with pytest.raises(InjectedFault):
+            journal.compact()
+        monkeypatch.delenv("REPRO_FAULTS")
+        # The failed swap never touched the published segment, so the
+        # dead records are still there (and still counted).
+        assert journal.dead == dead_before
+        return journal
+
+    @pytest.mark.parametrize("fault", ["rename_fail:1.0", "torn_write:1.0"])
+    def test_failed_swap_leaves_old_segment_valid(
+        self, tmp_path, tiny_traces, tiny_config, monkeypatch, fault
+    ):
+        path = tmp_path / "j.jsonl"
+        key, result = TestDeadRecords()._littered_journal(
+            path, tiny_traces[0], tiny_config
+        )
+        journal = self._compact_under_fault(path, fault, monkeypatch)
+        journal.close()
+
+        # The damage lives on an orphaned tmp file (doctor fodder); the
+        # journal itself still restores every cell.
+        from repro.resilience.integrity import is_tmp_artifact
+
+        assert any(is_tmp_artifact(p) for p in tmp_path.iterdir())
+        reopened = SweepJournal(path, resume=True)
+        assert_counts_equal(
+            reopened.restore("functional", key, tiny_config), result
+        )
+        reopened.close()
+
+    def test_appending_continues_on_the_old_segment(
+        self, tmp_path, tiny_traces, tiny_config, monkeypatch
+    ):
+        path = tmp_path / "j.jsonl"
+        key, _ = TestDeadRecords()._littered_journal(
+            path, tiny_traces[0], tiny_config
+        )
+        journal = self._compact_under_fault(path, "rename_fail:1.0", monkeypatch)
+        second_key = memo.memo_key(tiny_traces[1], tiny_config)
+        journal.record_cell(
+            "functional",
+            second_key,
+            run_functional(tiny_traces[1], tiny_config),
+        )
+        journal.close()
+        reopened = SweepJournal(path, resume=True)
+        assert reopened.restore("functional", key, tiny_config) is not None
+        assert reopened.restore("functional", second_key, tiny_config) is not None
+        reopened.close()
+
+
+class TestJournalLock:
+    def test_second_writer_fails_fast_with_holder_identity(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.resilience.journal as journal_module
+        from repro.resilience.integrity import LockHeldError
+
+        monkeypatch.setattr(journal_module, "LOCK_GRACE_S", 0.2)
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path, name="first")
+        try:
+            with pytest.raises(LockHeldError, match="journal:first"):
+                SweepJournal(path, resume=True, name="second")
+        finally:
+            journal.close()
+        # Once the holder releases, the path is immediately reusable.
+        successor = SweepJournal(path, resume=True, name="second")
+        successor.close()

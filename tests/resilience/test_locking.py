@@ -1,0 +1,199 @@
+"""Two processes sharing one trace-cache directory.
+
+The workload disk cache serialises builders per entry with an advisory
+lock: the loser of the race waits (up to ``REPRO_LOCK_TIMEOUT_S``) and
+then opens the winner's store instead of rebuilding the same bytes.
+These tests drive that protocol with real subprocesses -- contention
+against a live holder, simultaneous builders, and takeover of a lock
+whose holder was SIGKILLed.
+"""
+
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience.integrity import (
+    AdvisoryLock,
+    holder_record,
+    is_tmp_artifact,
+    probe_lock,
+)
+from repro.trace.store import STORE_SUFFIX, TraceStore
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+RECORDS = 3000
+
+#: Child that builds a one-trace suite against the shared cache dir.
+BUILD_CHILD = """
+import sys
+from repro.experiments.workloads import paper_trace_suite
+
+paper_trace_suite(records=int(sys.argv[1]), count=1)
+print("built")
+"""
+
+#: Child that grabs the entry lock and then sits on it until killed.
+HOLD_CHILD = """
+import pathlib
+import sys
+import time
+
+from repro.resilience.integrity import AdvisoryLock
+
+AdvisoryLock(pathlib.Path(sys.argv[1]), name="test-victim").acquire()
+pathlib.Path(sys.argv[2]).write_text("holding")
+time.sleep(120)
+"""
+
+
+def entry_paths(cache: Path, records: int = RECORDS) -> tuple:
+    """(store path, lock path) for the first suite entry, as the cache
+    derives them (count=1 means the entry is the vms0 trace)."""
+    digest = hashlib.sha256(f"v1-{records}-1-vms0".encode()).hexdigest()[:16]
+    store = cache / f"trace-{digest}{STORE_SUFFIX}"
+    return store, store.with_name(store.name + ".lock")
+
+
+def suite_env(cache: Path, timeout_s: float) -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC
+    env["REPRO_TRACE_CACHE"] = str(cache)
+    env["REPRO_LOCK_TIMEOUT_S"] = str(timeout_s)
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def build_in_child(cache: Path, timeout_s: float) -> "subprocess.Popen":
+    return subprocess.Popen(
+        [sys.executable, "-c", BUILD_CHILD, str(RECORDS)],
+        env=suite_env(cache, timeout_s),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+class TestContention:
+    def test_fail_fast_loser_names_the_live_holder(self, tmp_path):
+        """While another process holds the entry lock, a builder with a
+        tiny timeout fails with the holder's identity -- proof the lock
+        actually excludes across processes."""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        _, lock_path = entry_paths(cache)
+        holder = AdvisoryLock(lock_path, name="test-winner").acquire()
+        try:
+            child = build_in_child(cache, timeout_s=0.3)
+            _, stderr = child.communicate(timeout=60)
+        finally:
+            holder.release()
+        assert child.returncode != 0
+        assert b"LockHeldError" in stderr
+        assert b"advisory lock held" in stderr
+        assert str(os.getpid()).encode() in stderr  # names the holder
+
+    def test_waiting_loser_opens_the_winners_store(self, tmp_path):
+        """With a generous timeout the loser rides out the contention and
+        ends up reading the winner's store, not rebuilding it."""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        store_path, lock_path = entry_paths(cache)
+
+        # The "winner": a child builds the entry, populating the cache.
+        winner = build_in_child(cache, timeout_s=30)
+        out, err = winner.communicate(timeout=120)
+        assert winner.returncode == 0, err.decode()
+        assert store_path.exists()
+        fingerprint = store_path.read_bytes()
+
+        # Now hold the entry lock ourselves and start the loser: it must
+        # still be running (waiting) when we release, then finish by
+        # opening the existing store -- whose bytes never change.
+        holder = AdvisoryLock(lock_path, name="test-winner").acquire()
+        child = build_in_child(cache, timeout_s=30)
+        time.sleep(1.5)
+        assert child.poll() is None, "loser should be waiting on the lock"
+        holder.release()
+        out, err = child.communicate(timeout=120)
+        assert child.returncode == 0, err.decode()
+        assert store_path.read_bytes() == fingerprint
+
+    def test_simultaneous_builders_produce_one_valid_store(self, tmp_path):
+        """Two builders racing from scratch: both succeed, the cache ends
+        up with exactly one verified store and no tmp residue."""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        store_path, _ = entry_paths(cache)
+        children = [build_in_child(cache, timeout_s=60) for _ in range(2)]
+        for child in children:
+            _, err = child.communicate(timeout=120)
+            assert child.returncode == 0, err.decode()
+        stores = list(cache.glob(f"*{STORE_SUFFIX}"))
+        assert stores == [store_path]
+        TraceStore.open(store_path, verify=True)  # winner's bytes are sound
+        assert not [p for p in cache.iterdir() if is_tmp_artifact(p)]
+
+
+class TestStaleTakeover:
+    def _kill_holder(self, tmp_path, lock_path) -> int:
+        """Start a child holding ``lock_path``, SIGKILL it, return its pid."""
+        sentinel = tmp_path / "holding"
+        child = subprocess.Popen(
+            [sys.executable, "-c", HOLD_CHILD, str(lock_path), str(sentinel)],
+            env={**os.environ, "PYTHONPATH": SRC},
+        )
+        deadline = time.monotonic() + 30
+        while not sentinel.exists():
+            assert child.poll() is None, "holder child died before locking"
+            assert time.monotonic() < deadline, "holder child never locked"
+            time.sleep(0.05)
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+        return child.pid
+
+    def test_killed_holder_leaves_a_stale_probe(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        _, lock_path = entry_paths(cache)
+        pid = self._kill_holder(tmp_path, lock_path)
+        # The kernel dropped the flock with the process; the record it
+        # never got to blank is what marks the lock stale.
+        assert probe_lock(lock_path) == "stale"
+        holder = holder_record(lock_path)
+        assert holder["pid"] == pid
+        assert holder["name"] == "test-victim"
+
+    def test_takeover_needs_no_cleanup(self, tmp_path):
+        """A new holder acquires a SIGKILLed holder's lock immediately --
+        fail-fast timeout, no doctor intervention."""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        _, lock_path = entry_paths(cache)
+        self._kill_holder(tmp_path, lock_path)
+        lock = AdvisoryLock(lock_path, name="successor")
+        lock.acquire(timeout_s=0.0)  # would raise LockHeldError if wedged
+        assert holder_record(lock_path)["pid"] == os.getpid()
+        lock.release()
+        assert probe_lock(lock_path) == "free"
+
+    def test_suite_build_rides_over_a_stale_lock(self, tmp_path):
+        """The cache itself takes over a dead holder's entry lock and
+        completes the build."""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        store_path, lock_path = entry_paths(cache)
+        self._kill_holder(tmp_path, lock_path)
+        child = build_in_child(cache, timeout_s=30)
+        _, err = child.communicate(timeout=120)
+        assert child.returncode == 0, err.decode()
+        TraceStore.open(store_path, verify=True)
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))

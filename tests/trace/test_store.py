@@ -1,5 +1,7 @@
 """Tests for the zero-copy trace store and worker handoff."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.sim import memo
 from repro.trace.record import IFETCH, READ, WRITE, Trace
 from repro.trace.store import (
     CONTENT_DIGEST_SLOT,
+    StoreCorruptError,
     STORE_PATH_SLOT,
     STORE_SUFFIX,
     TraceHandle,
@@ -199,3 +202,105 @@ class TestWorkerHandoff:
             assert list(resolved.records()) == list(trace.records())
         finally:
             lease.release()
+
+
+class TestIntegrityVerify:
+    def _saved(self, tmp_path):
+        path = tmp_path / ("t" + STORE_SUFFIX)
+        return TraceStore.save(sample_trace(), path), path
+
+    def _flip(self, path, offset):
+        blob = bytearray(path.read_bytes())
+        blob[offset] ^= 0x01
+        path.write_bytes(bytes(blob))
+
+    def _strip_segment_digests(self, path):
+        """Rewrite the header as a pre-per-segment-digest writer would
+        have: same reserved length (space-padded), no segment digests."""
+        raw = bytearray(path.read_bytes())
+        length = int.from_bytes(raw[8:16], "little")
+        header = json.loads(bytes(raw[16 : 16 + length]))
+        del header["kinds_digest"]
+        del header["addresses_digest"]
+        blob = json.dumps(header).encode()
+        raw[16 : 16 + length] = blob + b" " * (length - len(blob))
+        path.write_bytes(bytes(raw))
+
+    def test_save_records_per_segment_digests(self, tmp_path):
+        saved, path = self._saved(tmp_path)
+        opened = TraceStore.open(path)
+        assert opened.kinds_digest == saved.kinds_digest
+        assert opened.addresses_digest == saved.addresses_digest
+        assert len(saved.kinds_digest) == 64
+        assert saved.kinds_digest != saved.addresses_digest
+
+    def test_verify_passes_on_a_clean_store(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        TraceStore.open(path, verify=True)
+        TraceStore.open(path).verify()
+
+    def test_verify_names_the_rotted_segment(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        self._flip(path, path.stat().st_size - 5)  # inside addresses
+        with pytest.raises(StoreCorruptError, match="addresses segment"):
+            TraceStore.open(path, verify=True)
+
+        _, path = self._saved(tmp_path)
+        self._flip(path, TraceStore.open(path).kinds_offset)
+        with pytest.raises(StoreCorruptError, match="kinds segment"):
+            TraceStore.open(path, verify=True)
+
+    def test_open_without_verify_skips_the_hash(self, tmp_path):
+        """Segment verification is opt-in: a bare open stays O(header)
+        and will not notice bit rot inside the data pages."""
+        _, path = self._saved(tmp_path)
+        self._flip(path, path.stat().st_size - 5)
+        TraceStore.open(path)  # no error: the header is intact
+
+    def test_legacy_store_verifies_against_the_combined_digest(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        self._strip_segment_digests(path)
+        opened = TraceStore.open(path)
+        assert opened.kinds_digest is None
+        opened.verify()  # clean legacy store: combined digest matches
+
+        self._flip(path, path.stat().st_size - 5)
+        with pytest.raises(StoreCorruptError, match="legacy store"):
+            TraceStore.open(path, verify=True)
+
+    def test_corruption_errors_are_typed(self, tmp_path):
+        # Not a store at all.
+        garbage = tmp_path / "g.mlt"
+        garbage.write_bytes(b"NOTATRCE" + b"\0" * 64)
+        with pytest.raises(StoreCorruptError):
+            TraceStore.open(garbage)
+
+        # Header torn mid-length-field (a crash during a legacy
+        # non-atomic write, or severe truncation).
+        torn = tmp_path / "torn.mlt"
+        torn.write_bytes(b"MLCTRACE" + b"\x07")
+        with pytest.raises(StoreCorruptError, match="truncated store header"):
+            TraceStore.open(torn)
+
+        # Length field that would allocate garbage.
+        bloated = tmp_path / "b.mlt"
+        bloated.write_bytes(b"MLCTRACE" + (1 << 40).to_bytes(8, "little"))
+        with pytest.raises(StoreCorruptError, match="implausible header length"):
+            TraceStore.open(bloated)
+
+        # Header bytes that are not JSON.
+        unjson = tmp_path / "u.mlt"
+        unjson.write_bytes(b"MLCTRACE" + (4).to_bytes(8, "little") + b"\xff\xfe{[")
+        with pytest.raises(StoreCorruptError, match="unparseable"):
+            TraceStore.open(unjson)
+
+    def test_version_and_absence_are_not_corruption(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        raw = path.read_bytes().replace(b'"version": 1', b'"version": 9', 1)
+        path.write_bytes(raw)
+        with pytest.raises(ValueError) as info:
+            TraceStore.open(path)
+        assert not isinstance(info.value, StoreCorruptError)
+
+        with pytest.raises(FileNotFoundError):
+            TraceStore.open(tmp_path / "absent.mlt")
