@@ -26,7 +26,6 @@ import benchjson
 from repro.core.sweep import sweep_functional
 from repro.experiments.base import ExperimentReport
 from repro.experiments.baseline import base_machine
-from repro.experiments.render import format_size
 from repro.resilience.journal import journaling
 from repro.sim import memo
 from repro.units import KB

@@ -7,7 +7,7 @@ writes, because the paper defines its miss ratios over *reads only*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -19,11 +19,11 @@ models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.design_space import AffineTimeModel, execution_time_grid, SpeedSizeGrid
+from repro.core.design_space import execution_time_grid, SpeedSizeGrid
 from repro.core.sweep import sweep_functional
 from repro.sim.config import SystemConfig
 from repro.trace.record import Trace

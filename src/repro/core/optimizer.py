@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.design_space import affine_model_for
 from repro.core.sweep import sweep_functional, sweep_timing
-from repro.sim.config import LevelConfig, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.trace.record import Trace
 
 

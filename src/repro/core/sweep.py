@@ -418,14 +418,17 @@ def sweep_functional(
 
     group_outcome, outcome = ExecOutcome(), ExecOutcome()
     used_workers, pooled = sweep_workers(workers), False
+    # The workers' only global mutation is the process-local memo/front
+    # caches: each spawn worker fills its own copy, and the stats are
+    # folded back through memo.fold_worker_stats -- sanctioned state.
     if groups:
         group_outcome, used_workers, pooled = _run_cells(
-            "stackdist", _run_stackdist_cell, groups, traces, workers,
+            "stackdist", _run_stackdist_cell, groups, traces, workers,  # repro: noqa RPR009
             faults, on_group_result,
         )
     if singles:
         outcome, used_workers, singles_pooled = _run_cells(
-            "functional", _run_functional_cell, singles, traces, workers,
+            "functional", _run_functional_cell, singles, traces, workers,  # repro: noqa RPR009
             faults, on_result,
         )
         pooled = pooled or singles_pooled

@@ -267,7 +267,9 @@ def _report(args) -> int:
             missing.append(experiment_id)
             lines.append("*(no saved report; run the benchmark)*")
         lines.append("")
-    args.output.write_text("\n".join(lines))
+    from repro.resilience.integrity import atomic_write_text
+
+    atomic_write_text(args.output, "\n".join(lines))
     print(f"wrote {args.output} ({len(EXPECTATIONS) - len(missing)} measured, "
           f"{len(missing)} missing)")
     if missing:

@@ -12,7 +12,6 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
-import numpy as np
 
 from repro.analytical.execution_time import model_from_functional
 from repro.analytical.missrate import fit_power_law

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.sim.config import LevelConfig, SystemConfig
 from repro.trace.record import READ, Trace
 from repro.trace.stats import stack_distance_profile
 from repro.trace.synthetic import StackDistanceGenerator, ZipfGenerator
-from repro.units import KB, MB
+from repro.units import KB
 
 
 def three_level_machine(l3_size: int = 256 * KB) -> SystemConfig:

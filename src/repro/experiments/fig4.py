@@ -65,7 +65,8 @@ class SpeedSizeCurves(Experiment):
                 np.all(np.diff(grid.total_cycles, axis=1) > 0)
             ),
             "benefit of size growth diminishes for large caches": self._diminishing(grid),
-            "cycle-time effect is nearly independent of cache size": self._cycle_effect_uniform(grid),
+            "cycle-time effect is nearly independent of cache size":
+                self._cycle_effect_uniform(grid),
             "meaningful dynamic range across the design space (>1.3x)": bool(
                 relative.max() >= 1.3
             ),
@@ -120,7 +121,7 @@ class ConstantPerformanceFigure(Experiment):
             descriptor += f", memory {memory_scale:g}x slower"
         self.title = f"Lines of constant performance ({descriptor})"
 
-    LEVELS = [l for l in PERFORMANCE_LEVELS if l <= 2.7]
+    LEVELS = [level for level in PERFORMANCE_LEVELS if level <= 2.7]
 
     def run(self, traces: Sequence[Trace]) -> ExperimentReport:
         grid = build_grid(traces, l1_size=self.l1_size, memory_scale=self.memory_scale)

@@ -10,7 +10,7 @@ into "associativity wins" and "associativity loses" regions.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -42,7 +42,7 @@ from repro.trace.store import (
 from repro.trace.synthetic import StackDistanceGenerator
 from repro.trace.warmup import warmup_boundary
 from repro.trace.workload import SyntheticWorkload
-from repro.units import KB, MB
+from repro.units import KB
 
 log = logging.getLogger("repro.experiments.workloads")
 

@@ -1,15 +1,21 @@
 """Domain-aware static analysis for the repro tree.
 
-Five rules encode the repository's reproducibility contracts as
-review-time checks (see ``docs/static-analysis.md``):
+Nine rules encode the repository's reproducibility contracts as
+review-time checks (see ``docs/static-analysis.md``).  RPR001-RPR005
+are per-file AST walks; RPR006-RPR009 are *interprocedural*, running
+on the project call graph and effect propagation under ``--project``:
 
-========  ==============  ====================================================
-RPR001    determinism     no ambient clocks / unseeded randomness in sim code
-RPR002    unit-safety     no ``+``/``-``/compare across ``_ns``/``_cycles``/...
-RPR003    env-registry    every ``REPRO_*`` read goes through ``envcfg``
-RPR004    fork-safety     worker-pool callables are picklable and global-free
-RPR005    memo-purity     memo-path functions read only their arguments
-========  ==============  ====================================================
+========  ======================  ============================================
+RPR001    determinism             no ambient clocks / unseeded RNG in sim code
+RPR002    unit-safety             no ``+``/``-``/compare across unit suffixes
+RPR003    env-registry            every ``REPRO_*`` read goes through envcfg
+RPR004    fork-safety             pool callables are picklable and global-free
+RPR005    memo-purity             memo-path functions read only their args
+RPR006    artifact-write-safety   raw disk writes only inside integrity.py
+RPR007    lock-discipline         journal/cache mutations hold the lock
+RPR008    transitive-memo-purity  RPR005 closed over the call graph
+RPR009    transitive-fork-safety  RPR004 through wrappers and locals
+========  ======================  ============================================
 
 Run it as ``mlcache lint`` or ``python -m repro.lint``; use
 :func:`check_source` for in-memory checks (fixture tests) and

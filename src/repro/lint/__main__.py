@@ -1,7 +1,14 @@
 """``python -m repro.lint`` -- same front end as ``mlcache lint``."""
 
+import os
 import sys
 
 from repro.lint.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe; die quietly instead of
+    # tracebacking (and stop the interpreter re-raising at shutdown).
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(1)

@@ -6,26 +6,34 @@ Reachable two ways with identical semantics::
     python -m repro.lint [paths...]
 
 Exit codes: ``0`` clean, ``1`` findings, ``2`` usage/configuration
-error (unknown rule, unreadable baseline, bad path).
+error (unknown rule, unreadable baseline, bad path) *or* an engine
+crash -- an analyzer exception must never masquerade as a clean pass.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+import traceback
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.lint.engine import (
     Baseline,
     LintResult,
     all_rules,
+    get_rules,
     lint_paths,
+    package_relpath,
 )
 
 #: Baseline picked up automatically when it exists next to the cwd.
 DEFAULT_BASELINE = Path("lint-baseline.json")
+
+#: Project-index cache written when ``--cache`` is given with no path.
+DEFAULT_CACHE = Path(".repro-lint-cache.json")
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -36,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Domain-aware static analysis for the repro tree "
-        "(determinism, unit-safety, env-registry, fork-safety, memo-purity).",
+        "(determinism, unit-safety, env-registry, fork-safety, memo-purity, "
+        "plus the interprocedural integrity/locking/purity rules).",
     )
     parser.add_argument(
         "paths",
@@ -75,6 +84,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline file from the current findings and exit 0",
     )
     parser.add_argument(
+        "--project",
+        dest="project",
+        action="store_true",
+        default=True,
+        help="run the interprocedural analysis (call graph + effect "
+        "propagation; the default)",
+    )
+    parser.add_argument(
+        "--no-project",
+        dest="project",
+        action="store_false",
+        help="per-file rules only; skip the project analysis",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report findings only for files changed vs the git ref "
+        "(default HEAD); the project index still covers the whole tree",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_CACHE,
+        default=None,
+        metavar="FILE",
+        help="persist the digest-keyed project index so warm runs "
+        f"re-parse only changed files (default file: {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print the full documentation for one rule id and exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -86,15 +134,33 @@ def _list_rules() -> str:
     lines = []
     for rule in all_rules():
         scope = ", ".join(rule.scope) if rule.scope else "everywhere"
-        lines.append(f"{rule.rule_id} {rule.name} [{rule.severity}] scope: {scope}")
+        flavour = "project" if rule.requires_project else "per-file"
+        lines.append(
+            f"{rule.rule_id} {rule.name} [{rule.severity}] "
+            f"({flavour}) scope: {scope}"
+        )
         lines.append(f"    {rule.rationale}")
     return "\n".join(lines)
+
+
+def _explain_rule(rule_id: str) -> str:
+    rule = get_rules([rule_id])[0]
+    scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+    parts = [
+        f"{rule.rule_id} {rule.name} [{rule.severity}] scope: {scope}",
+        "",
+        rule.rationale,
+    ]
+    if rule.explain:
+        parts += ["", rule.explain]
+    return "\n".join(parts)
 
 
 def _render_text(result: LintResult) -> str:
     lines = [item.render() for item in result.findings]
     summary = (
-        f"{result.files} file(s) checked: {len(result.findings)} finding(s), "
+        f"{result.files} file(s) checked ({result.parsed} parsed): "
+        f"{len(result.findings)} finding(s), "
         f"{result.suppressed} suppressed inline, {result.baselined} baselined"
     )
     lines.append(summary)
@@ -111,12 +177,48 @@ def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
     return None
 
 
+def _git_lines(argv: List[str]) -> List[str]:
+    try:
+        completed = subprocess.run(
+            argv, capture_output=True, text=True, check=True, timeout=30
+        )
+    except (OSError, subprocess.SubprocessError) as error:
+        detail = ""
+        stderr = getattr(error, "stderr", "")
+        if stderr:
+            detail = f": {str(stderr).strip()}"
+        raise ValueError(f"--changed: {' '.join(argv)} failed{detail}") from error
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_relpaths(ref: str) -> Set[str]:
+    """Package-relative paths of ``.py`` files changed vs ``ref`` (plus
+    untracked ones), for ``--changed`` report scoping."""
+    root_lines = _git_lines(["git", "rev-parse", "--show-toplevel"])
+    if not root_lines:
+        raise ValueError("--changed: not inside a git repository")
+    root = Path(root_lines[0])
+    names = _git_lines(["git", "diff", "--name-only", ref, "--", "*.py"])
+    names += _git_lines(
+        ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"]
+    )
+    return {package_relpath(root / name) for name in names}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_list_rules())
+        return EXIT_CLEAN
+
+    if args.explain is not None:
+        try:
+            print(_explain_rule(args.explain))
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
         return EXIT_CLEAN
 
     raw_paths: List[str] = args.paths or ["src"]
@@ -128,11 +230,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     baseline_path = _resolve_baseline(args)
 
+    report_relpaths: Optional[Set[str]] = None
+    if args.changed is not None:
+        try:
+            report_relpaths = changed_relpaths(args.changed)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
     if args.write_baseline:
         if baseline_path is None:
             baseline_path = DEFAULT_BASELINE
         try:
-            result = lint_paths(paths, select=args.select, baseline=None)
+            result = lint_paths(
+                paths,
+                select=args.select,
+                baseline=None,
+                project=args.project,
+                cache_path=args.cache,
+                report_relpaths=report_relpaths,
+            )
         except ValueError as exc:
             print(f"repro-lint: {exc}", file=sys.stderr)
             return EXIT_USAGE
@@ -152,9 +269,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return EXIT_USAGE
 
     try:
-        result = lint_paths(paths, select=args.select, baseline=baseline)
+        result = lint_paths(
+            paths,
+            select=args.select,
+            baseline=baseline,
+            project=args.project,
+            cache_path=args.cache,
+            report_relpaths=report_relpaths,
+        )
     except ValueError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:  # engine crash: loud exit 2, never "clean"
+        print(
+            f"repro-lint: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        traceback.print_exc(file=sys.stderr)
         return EXIT_USAGE
 
     try:

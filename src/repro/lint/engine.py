@@ -25,11 +25,27 @@ real tree is held to.
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.project.analysis import ProjectAnalysis
 
 #: Recognised severities, most severe first.
 SEVERITIES: Tuple[str, ...] = ("error", "warning")
@@ -44,7 +60,12 @@ _RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Interprocedural rules attach a ``chain`` -- the witness call path
+    from the flagged function down to the effectful leaf (bare symbol
+    names, e.g. ``("run_functional", "_helper", "os.environ.get")``).
+    """
 
     rule: str
     path: str
@@ -52,20 +73,35 @@ class Finding:
     column: int
     message: str
     severity: str = "error"
+    chain: Tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
-        """Line-number-free identity used by the baseline file."""
+        """Line-number-free identity used by the baseline file.
+
+        Chain-bearing findings fingerprint on a digest of the bare-name
+        call chain instead of the message text: moving a helper between
+        modules (or rewording the surrounding diagnostic) does not churn
+        the baseline as long as the witness path is the same.
+        """
+        if self.chain:
+            digest = hashlib.sha256(
+                " -> ".join(self.chain).encode("utf-8")
+            ).hexdigest()[:12]
+            return f"{self.path}::{self.rule}::chain:{digest}"
         return f"{self.path}::{self.rule}::{self.message}"
 
     def render(self) -> str:
-        return (
+        text = (
             f"{self.path}:{self.line}:{self.column}: "
             f"{self.rule} [{self.severity}] {self.message}"
         )
+        if self.chain:
+            text += f" [chain: {' -> '.join(self.chain)}]"
+        return text
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -73,6 +109,27 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.chain:
+            payload["chain"] = list(self.chain)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        chain_raw = payload.get("chain")
+        chain = (
+            tuple(str(part) for part in chain_raw)
+            if isinstance(chain_raw, list)
+            else ()
+        )
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(str(payload["line"])),
+            column=int(str(payload["column"])),
+            message=str(payload["message"]),
+            severity=str(payload.get("severity", "error")),
+            chain=chain,
+        )
 
 
 @dataclass
@@ -128,8 +185,14 @@ class Rule:
     severity: str = "error"
     #: One-paragraph rationale shown by ``--list-rules`` and the docs.
     rationale: str = ""
+    #: Longer help shown by ``--explain RULEID`` (falls back to rationale).
+    explain: str = ""
     scope: Tuple[str, ...] = ()
     exclude: Tuple[str, ...] = ()
+    #: True for interprocedural rules that need the project analysis
+    #: (call graph + effect propagation); they only run under
+    #: ``--project`` and implement :meth:`check_project` instead.
+    requires_project: bool = False
 
     def applies_to(self, relpath: str) -> bool:
         if any(relpath.startswith(prefix) for prefix in self.exclude):
@@ -140,6 +203,10 @@ class Rule:
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
+
+    def check_project(self, analysis: "ProjectAnalysis") -> Iterator[Finding]:
+        """Project-wide findings; only called when ``requires_project``."""
+        return iter(())
 
     def finding(
         self, module: ModuleContext, node: ast.AST, message: str
@@ -216,14 +283,82 @@ def noqa_rules(line_text: str) -> Optional[frozenset]:
     return frozenset(part for part in re.split(r"[,\s]+", ids.strip()) if part)
 
 
-def _apply_noqa(
-    findings: List[Finding], lines: List[str]
+def _statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Line spans suppressions extend over: simple statements span all
+    their physical lines; compound statements (``with``, ``if``, ``def``,
+    ...) span only their header, so a noqa on a ``with`` line does not
+    blanket the whole block."""
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body_start: Optional[int] = None
+        for fieldname in ("body", "orelse", "finalbody", "handlers"):
+            for child in getattr(node, fieldname, None) or ():
+                lineno = getattr(child, "lineno", None)
+                if lineno is not None:
+                    body_start = (
+                        lineno if body_start is None else min(body_start, lineno)
+                    )
+        if body_start is not None:
+            end = max(start, body_start - 1)
+        if end > start:
+            spans.append((start, end))
+    return spans
+
+
+def noqa_line_map(
+    tree: ast.AST, lines: Sequence[str]
+) -> Dict[int, FrozenSet[str]]:
+    """Per-line suppressions, extended across multi-line statements.
+
+    A ``# repro: noqa RULEID`` anywhere inside a statement's physical
+    line span suppresses that rule on *every* line of the statement, so
+    a wrapped call flagged on its first line is covered by a trailing
+    comment on its last.  Values follow :func:`noqa_rules`: an empty
+    frozenset is a blanket suppression.
+    """
+    directives: Dict[int, FrozenSet[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        ids = noqa_rules(text)
+        if ids is not None:
+            directives[number] = ids
+    if not directives:
+        return {}
+    result: Dict[int, FrozenSet[str]] = dict(directives)
+    for start, end in _statement_spans(tree):
+        found = [
+            directives[number]
+            for number in range(start, end + 1)
+            if number in directives
+        ]
+        if not found:
+            continue
+        merged: FrozenSet[str] = (
+            frozenset() if any(not ids for ids in found)
+            else frozenset().union(*found)
+        )
+        for number in range(start, end + 1):
+            previous = result.get(number)
+            if previous is None:
+                result[number] = merged
+            elif not previous or not merged:
+                result[number] = frozenset()
+            else:
+                result[number] = previous | merged
+    return result
+
+
+def apply_noqa_map(
+    findings: Iterable[Finding], noqa_map: Dict[int, FrozenSet[str]]
 ) -> Tuple[List[Finding], int]:
+    """Drop findings whose line carries a matching inline suppression."""
     kept: List[Finding] = []
     suppressed = 0
     for item in findings:
-        line_text = lines[item.line - 1] if 0 < item.line <= len(lines) else ""
-        suppression = noqa_rules(line_text)
+        suppression = noqa_map.get(item.line)
         if suppression is not None and (not suppression or item.rule in suppression):
             suppressed += 1
             continue
@@ -264,11 +399,13 @@ class Baseline:
         return cls(counts)
 
     def write(self, path: Path) -> None:
+        from repro.resilience.integrity import atomic_write_text
+
         payload = {
             "version": self.VERSION,
             "findings": {key: self.counts[key] for key in sorted(self.counts)},
         }
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
     def filter(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
         """Drop findings covered by the baseline (bounded per fingerprint)."""
@@ -295,6 +432,8 @@ class LintResult:
     files: int = 0
     suppressed: int = 0
     baselined: int = 0
+    #: Files actually parsed this run (< ``files`` on a warm index).
+    parsed: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -308,6 +447,7 @@ class LintResult:
                 "findings": len(self.findings),
                 "suppressed": self.suppressed,
                 "baselined": self.baselined,
+                "parsed": self.parsed,
             },
         }
 
@@ -325,23 +465,43 @@ def iter_python_files(paths: Sequence[Path]) -> List[Path]:
     return files
 
 
+def syntax_error_finding(path: Path, exc: SyntaxError) -> Finding:
+    """The RPR000 pseudo-finding for a file that does not parse."""
+    return Finding(
+        rule="RPR000",
+        path=package_relpath(path),
+        line=exc.lineno or 1,
+        column=(exc.offset or 0) + 1 if exc.offset else 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
 def check_module(module: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
-    """Raw rule findings for one parsed module (no suppression layers)."""
+    """Raw rule findings for one parsed module (no suppression layers).
+
+    Project rules are skipped here -- they need the whole-program
+    analysis and run through :meth:`Rule.check_project` instead.
+    """
     findings: List[Finding] = []
     for rule in rules:
-        if rule.applies_to(module.relpath):
+        if not rule.requires_project and rule.applies_to(module.relpath):
             findings.extend(rule.check(module))
     findings.sort(key=lambda item: (item.line, item.column, item.rule))
     return findings
 
 
 def check_source(
-    source: str, relpath: str, rules: Optional[Sequence[Rule]] = None
+    source: str,
+    relpath: str,
+    rules: Optional[Sequence[Rule]] = None,
+    project: bool = True,
 ) -> List[Finding]:
     """Lint a source string as if it lived at ``repro/<relpath>``.
 
-    Inline ``noqa`` suppressions apply; there is no baseline.  This is
-    the entry point the fixture tests use.
+    Inline ``noqa`` suppressions apply; there is no baseline.  With
+    ``project`` (the default) the interprocedural rules also run,
+    treating the source as a one-module project.  This is the entry
+    point the fixture tests use.
     """
     module = ModuleContext(
         path=Path(relpath),
@@ -350,39 +510,101 @@ def check_source(
         tree=ast.parse(source, filename=relpath),
         lines=source.split("\n"),
     )
-    findings = check_module(module, get_rules() if rules is None else rules)
-    kept, _ = _apply_noqa(findings, module.lines)
-    return kept
+    selected = get_rules() if rules is None else list(rules)
+    noqa_map = noqa_line_map(module.tree, module.lines)
+    findings, _ = apply_noqa_map(check_module(module, selected), noqa_map)
+    project_rules = [rule for rule in selected if rule.requires_project]
+    if project and project_rules:
+        from repro.lint.project.analysis import ProjectAnalysis
+        from repro.lint.project.indexer import ProjectIndex
+
+        index = ProjectIndex.from_contexts([module])
+        analysis = ProjectAnalysis.build(index)
+        for rule in project_rules:
+            extra, _ = apply_noqa_map(rule.check_project(analysis), noqa_map)
+            findings.extend(extra)
+    findings.sort(key=lambda item: (item.line, item.column, item.rule))
+    return findings
 
 
-def lint_paths(
-    paths: Sequence[Path],
-    select: Optional[Sequence[str]] = None,
-    baseline: Optional[Baseline] = None,
-) -> LintResult:
-    """Lint every Python file under ``paths`` and post-process findings."""
-    rules = get_rules(select)
-    files = iter_python_files([Path(p) for p in paths])
+def _lint_flat(
+    files: Sequence[Path], rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    """The classic per-file pass: parse, run intra rules, apply noqa."""
     all_findings: List[Finding] = []
     suppressed = 0
     for path in files:
         try:
             module = ModuleContext.parse(path)
         except SyntaxError as exc:
-            all_findings.append(
-                Finding(
-                    rule="RPR000",
-                    path=package_relpath(path),
-                    line=exc.lineno or 1,
-                    column=(exc.offset or 0) + 1 if exc.offset else 1,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
+            all_findings.append(syntax_error_finding(path, exc))
             continue
-        findings = check_module(module, rules)
-        findings, dropped = _apply_noqa(findings, module.lines)
+        noqa_map = noqa_line_map(module.tree, module.lines)
+        findings, dropped = apply_noqa_map(check_module(module, rules), noqa_map)
         suppressed += dropped
         all_findings.extend(findings)
+    return all_findings, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    *,
+    project: bool = False,
+    cache_path: Optional[Path] = None,
+    report_relpaths: Optional[Set[str]] = None,
+    parse_hook: Optional[Callable[[Path], None]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and post-process findings.
+
+    ``project=True`` routes the run through the digest-keyed project
+    index (see :mod:`repro.lint.project`): per-module findings come from
+    cached summaries when the file is unchanged, and the interprocedural
+    rules run over the call graph.  ``report_relpaths`` limits *reported*
+    findings to those package-relative paths (``--changed``) without
+    narrowing the analysed project.  ``parse_hook`` is called once per
+    actually-parsed file (test instrumentation).
+    """
+    rules = get_rules(select)
+    files = iter_python_files([Path(p) for p in paths])
+    if not project:
+        all_findings, suppressed = _lint_flat(files, rules)
+        parsed = len(files)
+    else:
+        from repro.lint.project.analysis import ProjectAnalysis
+        from repro.lint.project.indexer import ProjectIndex
+
+        index = ProjectIndex.build(
+            files, cache_path=cache_path, parse_hook=parse_hook
+        )
+        selected_ids = {rule.rule_id for rule in rules}
+        all_findings = []
+        suppressed = 0
+        noqa_by_relpath: Dict[str, Dict[int, FrozenSet[str]]] = {}
+        for summary in index.summaries:
+            noqa_by_relpath.setdefault(summary.relpath, summary.noqa_map())
+            suppressed += summary.suppressed
+            for payload in summary.findings:
+                item = Finding.from_dict(payload)
+                if item.rule == "RPR000" or item.rule in selected_ids:
+                    all_findings.append(item)
+        project_rules = [rule for rule in rules if rule.requires_project]
+        if project_rules:
+            analysis = ProjectAnalysis.build(index)
+            for rule in project_rules:
+                by_path: Dict[str, List[Finding]] = {}
+                for item in rule.check_project(analysis):
+                    by_path.setdefault(item.path, []).append(item)
+                for relpath, scoped in by_path.items():
+                    kept, dropped = apply_noqa_map(
+                        scoped, noqa_by_relpath.get(relpath, {})
+                    )
+                    suppressed += dropped
+                    all_findings.extend(kept)
+        parsed = index.parsed_count
+    if report_relpaths is not None:
+        all_findings = [f for f in all_findings if f.path in report_relpaths]
     baselined = 0
     if baseline is not None:
         all_findings, baselined = baseline.filter(all_findings)
@@ -392,6 +614,7 @@ def lint_paths(
         files=len(files),
         suppressed=suppressed,
         baselined=baselined,
+        parsed=parsed,
     )
 
 

@@ -1,0 +1,324 @@
+"""The interprocedural rules: RPR006-RPR009.
+
+All four run on :class:`~repro.lint.project.analysis.ProjectAnalysis`
+(under ``mlcache lint --project``) and attach the witness call chain to
+every finding, e.g. ``run_functional -> _helper -> os.environ.get``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.lint.engine import Finding, Rule, register
+from repro.lint.project.analysis import FunctionNode, ProjectAnalysis
+from repro.lint.rules.memopurity import _STRICT_MODULES, _memo_pattern_name
+
+#: Human verbs for the effect kinds, used in diagnostics.
+_EFFECT_VERBS: Dict[str, str] = {
+    "reads-env": "reads the process environment",
+    "reads-clock": "reads a clock",
+    "raw-disk-write": "performs a raw disk write",
+    "spawns-process": "spawns a process",
+    "mutates-global": "mutates global state",
+}
+
+
+def _finding(
+    rule: Rule,
+    node: FunctionNode,
+    line: int,
+    message: str,
+    chain: Tuple[str, ...],
+) -> Finding:
+    return Finding(
+        rule=rule.rule_id,
+        path=node.relpath,
+        line=line,
+        column=1,
+        message=message,
+        severity=rule.severity,
+        chain=chain,
+    )
+
+
+@register
+class ArtifactWriteRule(Rule):
+    """RPR006: artifact bytes reach disk only through the integrity layer."""
+
+    rule_id = "RPR006"
+    name = "artifact-write-safety"
+    severity = "error"
+    exclude = ("resilience/integrity.py",)
+    requires_project = True
+    rationale = (
+        "Raw writes (open(.., 'w'), Path.write_text, json.dump, np.save) "
+        "can tear on crash or ENOSPC and leave a half-written artifact "
+        "that a resumed sweep would read as truth.  Every durable write "
+        "must go through resilience.integrity.atomic_write_text/_bytes "
+        "or atomic_writer (tmp file + fsync + rename); only integrity.py "
+        "itself touches the raw primitives."
+    )
+    explain = (
+        "The project analysis flags every raw disk-write sink outside "
+        "resilience/integrity.py, wherever it hides in the call graph.  "
+        "Writes through a ``with atomic_writer(path) as handle:`` handle "
+        "are exempt.  Example diagnostic:\n\n"
+        "  trace/dinero.py:31:1: RPR006 [error] raw artifact write "
+        "(open(.., \"w\")) ... [chain: write_dinero -> open(.., \"w\")]\n\n"
+        "Fix by routing the write through atomic_write_text, "
+        "atomic_write_bytes or atomic_writer; deliberate raw writes "
+        "(e.g. the chaos drill's vandalism) carry an explained "
+        "``# repro: noqa RPR006``."
+    )
+
+    def check_project(self, analysis: ProjectAnalysis) -> Iterator[Finding]:
+        for key in sorted(analysis.functions):
+            node = analysis.functions[key]
+            if not self.applies_to(node.relpath):
+                continue
+            for site in node.info.effects:
+                if site.kind != "raw-disk-write":
+                    continue
+                chain = analysis.root_chain(key) + (site.detail,)
+                yield _finding(
+                    self,
+                    node,
+                    site.line,
+                    f"raw artifact write ({site.detail}); route it through "
+                    "resilience.integrity.atomic_write_text/_bytes or "
+                    "atomic_writer",
+                    chain,
+                )
+
+
+@register
+class LockDisciplineRule(Rule):
+    """RPR007: journal/cache mutations happen under the advisory lock."""
+
+    rule_id = "RPR007"
+    name = "lock-discipline"
+    severity = "error"
+    requires_project = True
+    rationale = (
+        "The sweep journal and the shared workloads trace cache follow a "
+        "one-writer protocol: every mutation (write, rename, unlink, "
+        "quarantine) must happen inside an AdvisoryLock/SweepJournal "
+        "context.  A mutation reachable through a call path that never "
+        "acquires the lock races concurrent sweeps sharing the cache."
+    )
+    explain = (
+        "Applies to modules whose filename contains 'journal' or "
+        "'workloads'.  A mutation site is discharged when it is "
+        "lexically inside a lock region (``with AdvisoryLock(..)``, "
+        "``lock.acquire(..) ... lock.release()``), when its class "
+        "acquires the lock in ``__init__`` (SweepJournal), or when "
+        "every call path into its function passes through such a "
+        "region.  Otherwise the diagnostic shows one unlocked path:\n\n"
+        "  resilience/journal.py:42:1: RPR007 [error] ... "
+        "[chain: compact_journal -> _rewrite_segment -> atomic_write_text]"
+    )
+
+    @staticmethod
+    def _guarded(relpath: str) -> bool:
+        basename = relpath.rsplit("/", 1)[-1]
+        return "journal" in basename or "workloads" in basename
+
+    def check_project(self, analysis: ProjectAnalysis) -> Iterator[Finding]:
+        unprotected = analysis.unprotected_chains()
+        for key in sorted(analysis.functions):
+            node = analysis.functions[key]
+            if not self._guarded(node.relpath) or not self.applies_to(
+                node.relpath
+            ):
+                continue
+            if node.info.lock_guaranteed or key not in unprotected:
+                continue
+            seen: Set[Tuple[int, str]] = set()
+            for site in node.info.effects:
+                if site.kind not in ("raw-disk-write", "guarded-write"):
+                    continue
+                if site.locked or (site.line, site.detail) in seen:
+                    continue
+                seen.add((site.line, site.detail))
+                chain = unprotected[key] + (site.detail,)
+                yield _finding(
+                    self,
+                    node,
+                    site.line,
+                    f"mutation ({site.detail}) outside any AdvisoryLock/"
+                    "SweepJournal context, reachable without a lock",
+                    chain,
+                )
+
+
+@register
+class TransitiveMemoPurityRule(Rule):
+    """RPR008: RPR005 closed over the call graph."""
+
+    rule_id = "RPR008"
+    name = "transitive-memo-purity"
+    severity = "error"
+    scope = ("sim/",)
+    requires_project = True
+    rationale = (
+        "Memo keys assume functional behaviour: same arguments, same "
+        "result.  RPR005 checks each memo-path function body; this rule "
+        "closes the contract over the call graph, so a helper three "
+        "calls down that reads os.environ or a clock still poisons the "
+        "memo key -- and the diagnostic prints the propagated chain."
+    )
+    explain = (
+        "Roots are the RPR005 population: every function in the strict "
+        "sim modules (memo/fast/functional/hierarchy/stackdist) plus "
+        "memo-pattern names elsewhere under sim/.  The fixed-point "
+        "propagator attributes each transitive effect to the call site "
+        "where it enters the root:\n\n"
+        "  sim/fast.py:660:1: RPR008 [error] memo-path function "
+        "'run_functional' transitively reads the process environment "
+        "[chain: run_functional -> replay_chunk_records -> get -> "
+        "os.environ.get]\n\n"
+        "An inline ``# repro: noqa RPR008`` on the call line is an "
+        "effect *barrier*: it vouches for that subtree and stops the "
+        "propagation to callers (use with an explanatory comment)."
+    )
+
+    def _is_root(self, node: FunctionNode) -> bool:
+        if node.relpath in _STRICT_MODULES:
+            return True
+        return node.relpath.startswith("sim/") and _memo_pattern_name(
+            node.info.name
+        )
+
+    #: The kinds that poison a memo key: ambient *reads*.  Global
+    #: mutation is excluded on purpose -- the memo layer's own
+    #: idempotent cache fills are global writes, and a write never
+    #: changes what f(args) returns (fork divergence is RPR009's job).
+    _PURITY_KINDS = ("reads-env", "reads-clock")
+
+    def check_project(self, analysis: ProjectAnalysis) -> Iterator[Finding]:
+        effects = analysis.effect_map(barrier_rule=self.rule_id)
+        for key in sorted(analysis.functions):
+            node = analysis.functions[key]
+            if not self.applies_to(node.relpath) or not self._is_root(node):
+                continue
+            for kind in self._PURITY_KINDS:
+                witness = effects[key].get(kind)
+                if witness is None or not witness.inherited:
+                    continue  # direct effects are RPR005/RPR006 territory
+                chain = (node.info.name,) + witness.chain
+                yield _finding(
+                    self,
+                    node,
+                    witness.line,
+                    f"memo-path function '{node.info.name}' transitively "
+                    f"{_EFFECT_VERBS[kind]}",
+                    chain,
+                )
+
+
+@register
+class TransitiveForkSafetyRule(Rule):
+    """RPR009: pool callables stay safe through wrappers and locals."""
+
+    rule_id = "RPR009"
+    name = "transitive-fork-safety"
+    severity = "error"
+    requires_project = True
+    rationale = (
+        "RPR004 checks the literal arguments of run_pooled/Process "
+        "calls; this rule follows the value flow, so a lambda stashed "
+        "in a local, a callable forwarded through a wrapper function, "
+        "or a compute function that mutates globals three calls down "
+        "is still caught before it reaches a worker process."
+    )
+    explain = (
+        "A parameter-flow fixed point marks every function parameter "
+        "that ends up in a pool callable slot (run_pooled/_pool_map "
+        "slot 1, Process(target=...)); each concrete value observed at "
+        "a flowing slot is then checked: lambdas and nested functions "
+        "are not picklable under spawn, and callables that transitively "
+        "mutate module globals diverge between fork and spawn workers."
+        "\n\n  resilience/executor.py:90:1: RPR009 [error] ... "
+        "[chain: compute -> _submit -> run_pooled]"
+    )
+
+    def check_project(self, analysis: ProjectAnalysis) -> Iterator[Finding]:
+        effects = analysis.effect_map()
+        seen: Set[Tuple[str, int, str, str]] = set()
+        for flow in analysis.pool_flow_sites():
+            node = flow.caller
+            if not self.applies_to(node.relpath):
+                continue
+            arg = flow.arg
+            dedup = (node.key, flow.site.line, arg.slot, arg.name or "<lambda>")
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            display = arg.name or "lambda"
+            chain = (display,) + flow.chain
+            if arg.kind == "lambda":
+                if flow.direct:
+                    continue  # literal lambda at the entry: RPR004's catch
+                yield _finding(
+                    self,
+                    node,
+                    flow.site.line,
+                    "lambda flows into the worker pool through a wrapper; "
+                    "workers need a module-level function",
+                    chain,
+                )
+                continue
+            if arg.name in node.info.lambda_locals:
+                yield _finding(
+                    self,
+                    node,
+                    flow.site.line,
+                    f"'{arg.name}' is bound to a lambda and reaches the "
+                    "worker pool; workers need a module-level function",
+                    chain,
+                )
+                continue
+            if arg.name in node.info.nested_names:
+                if flow.direct:
+                    continue  # RPR004 flags nested names at the entry call
+                yield _finding(
+                    self,
+                    node,
+                    flow.site.line,
+                    f"nested function '{arg.name}' reaches the worker pool "
+                    "through a wrapper; workers need a module-level function",
+                    chain,
+                )
+                continue
+            target = analysis.resolve_local_name(node, arg.name)
+            if target is None:
+                continue
+            target_node = analysis.functions[target]
+            if target_node.info.is_nested:
+                if not flow.direct:
+                    yield _finding(
+                        self,
+                        node,
+                        flow.site.line,
+                        f"nested function '{arg.name}' reaches the worker "
+                        "pool through a wrapper",
+                        chain,
+                    )
+                continue
+            witness = effects[target].get("mutates-global")
+            if witness is None:
+                continue
+            direct_global = bool(target_node.info.mutated_globals)
+            same_module = target_node.module == node.module
+            if flow.direct and direct_global and same_module:
+                continue  # RPR004 already flags this at the entry call
+            effect_path = " -> ".join((target_node.info.name,) + witness.chain)
+            yield _finding(
+                self,
+                node,
+                flow.site.line,
+                f"pool callable '{arg.name}' transitively mutates global "
+                f"state ({effect_path}); workers must not rely on global "
+                "mutation",
+                chain,
+            )

@@ -4,6 +4,10 @@ Importing this package registers every rule with the engine's registry
 (each module applies the :func:`repro.lint.engine.register` decorator at
 import time).  ``engine.get_rules`` imports this package lazily, so rule
 modules may import the engine without a cycle.
+
+The intraprocedural rules (RPR001-RPR005) live here; the interprocedural
+rules (RPR006-RPR009) live in :mod:`repro.lint.project.rules` and are
+imported here for registration too.
 """
 
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
@@ -13,5 +17,13 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     memopurity,
     units,
 )
+from repro.lint.project import rules as project_rules  # noqa: F401
 
-__all__ = ["determinism", "envreads", "forksafety", "memopurity", "units"]
+__all__ = [
+    "determinism",
+    "envreads",
+    "forksafety",
+    "memopurity",
+    "units",
+    "project_rules",
+]

@@ -52,6 +52,7 @@ import time
 from pathlib import Path
 from typing import List
 
+from repro.resilience.integrity import atomic_write_text
 from repro.sim.config import LevelConfig, SystemConfig
 from repro.trace.multiprogram import MultiprogramScheduler, ProcessSpec
 from repro.trace.record import Trace
@@ -173,7 +174,7 @@ def _run_sweep(args) -> int:
         functional_grid = sweep_functional(traces, configs)
         timing_grid = sweep_timing(traces, configs)
     digest = grid_digest(functional_grid, timing_grid)
-    Path(args.digest_file).write_text(digest + "\n")
+    atomic_write_text(Path(args.digest_file), digest + "\n")
     print(f"digest {digest}")
     return 0
 
@@ -302,7 +303,7 @@ def _orchestrate(args) -> int:
     summary["golden_digest"] = golden
     summary["resumed_digest"] = resumed
     summary["identical"] = resumed == golden
-    (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    atomic_write_text(out / "summary.json", json.dumps(summary, indent=2) + "\n")
     if resumed != golden:
         print(f"[chaos] FAIL: resumed digest {resumed[:16]}... != "
               f"golden {golden[:16]}...")
@@ -340,7 +341,9 @@ def _vandalise(
     if stores:
         victim = stores[0]
         size = victim.stat().st_size
-        with open(victim, "r+b") as handle:
+        # Deliberate vandalism: the drill corrupts artifacts in place so the
+        # doctor has something to catch.
+        with open(victim, "r+b") as handle:  # repro: noqa RPR006
             handle.seek(size - 9)  # inside the addresses segment
             byte = handle.read(1)
             handle.seek(size - 9)
@@ -349,15 +352,18 @@ def _vandalise(
     if len(stores) > 1:
         stores[1].unlink()
         acts["deleted"] = stores[1].name
-    with open(journal, "a", encoding="utf-8") as handle:
+    # Torn-line injection must bypass the journal's own append path.
+    with open(journal, "a", encoding="utf-8") as handle:  # repro: noqa RPR006
         handle.write('{"t": "cell", "kind": "functional", "torn\n' * 80)
     acts["torn_journal_lines"] = 80
-    (cache / f"vandal.mlt.tmp-{dead_pid}-0").write_bytes(b"\x00" * 128)
+    # Fake crash residue: a stale tmp file the doctor must sweep up.
+    (cache / f"vandal.mlt.tmp-{dead_pid}-0").write_bytes(b"\x00" * 128)  # repro: noqa RPR006
     from repro.resilience.integrity import boot_id
 
+    # Stale lock from a dead pid -- planted raw on purpose.
     (cache / "vandal.lock").write_text(json.dumps(
         {"pid": dead_pid, "boot_id": boot_id(), "name": "vandal"}
-    ) + "\n")
+    ) + "\n")  # repro: noqa RPR006
     return acts
 
 
@@ -460,8 +466,9 @@ def _orchestrate_storage(args) -> int:
     summary["golden_digest"] = golden
     summary["resumed_digest"] = resumed
     summary["identical"] = resumed == golden
-    (out / "storage-summary.json").write_text(
-        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(
+        out / "storage-summary.json",
+        json.dumps(summary, indent=2, sort_keys=True) + "\n",
     )
     failures = []
     if resumed != golden:

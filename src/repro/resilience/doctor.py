@@ -57,7 +57,9 @@ class Finding:
     """One problem (or fix) the doctor has to report."""
 
     path: str
-    kind: str  # corrupt_store | journal_bloat | corrupt_json | orphan_tmp | stale_lock | held_lock | unreadable
+    #: corrupt_store | journal_bloat | corrupt_json | orphan_tmp |
+    #: stale_lock | held_lock | unreadable
+    kind: str
     detail: str
     #: Whether ``--fix`` knows a repair for this finding.
     fixable: bool = True

@@ -188,7 +188,12 @@ class SweepJournal:
             self._load()
         # "a" positions at end-of-file, so tell() doubles as a size check;
         # a non-resuming open truncates any stale journal.
-        self._handle = open(self.path, "a" if resume else "w", encoding="utf-8")
+        # The append-only journal *is* the durability layer here: every
+        # record is a full line fsynced on sync(), and the reader drops
+        # torn tails.  Atomic replace would defeat crash-resumability.
+        self._handle = open(  # repro: noqa RPR006
+            self.path, "a" if resume else "w", encoding="utf-8"
+        )
         if self._handle.tell() == 0:
             self._append(
                 {"t": "header", "schema": SCHEMA, "name": name, "pid": os.getpid()}
@@ -351,7 +356,7 @@ class SweepJournal:
             # Success: append to the fresh segment.  Failure: the old
             # segment was never touched (the damage, if any, is on the
             # orphaned tmp file), so appending there stays correct.
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle = open(self.path, "a", encoding="utf-8")  # repro: noqa RPR006
         self.dead = 0
         return dropped
 

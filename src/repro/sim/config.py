@@ -20,7 +20,7 @@ be described in files, mirroring the paper's workflow::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.cache.geometry import CacheGeometry

@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from repro.cache.cache import Cache
 from repro.sim.config import SystemConfig
-from repro.trace.record import IFETCH, READ, WRITE
+from repro.trace.record import IFETCH, WRITE
 
 
 @dataclass

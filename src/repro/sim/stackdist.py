@@ -480,7 +480,9 @@ def run_stackdist_grid(trace: Trace, config: SystemConfig) -> StackdistGridResul
             "level must be fast-eligible LRU); use run_functional"
         )
     warmup = trace.warmup
-    chunk = replay_chunk_records()
+    # Chunked histogram accumulation is count-identical to the one-shot
+    # pass (parity tests); REPRO_TRACE_CHUNK tunes residency only.
+    chunk = replay_chunk_records()  # repro: noqa RPR008
     if chunk is not None and chunk < len(trace):
         read_hist, write_hist, writebacks, upstream = _grid_histograms_chunked(
             trace, config, chunk
@@ -525,6 +527,7 @@ def run_stackdist_grid(trace: Trace, config: SystemConfig) -> StackdistGridResul
             memory_writes=stats.writebacks,
         )
         members.append(
-            (ways, maybe_audit_functional(trace, result, source="stackdist"))
+            # Validate-and-raise only; the result itself is untouched.
+            (ways, maybe_audit_functional(trace, result, source="stackdist"))  # repro: noqa RPR008
         )
     return StackdistGridResult(results=tuple(members))

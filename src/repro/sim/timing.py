@@ -35,8 +35,8 @@ re-entering the DRAM state machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
@@ -207,7 +207,6 @@ class _TimingEngine:
 
         icache = hierarchy.icache
         dcache = hierarchy.dcache
-        cpu_cycle = self.cpu_cycle
         instructions = 0
         for kind, address in records:
             if kind == IFETCH:

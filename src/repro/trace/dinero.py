@@ -27,9 +27,18 @@ _KIND_TO_DIN = {READ: 0, WRITE: 1, IFETCH: 2}
 
 
 def write_dinero(trace: Trace, path: Union[str, Path]) -> None:
-    """Write ``trace`` to ``path`` in Dinero ``.din`` format."""
-    with open(path, "w", encoding="ascii") as handle:
+    """Write ``trace`` to ``path`` in Dinero ``.din`` format.
+
+    The write is atomic (tmp file + fsync + rename): an exported trace
+    is either complete or absent, never torn.
+    """
+    from repro.resilience.integrity import atomic_writer
+
+    with atomic_writer(Path(path)) as raw:
+        handle = io.TextIOWrapper(raw, encoding="ascii")
         _write_dinero_stream(trace, handle)
+        handle.flush()
+        handle.detach()  # atomic_writer fsyncs and closes the raw handle
 
 
 def _write_dinero_stream(trace: Trace, handle: io.TextIOBase) -> None:

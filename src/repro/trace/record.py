@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -245,15 +246,24 @@ class Trace:
         (underscore-prefixed) entries describe in-memory cache state, not
         the trace, and are dropped.  Metadata must therefore be
         JSON-serialisable -- workload provenance (strings, numbers) is.
+        The write is atomic, preserving numpy's append-``.npz`` naming.
         """
-        np.savez_compressed(
-            path,
-            kinds=self.kinds,
-            addresses=self.addresses,
-            name=np.array(self.name),
-            warmup=np.array(self.warmup),
-            metadata=np.array(json.dumps(_derived_free_metadata(self.metadata))),
-        )
+        from repro.resilience.integrity import atomic_writer
+
+        target = Path(path)
+        if target.suffix != ".npz":
+            target = target.with_name(target.name + ".npz")
+        with atomic_writer(target) as handle:
+            np.savez_compressed(
+                handle,
+                kinds=self.kinds,
+                addresses=self.addresses,
+                name=np.array(self.name),
+                warmup=np.array(self.warmup),
+                metadata=np.array(
+                    json.dumps(_derived_free_metadata(self.metadata))
+                ),
+            )
 
     @classmethod
     def load(cls, path) -> "Trace":

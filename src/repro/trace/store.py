@@ -46,7 +46,10 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, NamedTuple, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
 
 import numpy as np
 
@@ -171,7 +174,7 @@ class TraceStore:
     addresses_digest: Optional[str] = None
 
     @classmethod
-    def save(cls, trace: Trace, path) -> "TraceStore":
+    def save(cls, trace: Trace, path: Union[str, Path]) -> "TraceStore":
         """Write ``trace`` to ``path`` in the store format, atomically.
 
         Derived metadata is dropped (as with :meth:`Trace.save`) except
@@ -235,7 +238,7 @@ class TraceStore:
         )
 
     @classmethod
-    def open(cls, path, verify: bool = False) -> "TraceStore":
+    def open(cls, path: Union[str, Path], verify: bool = False) -> "TraceStore":
         """Parse a store file's header; O(1) in the trace length.
 
         Any damage -- wrong magic, torn or unparseable header, segment
@@ -485,7 +488,7 @@ def export_traces(traces: Sequence[Trace]) -> Tuple[List[TraceHandle], ShmLease]
 _ATTACHED: list = []
 
 
-def _attach_untracked(segment_name: str):
+def _attach_untracked(segment_name: str) -> "SharedMemory":
     """Attach a shared-memory segment without resource-tracker tracking.
 
     On this Python, ``SharedMemory.__init__`` registers the segment with

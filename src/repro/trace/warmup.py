@@ -9,7 +9,6 @@ carrying a ``warmup`` marker on every trace: simulators run the full trace
 from __future__ import annotations
 
 from repro.trace.record import Trace, strip_derived_metadata
-from repro.units import check_power_of_two
 
 
 def warmup_boundary(

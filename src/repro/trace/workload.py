@@ -13,7 +13,7 @@ inconsistent with its RISC framing (see DESIGN.md section 2); we default to a
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache import Cache, CacheGeometry, FetchPolicy, WritePolicy
-from repro.units import KB
 
 
 def small_cache(**kwargs):

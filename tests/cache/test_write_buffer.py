@@ -1,6 +1,8 @@
 """Tests for the inter-level write buffer timing model."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cache.write_buffer import WriteBuffer
 
@@ -108,10 +110,6 @@ class TestStatistics:
         for i in range(5):
             buffer.push(i, now=i * 100.0)
         assert buffer.total_pushes == 5
-
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 
 @settings(max_examples=60, deadline=None)

@@ -135,7 +135,6 @@ class TestSingleLevelCeiling:
 
 
 class TestOptimalL1Sweep:
-    from repro.units import KB as _KB
 
     def _sweep(self, small_traces, base_config, l2_speeds):
         from repro.core.optimizer import optimal_l1_sweep

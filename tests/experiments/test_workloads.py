@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments.workloads import build_trace, paper_trace_suite
-from repro.trace.record import IFETCH, WRITE
 from repro.trace.stats import TraceStatistics
 
 

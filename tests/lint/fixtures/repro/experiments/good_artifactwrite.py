@@ -1,0 +1,23 @@
+"""RPR006 good fixture: every durable write rides the integrity layer.
+
+``atomic_write_text`` for rendered text, ``atomic_writer`` for
+streaming bytes -- writes through the atomic handle are exempt because
+the context manager owns the tmp-file + fsync + rename dance.
+"""
+
+import json
+
+from repro.resilience.integrity import atomic_write_text, atomic_writer
+
+
+def _render(report):
+    return json.dumps(report, indent=2) + "\n"
+
+
+def save_report(report, path):
+    atomic_write_text(path, _render(report))
+
+
+def save_blob(payload, path):
+    with atomic_writer(path) as handle:
+        handle.write(payload)

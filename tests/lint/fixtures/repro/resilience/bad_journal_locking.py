@@ -1,0 +1,18 @@
+"""RPR007 bad fixture: a journal mutation reachable without the lock.
+
+``atomic_write_text`` makes the write crash-safe but not *race*-safe:
+nothing on the path ``compact_journal -> _rewrite_segment`` acquires
+the advisory lock, so two sweeps sharing the journal can interleave
+compactions.  The diagnostic must print that unlocked path.
+"""
+
+from repro.resilience.integrity import atomic_write_text
+
+
+def _rewrite_segment(path, lines):
+    atomic_write_text(path, "".join(lines))  # RPR007
+
+
+def compact_journal(path, lines):
+    kept = [line for line in lines if not line.startswith("#")]
+    _rewrite_segment(path, kept)

@@ -1,0 +1,26 @@
+"""RPR007 good fixture: every journal mutation happens under the lock.
+
+Both accepted shapes: the ``with AdvisoryLock(..)`` context, and the
+``acquire(..) ... try/finally: release()`` idiom the journal itself
+uses.  A helper called *from inside* a lock region is also discharged
+-- the region is traced through the call graph.
+"""
+
+from repro.resilience.integrity import AdvisoryLock, atomic_write_text
+
+
+def _rewrite_segment(path, lines):
+    atomic_write_text(path, "".join(lines))
+
+
+def compact_with_context(path, lines):
+    with AdvisoryLock(path.with_suffix(".lock"), name="journal"):
+        _rewrite_segment(path, lines)
+
+
+def compact_acquire_release(path, lines, lock):
+    lock.acquire(timeout_s=5.0)
+    try:
+        _rewrite_segment(path, lines)
+    finally:
+        lock.release()

@@ -1,0 +1,22 @@
+"""RPR009 good fixture: a module-level pure function through a wrapper.
+
+``_double`` is picklable and touches no globals, so forwarding it
+through ``_submit`` into the pool is fine -- the flow analysis must
+follow the same path it follows in the bad fixture and stay quiet.
+"""
+
+
+def run_pooled(items, fn, workers=2):
+    return [fn(item) for item in items]
+
+
+def _submit(items, fn):
+    return run_pooled(items, fn)
+
+
+def _double(item):
+    return item * 2
+
+
+def double_all(items):
+    return _submit(items, _double)

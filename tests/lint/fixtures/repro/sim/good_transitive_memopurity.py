@@ -1,0 +1,21 @@
+"""RPR008 good fixture: memo roots whose whole call tree is pure.
+
+The helpers compute only from their arguments, so the fixed point
+propagates no effects into the roots.
+"""
+
+
+def _block_count(trace, block_bytes):
+    return (len(trace) + block_bytes - 1) // block_bytes
+
+
+def _cell(trace, config):
+    return (config, _block_count(trace, 16))
+
+
+def run_functional_grid(trace, configs):
+    return [_cell(trace, config) for config in configs]
+
+
+def grid_projection(grid):
+    return [cell for cell in grid if cell is not None]

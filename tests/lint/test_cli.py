@@ -1,6 +1,8 @@
-"""CLI tests: exit codes, formats, baseline flags, ``mlcache lint``."""
+"""CLI tests: exit codes, formats, baseline flags, project/changed
+scoping, ``--explain``, engine-crash reporting, ``mlcache lint``."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.lint.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
@@ -68,8 +70,100 @@ def test_corrupt_baseline_is_usage_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
-    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+    for rule_id in (
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+        "RPR006", "RPR007", "RPR008", "RPR009",
+    ):
         assert rule_id in out
+    assert "(project)" in out and "(per-file)" in out
+
+
+# -- project toggle ----------------------------------------------------------
+
+BAD_PROJECT = str(FIXTURES / "sim" / "bad_transitive_memopurity.py")
+
+
+def test_project_analysis_is_the_default(capsys):
+    assert main([BAD_PROJECT, "--no-baseline"]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "RPR008" in out and "[chain:" in out
+
+
+def test_no_project_skips_interprocedural_rules(capsys):
+    assert main([BAD_PROJECT, "--no-project", "--no-baseline"]) == EXIT_CLEAN
+
+
+# -- --explain ---------------------------------------------------------------
+
+
+def test_explain_prints_the_rule_documentation(capsys):
+    assert main(["--explain", "RPR008"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "transitive-memo-purity" in out
+    assert "barrier" in out  # the noqa-barrier semantics are documented
+
+
+def test_explain_unknown_rule_is_usage_error(capsys):
+    assert main(["--explain", "RPR999"]) == EXIT_USAGE
+    assert "unknown rule" in capsys.readouterr().err
+
+
+# -- --changed ---------------------------------------------------------------
+
+
+def _git(tmp_path, *argv):
+    subprocess.run(
+        ["git", *argv], cwd=tmp_path, check=True, capture_output=True,
+        env={"PATH": "/usr/bin:/bin", "HOME": str(tmp_path),
+             "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+             "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+    )
+
+
+def test_changed_scopes_the_report_to_touched_files(tmp_path, monkeypatch, capsys):
+    root = tmp_path / "repro" / "sim"
+    root.mkdir(parents=True)
+    committed = root / "old_bad.py"
+    committed.write_text("import time\n\ndef f():\n    return time.time()\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    fresh = root / "new_bad.py"
+    fresh.write_text("import time\n\ndef g():\n    return time.time()\n")
+    monkeypatch.chdir(tmp_path)
+
+    # Full run sees both files' findings; --changed reports only the
+    # uncommitted one (the committed violation is outside the diff).
+    assert main([str(tmp_path / "repro"), "--no-baseline"]) == EXIT_FINDINGS
+    assert "old_bad.py" in capsys.readouterr().out
+    assert main(
+        [str(tmp_path / "repro"), "--changed", "--no-baseline"]
+    ) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "new_bad.py" in out and "old_bad.py" not in out
+
+
+def test_changed_outside_a_git_repo_is_usage_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+    (tmp_path / "x.py").write_text("pass\n")
+    assert main([str(tmp_path / "x.py"), "--changed", "--no-baseline"]) == EXIT_USAGE
+    assert "--changed" in capsys.readouterr().err
+
+
+# -- engine crash ------------------------------------------------------------
+
+
+def test_engine_crash_exits_two_not_clean(monkeypatch, capsys):
+    from repro.lint.project.indexer import ProjectIndex
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("boom in the analyzer")
+
+    monkeypatch.setattr(ProjectIndex, "build", classmethod(explode))
+    assert main([GOOD, "--no-baseline"]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "internal error" in err and "boom in the analyzer" in err
 
 
 def test_mlcache_lint_subcommand(capsys):

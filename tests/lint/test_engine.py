@@ -60,6 +60,45 @@ def test_inline_suppression_other_rule_does_not_apply():
     assert [f.rule for f in check_source(source, "sim/x.py")] == ["RPR001"]
 
 
+def test_noqa_on_last_line_covers_the_whole_statement():
+    """Regression: a finding anchored to a multi-line statement's first
+    line must honour a directive on any of the statement's lines."""
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    return max(\n"
+        "        time.time(),\n"
+        "        0.0,\n"
+        "    )  # repro: noqa RPR001 -- display only\n"
+    )
+    assert check_source(source, "sim/x.py") == []
+
+
+def test_noqa_on_first_line_covers_later_lines():
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    return max(  # repro: noqa RPR001\n"
+        "        time.time(),\n"
+        "        0.0,\n"
+        "    )\n"
+    )
+    assert check_source(source, "sim/x.py") == []
+
+
+def test_compound_statement_noqa_spans_the_header_only():
+    """A directive on an ``if``/``with``/``def`` header must not leak
+    into the suite -- that would be a file-wide blanket in disguise."""
+    source = (
+        "import time\n"
+        "def f(x):\n"
+        "    if x:  # repro: noqa RPR001\n"
+        "        return time.time()\n"
+        "    return 0\n"
+    )
+    assert [f.rule for f in check_source(source, "sim/x.py")] == ["RPR001"]
+
+
 # -- baseline ----------------------------------------------------------------
 
 
@@ -76,6 +115,40 @@ def test_baseline_round_trip(tmp_path):
     loaded = Baseline.load(path)
     kept, matched = loaded.filter(list(findings))
     assert kept == [] and matched == 3
+
+
+def test_chain_fingerprint_ignores_lines_and_message():
+    """Interprocedural findings baseline on the witness chain: moving a
+    helper or rewording the diagnostic must not churn the baseline."""
+    a = Finding(
+        rule="RPR006", path="sim/x.py", line=3, column=1,
+        message="raw artifact write", chain=("save", "_dump", 'open(.., "w")'),
+    )
+    b = Finding(
+        rule="RPR006", path="sim/x.py", line=90, column=1,
+        message="reworded", chain=("save", "_dump", 'open(.., "w")'),
+    )
+    assert a.fingerprint == b.fingerprint
+
+
+def test_chain_fingerprint_distinguishes_chains():
+    a = Finding(
+        rule="RPR006", path="sim/x.py", line=3, column=1,
+        message="m", chain=("save", "_dump"),
+    )
+    b = Finding(
+        rule="RPR006", path="sim/x.py", line=3, column=1,
+        message="m", chain=("save", "_other"),
+    )
+    assert a.fingerprint != b.fingerprint
+
+
+def test_chain_round_trips_through_dict():
+    a = Finding(
+        rule="RPR009", path="core/x.py", line=7, column=1,
+        message="m", chain=("f", "g", "run_pooled"),
+    )
+    assert Finding.from_dict(a.as_dict()) == a
 
 
 def test_baseline_fingerprint_ignores_line_numbers():
@@ -145,13 +218,27 @@ def test_package_relpath_fallback_is_filename():
 # -- registry ----------------------------------------------------------------
 
 
-def test_get_rules_returns_all_five():
+def test_get_rules_returns_all_nine():
     assert [rule.rule_id for rule in get_rules()] == [
         "RPR001",
         "RPR002",
         "RPR003",
         "RPR004",
         "RPR005",
+        "RPR006",
+        "RPR007",
+        "RPR008",
+        "RPR009",
+    ]
+
+
+def test_project_rules_are_marked_as_such():
+    flavours = {r.rule_id: r.requires_project for r in get_rules()}
+    assert [rid for rid, proj in flavours.items() if proj] == [
+        "RPR006",
+        "RPR007",
+        "RPR008",
+        "RPR009",
     ]
 
 

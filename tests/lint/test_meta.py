@@ -15,10 +15,20 @@ BASELINE = REPO_ROOT / "lint-baseline.json"
 
 
 def test_source_tree_is_lint_clean():
-    result = lint_paths([SRC], baseline=Baseline.load(BASELINE))
+    """The full check, project analysis included: src/ must be clean
+    under all nine rules with the committed (empty) baseline."""
+    result = lint_paths([SRC], baseline=Baseline.load(BASELINE), project=True)
     rendered = "\n".join(item.render() for item in result.findings)
     assert result.exit_code == 0, f"lint findings in src/:\n{rendered}"
     assert result.files > 50  # the whole tree was actually visited
+
+
+def test_source_tree_is_clean_under_each_project_rule():
+    """Per-rule pass so a regression names the contract it broke."""
+    for rule_id in ("RPR006", "RPR007", "RPR008", "RPR009"):
+        result = lint_paths([SRC], select=[rule_id], project=True)
+        rendered = "\n".join(item.render() for item in result.findings)
+        assert result.exit_code == 0, f"{rule_id} findings:\n{rendered}"
 
 
 def test_committed_baseline_is_empty():

@@ -1,0 +1,167 @@
+"""Behavioural tests for the interprocedural rules RPR006-RPR009:
+witness chains, cross-module propagation, noqa barriers, and the
+dedup boundaries against their per-file counterparts."""
+
+from pathlib import Path
+
+from repro.lint import check_source, lint_paths, package_relpath
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+def _lint_fixture(relative):
+    path = FIXTURES / relative
+    return check_source(path.read_text(), package_relpath(path))
+
+
+def _lint_tree(tmp_path, modules):
+    root = tmp_path / "repro"
+    for relative, source in modules.items():
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return lint_paths([root], project=True)
+
+
+# -- witness chains ----------------------------------------------------------
+
+
+def test_artifactwrite_chain_names_the_call_path():
+    findings = _lint_fixture("experiments/bad_artifactwrite.py")
+    assert findings[0].chain == ("save_report", "_raw_dump", 'open(.., "w")')
+    assert "chain: save_report -> _raw_dump" in findings[0].render()
+
+
+def test_lock_discipline_chain_shows_one_unlocked_path():
+    (finding,) = _lint_fixture("resilience/bad_journal_locking.py")
+    assert finding.chain == (
+        "compact_journal", "_rewrite_segment", "atomic_write_text",
+    )
+
+
+def test_memopurity_chain_is_three_hops_deep():
+    findings = _lint_fixture("sim/bad_transitive_memopurity.py")
+    assert findings[0].chain == (
+        "run_functional_grid", "_chunk_hint", "_read_knob", "os.environ.get",
+    )
+
+
+def test_forksafety_chain_traces_the_wrapper():
+    findings = _lint_fixture("resilience/bad_transitive_forksafety.py")
+    assert findings[1].chain == ("lambda", "_submit", "run_pooled")
+
+
+# -- cross-module propagation ------------------------------------------------
+
+
+def test_effects_propagate_across_modules(tmp_path):
+    result = _lint_tree(tmp_path, {
+        "sim/helpers_mod.py": (
+            "import os\n\n"
+            "def leak():\n"
+            "    return os.environ.get('MLCACHE_X')\n"
+        ),
+        "sim/gridmod.py": (
+            "from repro.sim.helpers_mod import leak\n\n"
+            "def run_functional_x(trace):\n"
+            "    return leak()\n"
+        ),
+    })
+    (finding,) = result.findings
+    assert finding.rule == "RPR008"
+    assert finding.path == "sim/gridmod.py"
+    assert finding.chain == ("run_functional_x", "leak", "os.environ.get")
+
+
+def test_raw_write_in_helper_module_blames_the_writer(tmp_path):
+    result = _lint_tree(tmp_path, {
+        "core/sink.py": (
+            "def spill(path, text):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(text)\n"
+        ),
+        "core/caller.py": (
+            "from repro.core.sink import spill\n\n"
+            "def publish(path):\n"
+            "    spill(path, 'x')\n"
+        ),
+    })
+    (finding,) = result.findings
+    assert finding.rule == "RPR006" and finding.path == "core/sink.py"
+
+
+# -- noqa barriers -----------------------------------------------------------
+
+
+_BARRIER_TEMPLATE = (
+    "import os\n\n"
+    "def _knob():\n"
+    "    return os.environ.get('MLCACHE_X')\n\n"
+    "def _hint():\n"
+    "    return _knob(){noqa}\n\n"
+    "def run_functional_grid(trace, configs):\n"
+    "    return (_hint(), trace, configs)\n"
+)
+
+
+def test_rpr008_fires_without_the_barrier():
+    findings = check_source(
+        _BARRIER_TEMPLATE.format(noqa=""), "sim/barrier.py"
+    )
+    assert [f.rule for f in findings] == ["RPR008"]
+
+
+def test_rpr008_noqa_is_an_effect_barrier():
+    """A noqa'd call line vouches for the whole subtree: the effect must
+    not resurface in callers further up."""
+    findings = check_source(
+        _BARRIER_TEMPLATE.format(noqa="  # repro: noqa RPR008 -- vouched"),
+        "sim/barrier.py",
+    )
+    assert findings == []
+
+
+# -- rule-specific discharge paths -------------------------------------------
+
+
+def test_atomic_writer_handle_is_exempt():
+    assert _lint_fixture("experiments/good_artifactwrite.py") == []
+
+
+def test_class_lock_guarantee_discharges_methods():
+    source = (
+        "from repro.resilience.integrity import AdvisoryLock, atomic_write_text\n\n"
+        "class SegmentJournal:\n"
+        "    def __init__(self, path):\n"
+        "        self.path = path\n"
+        "        self._lock = AdvisoryLock(path.with_suffix('.lock'))\n"
+        "        self._lock.acquire(timeout_s=5.0)\n\n"
+        "    def record(self, line):\n"
+        "        atomic_write_text(self.path, line)\n"
+    )
+    assert check_source(source, "resilience/journalfile.py") == []
+
+
+def test_lock_region_traced_through_helpers():
+    assert _lint_fixture("resilience/good_journal_locking.py") == []
+
+
+def test_direct_literal_lambda_is_left_to_rpr004():
+    """RPR009 must not duplicate RPR004's finding for a lambda written
+    literally at the pool entry call."""
+    source = (
+        "def run_pooled(items, fn, workers=2):\n"
+        "    return [fn(item) for item in items]\n\n"
+        "def go(items):\n"
+        "    return run_pooled(items, lambda item: item + 1)\n"
+    )
+    findings = check_source(source, "resilience/poolmod.py")
+    assert [f.rule for f in findings] == ["RPR004"]
+
+
+def test_project_rules_silent_without_project_analysis():
+    path = FIXTURES / "sim" / "bad_transitive_memopurity.py"
+    findings = check_source(
+        path.read_text(), package_relpath(path), project=False
+    )
+    assert findings == []

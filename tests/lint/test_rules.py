@@ -26,6 +26,10 @@ GOOD_FIXTURES = [
     "core/good_envread.py",
     "resilience/good_forksafety.py",
     "sim/good_memopurity.py",
+    "experiments/good_artifactwrite.py",
+    "resilience/good_journal_locking.py",
+    "sim/good_transitive_memopurity.py",
+    "resilience/good_transitive_forksafety.py",
 ]
 
 BAD_FIXTURES = {
@@ -34,6 +38,10 @@ BAD_FIXTURES = {
     "core/bad_envread.py": ("RPR003", 4),
     "resilience/bad_forksafety.py": ("RPR004", 5),
     "sim/bad_memopurity.py": ("RPR005", 4),
+    "experiments/bad_artifactwrite.py": ("RPR006", 2),
+    "resilience/bad_journal_locking.py": ("RPR007", 1),
+    "sim/bad_transitive_memopurity.py": ("RPR008", 2),
+    "resilience/bad_transitive_forksafety.py": ("RPR009", 3),
 }
 
 

@@ -1,7 +1,6 @@
 """The fault-injection harness: grammar, determinism, and the guarantee
 that an injected corruption cannot sneak past the audit invariants."""
 
-import dataclasses
 
 import pytest
 

@@ -19,7 +19,7 @@ from repro.audit import manifest as run_manifest
 from repro.core.sweep import sweep_functional
 from repro.resilience import executor
 from repro.resilience.executor import Cell
-from repro.resilience.faults import FaultPlan, _uniform_draw, cell_signature
+from repro.resilience.faults import _uniform_draw, cell_signature
 from repro.resilience.policy import FailureReport, RetryPolicy, SweepFailure
 from repro.sim import memo
 from repro.sim.fast import run_functional

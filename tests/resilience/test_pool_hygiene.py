@@ -2,8 +2,6 @@
 processes.  Regression tests for the KeyboardInterrupt pool leak."""
 
 import multiprocessing
-import os
-import time
 
 import pytest
 

@@ -1,6 +1,8 @@
 """Tests for the machine description and its text format."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cache.policy import WritePolicy
 from repro.memory.main_memory import MemoryTiming
@@ -203,10 +205,6 @@ class TestFormatConfig:
         assert format_size(4 * KB) == "4KB"
         assert format_size(2 * MB) == "2MB"
         assert format_size(48) == "48B"
-
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 
 @settings(max_examples=50, deadline=None)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.config import LevelConfig, SystemConfig
 from repro.sim.functional import FunctionalSimulator, simulate_miss_ratios
-from repro.trace.record import IFETCH, READ, WRITE, Trace
+from repro.trace.record import READ, WRITE, Trace
 from repro.trace.workload import SyntheticWorkload
 from repro.units import KB
 

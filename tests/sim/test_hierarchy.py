@@ -1,6 +1,5 @@
 """Tests for functional access propagation through the hierarchy."""
 
-import pytest
 
 from repro.sim.config import LevelConfig, SystemConfig
 from repro.sim.hierarchy import CacheHierarchy

@@ -2,12 +2,11 @@
 
 import dataclasses
 
-import pytest
 
 from repro.sim.config import LevelConfig, SystemConfig
 from repro.sim.functional import simulate_miss_ratios
 from repro.sim.hierarchy import CacheHierarchy
-from repro.trace.record import READ, WRITE, Trace
+from repro.trace.record import READ, WRITE
 from repro.trace.workload import SyntheticWorkload
 from repro.units import KB
 

@@ -6,7 +6,10 @@ The scenarios encode the paper's base-machine latencies (section 2):
 backplane data cycles), with the DRAM recovery window adding up to 120 ns.
 """
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.config import LevelConfig, SystemConfig
 from repro.sim.timing import TimingSimulator, simulate_execution_time
@@ -80,10 +83,10 @@ class TestMissPenalties:
 class TestWriteTiming:
     def test_write_hit_does_not_stall_the_writer(self):
         warm = [(READ, 0x5000)]
-        result = run(warm + [(IFETCH, 0x0), (WRITE, 0x5000)], warmup=3)
+        run(warm + [(IFETCH, 0x0), (WRITE, 0x5000)], warmup=3)
         # Only the measured ifetch advances time (warmup covers everything
         # else); actually warmup=3 leaves nothing measured -- use explicit:
-        result = run([(IFETCH, 0x0), (WRITE, 0x5000)] , warmup=0)
+        run([(IFETCH, 0x0), (WRITE, 0x5000)], warmup=0)
 
     def test_write_occupies_dcache_for_two_cycles(self):
         # warm L1I with 0x0 and L1D with 0x5000/0x5010.
@@ -252,11 +255,6 @@ class TestThreeLevelTiming:
         trace = Trace.from_records(warm + [(IFETCH, 0x0)], warmup=2)
         result = simulate_execution_time(trace, self.three_level())
         assert result.total_ns == pytest.approx(10.0 + 30.0)
-
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
-import numpy as np
 
 
 @st.composite

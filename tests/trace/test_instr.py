@@ -43,7 +43,9 @@ class TestInstructionStream:
     def test_mean_run_length_controls_sequentiality(self):
         short = InstructionStreamGenerator(mean_run_length=2.0, seed=4)
         long = InstructionStreamGenerator(mean_run_length=30.0, seed=4)
-        frac = lambda g: np.mean(np.diff(g.addresses(20_000).astype(np.int64)) == 4)
+        def frac(g):
+            return np.mean(np.diff(g.addresses(20_000).astype(np.int64)) == 4)
+
         assert frac(long) > frac(short)
 
     def test_hot_functions_dominate(self):

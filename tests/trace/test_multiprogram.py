@@ -50,12 +50,18 @@ class TestScheduling:
         assert switches >= 10
 
     def test_switch_interval_controls_switch_rate(self):
-        processes = lambda: [make_process(1), make_process(2)]
+        def processes():
+            return [make_process(1), make_process(2)]
+
         fine = MultiprogramScheduler(processes(), switch_interval=50, seed=4)
         coarse = MultiprogramScheduler(processes(), switch_interval=2000, seed=4)
-        count_switches = lambda t: int(
-            np.count_nonzero(np.diff((t.addresses >> np.uint64(44)).astype(np.int64)))
-        )
+
+        def count_switches(t):
+            return int(
+                np.count_nonzero(
+                    np.diff((t.addresses >> np.uint64(44)).astype(np.int64))
+                )
+            )
         assert count_switches(fine.trace(20_000)) > 4 * count_switches(
             coarse.trace(20_000)
         )
@@ -79,9 +85,10 @@ class TestScheduling:
         assert trace.warmup == 1_000
 
     def test_deterministic_given_seed(self):
-        build = lambda: MultiprogramScheduler(
-            [make_process(1), make_process(2)], switch_interval=300, seed=7
-        )
+        def build():
+            return MultiprogramScheduler(
+                [make_process(1), make_process(2)], switch_interval=300, seed=7
+            )
         a = build().trace(8_000)
         b = build().trace(8_000)
         assert np.array_equal(a.addresses, b.addresses)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.trace.record import IFETCH, READ, WRITE
+from repro.trace.record import IFETCH
 from repro.trace.stats import TraceStatistics
 from repro.trace.workload import SyntheticWorkload
 
