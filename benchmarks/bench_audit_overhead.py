@@ -12,12 +12,12 @@ the observability layer captures (docs/observability.md).
 
 import json
 import sys
-import time
 
 import benchjson
 
 from repro.audit import manifest as run_manifest
 from repro.audit.invariants import ENV_KNOB
+from repro.core import clock
 from repro.core.sweep import sweep_functional, sweep_workers
 from repro.experiments.base import ExperimentReport
 from repro.experiments.baseline import base_machine
@@ -54,9 +54,9 @@ def _functional_leg(traces, configs):
     grid = None
     for _ in range(ROUNDS):
         memo.clear_memo_cache()
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         grid = sweep_functional(traces, configs)
-        seconds.append(time.perf_counter() - start)
+        seconds.append(watch.elapsed_s())
     return min(seconds), grid
 
 
@@ -71,9 +71,9 @@ def _timing_legs(trace, configs, monkeypatch):
 
     def one(audit):
         monkeypatch.setenv(ENV_KNOB, "1" if audit else "0")
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         results = [TimingSimulator(config).run(trace) for config in configs]
-        return time.perf_counter() - start, results
+        return watch.elapsed_s(), results
 
     plain_s, audited_s = [], []
     plain = audited = None

@@ -21,12 +21,12 @@ summary line goes to stdout for CI job summaries.
 """
 
 import sys
-import time
 
 import numpy as np
 
 import benchjson
 
+from repro.core import clock
 from repro.core.sweep import sweep_functional
 from repro.experiments import workloads
 from repro.experiments.base import ExperimentReport
@@ -71,10 +71,10 @@ def test_integrity_overhead(emit, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_STORE_VERIFY", "1" if verify else "0")
         workloads._memory_cache.clear()
         memo.clear_memo_cache()
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         traces = paper_trace_suite()
         grid = sweep_functional(traces, configs)
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed_s()
         memmapped = all(isinstance(t.addresses, np.memmap) for t in traces)
         return elapsed, grid, memmapped
 

@@ -19,10 +19,10 @@ summary line goes to stdout for CI job summaries.
 """
 
 import sys
-import time
 
 import benchjson
 
+from repro.core import clock
 from repro.core.sweep import sweep_functional
 from repro.experiments.base import ExperimentReport
 from repro.experiments.baseline import base_machine
@@ -63,9 +63,9 @@ def test_resilience_overhead(traces, emit, tmp_path, monkeypatch):
     def bare_leg():
         monkeypatch.delenv("REPRO_FAULTS", raising=False)
         memo.clear_memo_cache()
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         grid = sweep_functional(traces, configs)
-        return time.perf_counter() - start, grid
+        return watch.elapsed_s(), grid
 
     def instrumented_leg(rnd):
         # Zero-rate plan: every injection decision point runs, nothing
@@ -74,10 +74,10 @@ def test_resilience_overhead(traces, emit, tmp_path, monkeypatch):
             "REPRO_FAULTS", "worker_raise:0.0,corrupt_result:0.0"
         )
         memo.clear_memo_cache()
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         with journaling(tmp_path / f"bench-{rnd}.journal.jsonl") as journal:
             grid = sweep_functional(traces, configs)
-        return time.perf_counter() - start, grid, journal
+        return watch.elapsed_s(), grid, journal
 
     # Alternate which leg goes first each round: on a shared machine the
     # second leg of a pair systematically sees a different load than the
@@ -152,16 +152,16 @@ def test_resume_is_cheaper_than_recompute(traces, emit, tmp_path, monkeypatch):
     path = tmp_path / "resume.journal.jsonl"
 
     memo.clear_memo_cache()
-    start = time.perf_counter()
+    watch = clock.Stopwatch()
     with journaling(path):
         first = sweep_functional(traces, configs)
-    cold_s = time.perf_counter() - start
+    cold_s = watch.elapsed_s()
 
     memo.clear_memo_cache()
-    start = time.perf_counter()
+    watch = clock.Stopwatch()
     with journaling(path, resume=True):
         resumed = sweep_functional(traces, configs)
-    resume_s = time.perf_counter() - start
+    resume_s = watch.elapsed_s()
 
     identical = all(
         _counts(a) == _counts(b)

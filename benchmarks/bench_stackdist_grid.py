@@ -23,11 +23,10 @@ summaries, and the headline numbers land in ``results/BENCH.json`` via
 """
 
 import sys
-import time
 
 import benchjson
 
-from repro.core import sweep
+from repro.core import clock, sweep
 from repro.core.sweep import sweep_functional
 from repro.experiments.base import ExperimentReport
 from repro.experiments.baseline import base_machine
@@ -98,21 +97,21 @@ def test_stackdist_grid_speedup(traces, emit, monkeypatch):
     fast_results = {}
 
     def fast_leg():
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         for size, ways, config in grid:
             fast_results[(size, ways)] = [
                 FastFunctionalSimulator(config).run(trace) for trace in traces
             ]
-        return time.perf_counter() - start
+        return watch.elapsed_s()
 
     def stack_leg():
         memo.clear_memo_cache()
         stackdist.clear_front_cache()
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         rows = sweep_functional(
             traces, [config for _, _, config in grid], workers=1
         )
-        return time.perf_counter() - start, rows
+        return watch.elapsed_s(), rows
 
     fast_times, stack_times = [], []
     stack_rows = None

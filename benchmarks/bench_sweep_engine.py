@@ -18,10 +18,10 @@ number (the acceptance bar is >= 5x at the full 250k-record scale).  A
 """
 
 import sys
-import time
 
 import benchjson
 
+from repro.core import clock
 from repro.core.sweep import sweep_functional
 from repro.experiments.base import ExperimentReport
 from repro.experiments.baseline import base_machine
@@ -67,17 +67,17 @@ def test_sweep_engine_speedup(traces, emit):
     seed_results = {}
     seed_seconds = {}
     for size, ways, config in grid:
-        start = time.perf_counter()
+        watch = clock.Stopwatch()
         seed_results[(size, ways)] = [
             _seed_engine(trace, config) for trace in traces
         ]
-        seed_seconds[(size, ways)] = time.perf_counter() - start
+        seed_seconds[(size, ways)] = watch.elapsed_s()
     seed_total = sum(seed_seconds.values())
 
     memo.clear_memo_cache()
-    start = time.perf_counter()
+    watch = clock.Stopwatch()
     sweep_rows = sweep_functional(traces, [config for _, _, config in grid])
-    sweep_total = time.perf_counter() - start
+    sweep_total = watch.elapsed_s()
 
     identical = all(
         _counts(new) == _counts(old)

@@ -22,12 +22,12 @@ full-scale acceptance bars apply at >= 2M total records.
 
 import pickle
 import sys
-import time
 
 import numpy as np
 
 import benchjson
 
+from repro.core import clock
 from repro.experiments.base import ExperimentReport
 from repro.experiments.baseline import base_machine
 from repro.resilience.executor import Cell, run_pooled
@@ -97,44 +97,44 @@ def test_trace_store(traces, emit, tmp_path, monkeypatch):
     npz_open_s = store_open_s = 0.0
     for _ in range(OPEN_ROUNDS):
         for i in range(len(heap)):
-            start = time.perf_counter()
+            watch = clock.Stopwatch()
             Trace.load(tmp_path / f"t{i}.npz")
-            npz_open_s += time.perf_counter() - start
-            start = time.perf_counter()
+            npz_open_s += watch.elapsed_s()
+            watch = clock.Stopwatch()
             TraceStore.open(tmp_path / f"t{i}.mlt").as_trace()
-            store_open_s += time.perf_counter() - start
+            store_open_s += watch.elapsed_s()
     open_speedup = npz_open_s / store_open_s if store_open_s else float("inf")
 
     # -- leg 2: per-worker handoff cost -------------------------------------
     # Baseline: every worker start (including each restart) re-ships the
     # arrays -- one pickle round per worker.  Store path: the export runs
     # once per pool; workers pickle only the handles and attach.
-    start = time.perf_counter()
+    watch = clock.Stopwatch()
     for _ in range(WORKERS):
         pickle.loads(pickle.dumps(heap))
-    pickle_s = time.perf_counter() - start
-    start = time.perf_counter()
+    pickle_s = watch.elapsed_s()
+    watch = clock.Stopwatch()
     handles, lease = export_traces(heap)
-    export_s = time.perf_counter() - start
-    start = time.perf_counter()
+    export_s = watch.elapsed_s()
+    watch = clock.Stopwatch()
     for _ in range(WORKERS):
         resolve_traces(pickle.loads(pickle.dumps(handles)))
-    handle_s = time.perf_counter() - start
+    handle_s = watch.elapsed_s()
     lease.release()
     handoff_speedup = pickle_s / handle_s if handle_s else float("inf")
 
     # -- leg 3: end-to-end pooled sweep from the disk cache -----------------
-    start = time.perf_counter()
+    watch = clock.Stopwatch()
     heap_loaded = [Trace.load(tmp_path / f"t{i}.npz") for i in range(len(heap))]
     heap_counts = _pooled_counts(heap_loaded, config)
-    heap_sweep_s = time.perf_counter() - start
-    start = time.perf_counter()
+    heap_sweep_s = watch.elapsed_s()
+    watch = clock.Stopwatch()
     store_loaded = [
         TraceStore.open(tmp_path / f"t{i}.mlt").as_trace()
         for i in range(len(heap))
     ]
     store_counts = _pooled_counts(store_loaded, config)
-    store_sweep_s = time.perf_counter() - start
+    store_sweep_s = watch.elapsed_s()
     sweep_speedup = heap_sweep_s / store_sweep_s if store_sweep_s else float("inf")
     sweep_parity = heap_counts == store_counts
 

@@ -15,10 +15,40 @@ capture.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import socket
+import subprocess
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 _notes: List[Dict[str, Any]] = []
+
+
+def provenance() -> Dict[str, Any]:
+    """Where and on what these numbers were measured.
+
+    A BENCH.json row without provenance is a number without a context:
+    comparing wall times across PRs only means something when the host,
+    core count and interpreter match (and the git sha says exactly what
+    ran).  Merged into every row by :func:`write`.
+    """
+    info: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "host": socket.gethostname(),
+    }
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        if proc.returncode == 0:
+            info["git_sha"] = proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass  # not a git checkout (tarball run): row just omits the sha
+    return info
 
 
 def note(
@@ -57,10 +87,18 @@ def reset() -> None:
 
 
 def write(path) -> Path:
-    """Serialise the collected notes to ``path`` as JSON."""
+    """Serialise the collected notes to ``path`` as JSON.
+
+    Every row carries the same :func:`provenance` fields (git sha,
+    python version, cpu count, hostname) so rows stay self-describing
+    when BENCH.json files from different runs are concatenated or
+    diffed.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    prov = provenance()
+    rows = [{**prov, **entry} for entry in collected()]
     path.write_text(
-        json.dumps({"benchmarks": collected()}, indent=2, sort_keys=True) + "\n"
+        json.dumps({"benchmarks": rows}, indent=2, sort_keys=True) + "\n"
     )
     return path

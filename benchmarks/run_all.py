@@ -46,6 +46,7 @@ BENCHES = {
     "audit-overhead": "bench_audit_overhead.py",
     "resilience-overhead": "bench_resilience_overhead.py",
     "integrity-overhead": "bench_integrity_overhead.py",
+    "telemetry-overhead": "bench_telemetry_overhead.py",
     "trace-store": "bench_trace_store.py",
 }
 

@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.audit.invariants import audit_enabled
 from repro.sim import memo
 from repro.trace.record import Trace
@@ -39,8 +40,11 @@ from repro.trace.record import Trace
 #: reports, worker-folded memo counters); 3 added the stack-distance
 #: planner counters (``stackdist_groups``/``cells_derived``) and changed
 #: what ``simulated`` means on functional sweeps (per-cell simulations
-#: only, excluding grid-derived cells).
-SCHEMA = 3
+#: only, excluding grid-derived cells); 4 added the ``telemetry``
+#: section (the per-phase ``phase_ns`` span tree and counter deltas for
+#: this recording window; ``{"enabled": false}`` when REPRO_TELEMETRY
+#: is off).
+SCHEMA = 4
 
 
 @dataclass
@@ -95,6 +99,7 @@ class RunManifest:
         stats = memo.memo_stats()
         self._memo_before = (stats.hits, stats.misses, stats.evictions)
         self._fold_before = memo.worker_fold_snapshot()
+        self._telemetry_mark = telemetry.mark()
 
     # -- recording -----------------------------------------------------------
 
@@ -198,6 +203,7 @@ class RunManifest:
             },
             "failures": list(self.failures),
             "phases": list(self.phases),
+            "telemetry": telemetry.manifest_section(self._telemetry_mark),
             "extra": dict(self.extra),
         }
 

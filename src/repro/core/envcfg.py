@@ -415,6 +415,33 @@ LOCK_TIMEOUT_S = register(
     section="storage",
 )
 
+TELEMETRY = register(
+    "REPRO_TELEMETRY",
+    kind="flag",
+    default=False,
+    doc=(
+        "Record sweep telemetry: timing spans and counters from the "
+        "planner, kernels, memo, journal, store and worker pool stream "
+        "to a JSONL sink (see REPRO_TELEMETRY_PATH). Off by default; "
+        "disabled spans are no-ops."
+    ),
+    parse=parse_bool,
+    section="telemetry",
+)
+
+TELEMETRY_PATH = register(
+    "REPRO_TELEMETRY_PATH",
+    kind="path",
+    default="run.telemetry.jsonl",
+    doc=(
+        "Where the telemetry sink is written when REPRO_TELEMETRY is "
+        "on. Only the supervisor process writes it; `mlcache telemetry "
+        "report`/`export` and `mlcache doctor` read it."
+    ),
+    parse=parse_str,
+    section="telemetry",
+)
+
 
 # -- generated documentation -------------------------------------------------
 

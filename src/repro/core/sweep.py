@@ -47,11 +47,11 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.audit import manifest as run_manifest
-from repro.core import envcfg
+from repro.core import clock, envcfg
 from repro.audit.invariants import (
     audit_enabled,
     audit_functional_result,
@@ -353,45 +353,66 @@ def sweep_functional(
     to any active run manifest, and completed cells are already in the
     memo cache and the active checkpoint journal.
     """
-    started = time.perf_counter()
     traces = list(traces)
     configs = list(configs)
     if not traces or not configs:
         raise ValueError("need at least one trace and one configuration")
+    with telemetry.span(
+        "sweep.functional", configs=len(configs), traces=len(traces)
+    ):
+        return _sweep_functional_grid(
+            traces, configs, workers, on_failure, failures
+        )
+
+
+def _sweep_functional_grid(
+    traces: List[Trace],
+    configs: List[SystemConfig],
+    workers: Optional[int],
+    on_failure: str,
+    failures: Optional[List[FailureReport]],
+) -> List[List[Optional[FunctionalResult]]]:
+    watch = clock.Stopwatch()
     journal = current_journal()
     faults = FaultPlan.from_env()
-    keys = [
-        [memo.memo_key(trace, config) for trace in traces]
-        for config in configs
-    ]
-    # One representative cell per distinct un-cached key, in first-seen
-    # (config-major) order so results are reproducible cell by cell.
-    pending: List[Cell] = []
-    pending_keys: List[Tuple] = []
-    seen = set()
-    resumed = 0
-    for i, config in enumerate(configs):
-        for j in range(len(traces)):
-            key = keys[i][j]
-            if key in seen or memo.peek(key) is not None:
-                continue
-            if journal is not None:
-                restored = journal.restore("functional", key, config)
-                if restored is not None:
-                    memo.store(key, restored)
-                    resumed += 1
+    with telemetry.span("sweep.plan"):
+        keys = [
+            [memo.memo_key(trace, config) for trace in traces]
+            for config in configs
+        ]
+        # One representative cell per distinct un-cached key, in
+        # first-seen (config-major) order so results are reproducible
+        # cell by cell.
+        pending: List[Cell] = []
+        pending_keys: List[Tuple] = []
+        seen = set()
+        resumed = 0
+        for i, config in enumerate(configs):
+            for j in range(len(traces)):
+                key = keys[i][j]
+                if key in seen or memo.peek(key) is not None:
                     continue
-            seen.add(key)
-            pending.append(
-                Cell(len(pending), j, config, cell_signature("functional", j, key[1]))
-            )
-            pending_keys.append(key)
+                if journal is not None:
+                    restored = journal.restore("functional", key, config)
+                    if restored is not None:
+                        memo.store(key, restored)
+                        resumed += 1
+                        continue
+                seen.add(key)
+                pending.append(
+                    Cell(
+                        len(pending), j, config,
+                        cell_signature("functional", j, key[1]),
+                    )
+                )
+                pending_keys.append(key)
 
-    # Plan: cells that differ only in deepest-level associativity share
-    # one stack-distance pass; everything else simulates per cell.
-    groups, group_member_keys, singles, single_keys = _plan_stackdist(
-        pending, pending_keys, stackdist_enabled()
-    )
+        # Plan: cells that differ only in deepest-level associativity
+        # share one stack-distance pass; everything else simulates per
+        # cell.
+        groups, group_member_keys, singles, single_keys = _plan_stackdist(
+            pending, pending_keys, stackdist_enabled()
+        )
 
     def on_group_result(cell: Cell, result: StackdistGridResult) -> None:
         # Fan every derived member into the memo cache: the members this
@@ -447,7 +468,7 @@ def sweep_functional(
         simulated=len(singles),
         workers=used_workers,
         pooled=pooled,
-        seconds=time.perf_counter() - started,
+        seconds=watch.elapsed_s(),
         resumed=resumed,
         retries=group_outcome.retries + outcome.retries,
         timeouts=group_outcome.timeouts + outcome.timeouts,
@@ -483,11 +504,24 @@ def sweep_timing(
     :func:`repro.sim.memo.timing_key`) and fault isolation.  ``on_failure``
     behaves as in :func:`sweep_functional`.
     """
-    started = time.perf_counter()
     traces = list(traces)
     configs = list(configs)
     if not traces or not configs:
         raise ValueError("need at least one trace and one configuration")
+    with telemetry.span(
+        "sweep.timing", configs=len(configs), traces=len(traces)
+    ):
+        return _sweep_timing_grid(traces, configs, workers, on_failure, failures)
+
+
+def _sweep_timing_grid(
+    traces: List[Trace],
+    configs: List[SystemConfig],
+    workers: Optional[int],
+    on_failure: str,
+    failures: Optional[List[FailureReport]],
+) -> List[List[Optional[TimingResult]]]:
+    watch = clock.Stopwatch()
     journal = current_journal()
     faults = FaultPlan.from_env()
     width = len(traces)
@@ -496,21 +530,25 @@ def sweep_timing(
     pending_keys: List[Tuple] = []
     pending_slots: List[int] = []
     resumed = 0
-    for i, config in enumerate(configs):
-        projection = memo.timing_projection(config)
-        for j, trace in enumerate(traces):
-            key = (memo.trace_fingerprint(trace), projection)
-            if journal is not None:
-                restored = journal.restore("timing", key, config)
-                if restored is not None:
-                    flat[i * width + j] = restored
-                    resumed += 1
-                    continue
-            pending.append(
-                Cell(len(pending), j, config, cell_signature("timing", j, projection))
-            )
-            pending_keys.append(key)
-            pending_slots.append(i * width + j)
+    with telemetry.span("sweep.plan"):
+        for i, config in enumerate(configs):
+            projection = memo.timing_projection(config)
+            for j, trace in enumerate(traces):
+                key = (memo.trace_fingerprint(trace), projection)
+                if journal is not None:
+                    restored = journal.restore("timing", key, config)
+                    if restored is not None:
+                        flat[i * width + j] = restored
+                        resumed += 1
+                        continue
+                pending.append(
+                    Cell(
+                        len(pending), j, config,
+                        cell_signature("timing", j, projection),
+                    )
+                )
+                pending_keys.append(key)
+                pending_slots.append(i * width + j)
 
     def on_result(cell: Cell, result: TimingResult) -> None:
         flat[pending_slots[cell.cell_id]] = result
@@ -531,7 +569,7 @@ def sweep_timing(
         simulated=len(pending),
         workers=used_workers,
         pooled=pooled,
-        seconds=time.perf_counter() - started,
+        seconds=watch.elapsed_s(),
         resumed=resumed,
         retries=outcome.retries,
         timeouts=outcome.timeouts,

@@ -72,6 +72,7 @@ class Experiment(ABC):
         """
         from contextlib import nullcontext
 
+        from repro import telemetry
         from repro.audit import manifest as run_manifest
         from repro.resilience.journal import journaling
 
@@ -83,7 +84,8 @@ class Experiment(ABC):
         with run_manifest.recording(self.experiment_id) as recorder:
             recorder.add_traces(traces)
             with journal_ctx as active_journal:
-                report = self.run(traces)
+                with telemetry.span("experiment." + self.experiment_id):
+                    report = self.run(traces)
         recorder.annotate(
             title=report.title,
             checks={name: bool(ok) for name, ok in report.checks.items()},

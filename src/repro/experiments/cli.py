@@ -10,6 +10,8 @@ Examples::
     mlcache trace save t.npz t.mlt    # convert to the memmap store format
     mlcache trace info t.mlt          # header, digest, segment offsets
     mlcache doctor results/ --fix     # scan artifacts, repair crash residue
+    mlcache telemetry report          # per-phase timing from a telemetry sink
+    mlcache telemetry export -o t.json   # Chrome/Perfetto trace for ui.perfetto.dev
     REPRO_RECORDS=1000000 REPRO_TRACES=8 mlcache run F4-2   # paper scale
 """
 
@@ -89,6 +91,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "doctor_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to python -m repro.resilience.doctor "
              "(paths, --fix, --json)",
+    )
+    tele = sub.add_parser(
+        "telemetry",
+        help="inspect a sweep telemetry sink recorded with "
+             "REPRO_TELEMETRY=1: 'report' prints a per-phase time table, "
+             "'export' writes a Chrome/Perfetto trace "
+             "(see docs/observability.md)",
+    )
+    tele.add_argument(
+        "telemetry_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.telemetry.cli "
+             "(report|export, sink path, -o)",
     )
     trace = sub.add_parser(
         "trace",
@@ -290,6 +304,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.resilience.doctor import main as doctor_main
 
         return doctor_main(argv[1:])
+    # And for the telemetry tools (see docs/observability.md).
+    if argv[:1] == ["telemetry"]:
+        from repro.telemetry.cli import main as telemetry_main
+
+        return telemetry_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id in experiment_ids():

@@ -10,7 +10,10 @@ three derived analyses the interprocedural rules consume:
   the function and the bare-name chain down to the effectful leaf.
   A ``barrier_rule`` makes inline ``noqa`` for that rule an *effect
   barrier*: a suppressed call site does not propagate its effects to
-  callers (the suppression vouches for the whole subtree).
+  callers (the suppression vouches for the whole subtree).  Functions
+  defined in :data:`SANCTIONED_RELPATHS` (the blessed clock and the
+  telemetry layer) contribute no effects at all, independent of any
+  barrier rule.
 * :meth:`ProjectAnalysis.unprotected_chains` -- functions reachable
   from a call-graph root purely through call sites that are not inside
   an advisory-lock region (the lock-discipline reachability RPR007
@@ -54,6 +57,22 @@ EFFECT_KINDS: Tuple[str, ...] = (
     "spawns-process",
     "mutates-global",
 )
+
+#: Modules whose effects are sanctioned *by design* and never propagate
+#: through the call graph: the one blessed monotonic clock
+#: (``repro/core/clock.py``) and the telemetry layer built on it.  Their
+#: clock reads, recorder-global mutations and sink appends are
+#: observation-only -- readings land in spans, counters and manifests,
+#: never in simulation results -- so a ``span(...)`` in a memoised
+#: kernel must not mark that kernel impure (RPR008) or fork-unsafe
+#: (RPR009).  This is the structural alternative to scattering ``noqa``
+#: waivers over every instrumented call site; the modules themselves
+#: stay small and auditable.
+SANCTIONED_RELPATHS: Tuple[str, ...] = ("core/clock.py", "telemetry/")
+
+
+def _sanctioned(relpath: str) -> bool:
+    return relpath == "core/clock.py" or relpath.startswith("telemetry/")
 
 
 @dataclass(frozen=True)
@@ -193,6 +212,12 @@ class ProjectAnalysis:
         for key in sorted(self.functions):
             node = self.functions[key]
             per: Dict[str, Witness] = {}
+            if _sanctioned(node.relpath):
+                # Sanctioned modules contribute no effects at all --
+                # empty sets mean nothing propagates to callers, for
+                # every consumer of this map regardless of barrier_rule.
+                effects[key] = per
+                continue
             for site in node.info.effects:
                 if site.kind not in EFFECT_KINDS:
                     continue

@@ -8,6 +8,15 @@ silently: the memo cache and checkpoint journal would replay a value the
 simulator no longer reproduces.  Seeded generator *instances*
 (``random.Random(seed)``, ``np.random.default_rng(seed)``) threaded
 through arguments are the sanctioned pattern and are not flagged.
+
+Timing is not banned -- *ambient* timing is.  The one sanctioned clock
+is :mod:`repro.core.clock` (``clock.monotonic_ns()``), whose readings
+feed telemetry spans and manifests but never simulation results; the
+interprocedural analysis treats it and the telemetry layer as effect
+barriers (``SANCTIONED_RELPATHS`` in ``repro.lint.project.analysis``),
+so ``telemetry.span(...)`` in kernel code needs no ``noqa``.  Direct
+``time.*`` reads in simulation code remain violations: route them
+through ``repro.core.clock`` / ``repro.telemetry`` instead.
 """
 
 from __future__ import annotations
@@ -122,13 +131,17 @@ class DeterminismRule(Rule):
         if dotted in _BANNED_CALLS:
             return (
                 f"non-deterministic call {dotted}() in simulation code; "
-                f"results must be a pure function of (trace, config)"
+                f"results must be a pure function of (trace, config) -- "
+                f"time only the sanctioned way, via repro.core.clock / "
+                f"repro.telemetry spans"
             )
         for suffix in _BANNED_SUFFIXES:
             if dotted == suffix or dotted.endswith("." + suffix):
                 return (
                     f"wall-clock read {dotted}() in simulation code; "
-                    f"results must be a pure function of (trace, config)"
+                    f"results must be a pure function of (trace, config) -- "
+                    f"time only the sanctioned way, via repro.core.clock / "
+                    f"repro.telemetry spans"
                 )
         parts = dotted.split(".")
         if len(parts) == 2 and parts[0] == "random":

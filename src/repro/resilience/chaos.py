@@ -9,9 +9,12 @@ runs the same deterministic sweep three times:
 1. **golden** -- a clean subprocess run (no faults) recording the grid
    digest an undisturbed sweep produces;
 2. **chaos** -- a subprocess run with fault injection (``REPRO_FAULTS``),
-   audit invariants (``REPRO_AUDIT=1``) and a checkpoint journal; the
-   parent watches the journal grow and SIGKILLs the subprocess after a
-   few cells have been checkpointed;
+   audit invariants (``REPRO_AUDIT=1``), telemetry recording
+   (``REPRO_TELEMETRY=1``) and a checkpoint journal; the parent watches
+   the journal grow and SIGKILLs the subprocess after a few cells have
+   been checkpointed, then proves the surviving telemetry sink is
+   parseable (``mlcache doctor`` trims any torn tail -- partial
+   telemetry is valid telemetry);
 3. **resume** -- the same command with ``--resume``, still under faults,
    which restores the journaled cells and completes the rest.
 
@@ -262,6 +265,11 @@ def _orchestrate(args) -> int:
     chaos_env = dict(clean_env)
     chaos_env["REPRO_FAULTS"] = args.faults
     chaos_env["REPRO_SWEEP_RETRIES"] = CHAOS_RETRIES
+    # The killed phase records telemetry so the drill can prove a
+    # SIGKILLed sink is still usable (torn tail at worst).
+    telemetry_sink = out / "chaos.telemetry.jsonl"
+    chaos_env["REPRO_TELEMETRY"] = "1"
+    chaos_env["REPRO_TELEMETRY_PATH"] = str(telemetry_sink)
     if args.workers:
         chaos_env["REPRO_SWEEP_WORKERS"] = str(args.workers)
 
@@ -292,6 +300,34 @@ def _orchestrate(args) -> int:
         print("[chaos] child finished before the kill threshold "
               "(still resuming to verify the journal)")
 
+    # Partial telemetry is valid telemetry: the doctor trims any torn
+    # tail the kill left, and the sink must then parse cleanly.
+    import dataclasses
+
+    from repro.resilience import doctor as doctor_mod
+    from repro.telemetry.export import read_sink
+
+    tele_findings = doctor_mod.scan([telemetry_sink])
+    doctor_mod.repair(tele_findings)
+    summary["telemetry_findings"] = [
+        dataclasses.asdict(f) for f in tele_findings
+    ]
+    tele_unfixed = [f for f in tele_findings if f.fixed is None]
+    summary["telemetry_doctor_unfixed"] = len(tele_unfixed)
+    sink_content = (
+        read_sink(telemetry_sink) if telemetry_sink.exists() else None
+    )
+    summary["telemetry_sink_lines"] = (
+        sink_content.total_lines if sink_content else 0
+    )
+    summary["telemetry_span_lines"] = (
+        len(sink_content.spans) if sink_content else 0
+    )
+    print(f"[chaos] telemetry sink: {summary['telemetry_sink_lines']} "
+          f"line(s), {summary['telemetry_span_lines']} span(s), "
+          f"{len(tele_findings)} doctor finding(s), "
+          f"{len(tele_unfixed)} unfixed")
+
     print("[chaos] resumed run (faults still on)...")
     resumed_file = out / "resumed.digest"
     subprocess.run(
@@ -304,9 +340,22 @@ def _orchestrate(args) -> int:
     summary["resumed_digest"] = resumed
     summary["identical"] = resumed == golden
     atomic_write_text(out / "summary.json", json.dumps(summary, indent=2) + "\n")
+    failures = []
     if resumed != golden:
-        print(f"[chaos] FAIL: resumed digest {resumed[:16]}... != "
-              f"golden {golden[:16]}...")
+        failures.append(f"resumed digest {resumed[:16]}... != "
+                        f"golden {golden[:16]}...")
+    if tele_unfixed:
+        failures.append(f"{len(tele_unfixed)} telemetry doctor "
+                        f"finding(s) unfixed")
+    if sink_content is None:
+        failures.append("the killed run left no telemetry sink")
+    elif sink_content.bad_lines or sink_content.torn_tail_bytes:
+        failures.append("telemetry sink still damaged after doctor --fix "
+                        f"({sink_content.bad_lines} bad line(s), "
+                        f"{sink_content.torn_tail_bytes} torn byte(s))")
+    if failures:
+        for failure in failures:
+            print(f"[chaos] FAIL: {failure}")
         return 1
     print(f"[chaos] PASS: resumed grid identical to golden "
           f"({golden[:16]}...), artefacts in {out}")

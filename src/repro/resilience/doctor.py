@@ -18,6 +18,12 @@ is the offline sweep over that residue:
   and summaries are quarantined on ``--fix`` (atomic writes make these
   impossible to tear going forward; damage means bit rot or a legacy
   writer).
+* **Telemetry sinks** (``*.telemetry.jsonl``): the span/counter stream
+  :mod:`repro.telemetry` appends during a sweep.  A SIGKILL mid-write
+  leaves a torn final line; ``--fix`` trims the sink to its longest
+  clean prefix of complete JSON lines (partial telemetry is valid
+  telemetry -- the tools already tolerate it, trimming just makes the
+  file exactly clean).
 * **Atomic-write orphans** (``*.tmp-*``): always junk by construction
   -- a committed write renames its tmp away.  Removed on ``--fix``.
 * **Locks** (``*.lock``): classified via flock probe + holder record as
@@ -57,14 +63,14 @@ class Finding:
     """One problem (or fix) the doctor has to report."""
 
     path: str
-    #: corrupt_store | journal_bloat | corrupt_json | orphan_tmp |
-    #: stale_lock | held_lock | unreadable
+    #: corrupt_store | journal_bloat | corrupt_json | telemetry_torn |
+    #: orphan_tmp | stale_lock | held_lock | unreadable
     kind: str
     detail: str
     #: Whether ``--fix`` knows a repair for this finding.
     fixable: bool = True
     #: Action taken by ``--fix`` (``quarantined``/``compacted``/
-    #: ``removed``), or ``None`` when unfixed.
+    #: ``trimmed``/``removed``), or ``None`` when unfixed.
     fixed: Optional[str] = None
 
 
@@ -107,6 +113,43 @@ def _journal_health(path: Path) -> tuple:
             dead += 1
         live[record.get("key")] = True
     return len(live), dead
+
+
+def _telemetry_health(path: Path) -> tuple:
+    """(good, trimmed, keep_bytes) for a telemetry sink.
+
+    ``good`` counts the longest prefix of newline-terminated JSON
+    object lines; ``trimmed`` counts everything after it (unparseable
+    lines and a torn, unterminated tail); ``keep_bytes`` is where
+    ``--fix`` truncates to leave exactly the clean prefix.
+    """
+    data = path.read_bytes()
+    good = trimmed = 0
+    keep = offset = 0
+    clean = True
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            trimmed += 1  # torn tail: the writer died mid-line
+            break
+        line = data[offset:newline]
+        offset = newline + 1
+        try:
+            parsed = json.loads(line.decode("utf-8"))
+            ok = isinstance(parsed, dict) and "k" in parsed
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            ok = False
+        if ok and clean:
+            good += 1
+            keep = offset
+        else:
+            # First bad line ends the clean prefix; later lines --
+            # even parseable ones -- go with it (per-line flushing
+            # means mid-file damage is bit rot, not a crash, so the
+            # whole suffix is suspect).
+            clean = False
+            trimmed += 1
+    return good, trimmed, keep
 
 
 def _examine(path: Path) -> Optional[Finding]:
@@ -161,6 +204,18 @@ def _examine(path: Path) -> Optional[Finding]:
                 f"compaction will drop them",
             )
         return None
+    if name.endswith(".telemetry.jsonl"):
+        try:
+            good, trimmed, _ = _telemetry_health(path)
+        except OSError as error:
+            return Finding(str(path), "unreadable", str(error), fixable=False)
+        if trimmed:
+            return Finding(
+                str(path), "telemetry_torn",
+                f"{trimmed} torn/unparseable trailing line(s) after "
+                f"{good} clean line(s); trimming keeps the clean prefix",
+            )
+        return None
     if name.endswith(".json"):
         try:
             json.loads(path.read_text(encoding="utf-8"))
@@ -208,6 +263,11 @@ def repair(findings: List[Finding]) -> None:
                 finally:
                     journal.close()
                 finding.fixed = "compacted"
+            elif finding.kind == "telemetry_torn":
+                _, _, keep = _telemetry_health(path)
+                with open(path, "r+b") as handle:  # repro: noqa RPR006
+                    handle.truncate(keep)
+                finding.fixed = "trimmed"
             elif finding.kind in ("orphan_tmp", "stale_lock"):
                 path.unlink(missing_ok=True)
                 finding.fixed = "removed"
@@ -234,8 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--fix", action="store_true",
         help="repair what can be repaired: quarantine corrupt stores and "
-        "JSON, compact bloated journals, remove orphaned tmp files and "
-        "stale locks",
+        "JSON, compact bloated journals, trim torn telemetry sinks, "
+        "remove orphaned tmp files and stale locks",
     )
     parser.add_argument(
         "--json", action="store_true", dest="as_json",

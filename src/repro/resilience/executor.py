@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.resilience.faults import FaultPlan
 from repro.resilience.policy import FailureReport, RetryPolicy
 from repro.sim import memo
@@ -115,6 +116,7 @@ def _worker_main(
     trace_handles: Sequence[TraceHandle],
     compute: Callable[[Sequence[Trace], Cell], Any],
     faults: Optional[FaultPlan],
+    kind: str = "",
 ) -> None:
     """Worker process loop: serve jobs until EOF or a ``None`` sentinel.
 
@@ -135,6 +137,7 @@ def _worker_main(
     lingering forever.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    telemetry.enter_worker()
     traces = resolve_traces(trace_handles)
     supervisor_pid = os.getppid()
     while True:
@@ -151,21 +154,31 @@ def _worker_main(
         job_id, attempt, cells = message
         before = memo.stats_snapshot()
         try:
-            results = [
-                _evaluate_cell(compute, traces, cell, attempt, faults, in_worker=True)
-                for cell in cells
-            ]
+            with telemetry.span(
+                f"worker.{kind or 'job'}", cells=len(cells), attempt=attempt
+            ):
+                results = [
+                    _evaluate_cell(
+                        compute, traces, cell, attempt, faults, in_worker=True
+                    )
+                    for cell in cells
+                ]
         except BaseException as exc:  # noqa: BLE001 - forwarded, not hidden
             text = traceback_module.format_exc()
+            tele = telemetry.drain_worker()
             try:
-                conn.send(("err", job_id, exc, type(exc).__name__, str(exc), text))
+                conn.send(
+                    ("err", job_id, exc, type(exc).__name__, str(exc), text, tele)
+                )
             except Exception:
                 # The exception itself would not pickle; ship the strings.
-                conn.send(("err", job_id, None, type(exc).__name__, str(exc), text))
+                conn.send(
+                    ("err", job_id, None, type(exc).__name__, str(exc), text, tele)
+                )
             continue
         after = memo.stats_snapshot()
         delta = tuple(now - then for now, then in zip(after, before))
-        conn.send(("ok", job_id, results, delta))
+        conn.send(("ok", job_id, results, delta, telemetry.drain_worker()))
     conn.close()
 
 
@@ -219,7 +232,10 @@ class _Supervisor:
         parent_conn, child_conn = self.context.Pipe(duplex=True)
         process = self.context.Process(
             target=_worker_main,
-            args=(child_conn, self.trace_handles, self.compute, self.faults),
+            args=(
+                child_conn, self.trace_handles, self.compute, self.faults,
+                self.kind,
+            ),
             daemon=True,
         )
         process.start()
@@ -246,6 +262,7 @@ class _Supervisor:
         handle.job = None
         handle.deadline = None
         self.outcome.pool_restarts += 1
+        telemetry.counter_add("pool.restarts")
 
     def start(self, job_count: int) -> None:
         for _ in range(max(1, min(self.workers, job_count))):
@@ -272,6 +289,7 @@ class _Supervisor:
             self._respawn(handle)
             return False
         handle.job = job
+        telemetry.counter_add("pool.jobs")
         if self.policy.cell_timeout_s is not None:
             handle.deadline = (
                 time.monotonic()
@@ -315,6 +333,7 @@ class _Supervisor:
         attempts_made = job.attempt + 1
         if attempts_made < self.policy.max_attempts:
             self.outcome.retries += 1
+            telemetry.counter_add("pool.retries")
             delay = self.policy.backoff_s(attempts_made, self.rng)
             self.delayed.append(
                 (time.monotonic() + delay, _Job(job.cells, job.attempt + 1))
@@ -344,7 +363,8 @@ class _Supervisor:
         if job is None or job_id != job.job_id:  # pragma: no cover - stale
             return
         if tag == "ok":
-            _, _, results, delta = message
+            _, _, results, delta, tele = message
+            telemetry.absorb_worker(tele)
             hits, misses, evictions = delta
             memo.fold_worker_stats(hits, misses, evictions)
             folded = self.outcome.worker_memo
@@ -354,7 +374,8 @@ class _Supervisor:
             for cell, result in zip(job.cells, results):
                 self._accept(job, cell, result)
         else:
-            _, _, exc, exception_type, text, traceback_text = message
+            _, _, exc, exception_type, text, traceback_text, tele = message
+            telemetry.absorb_worker(tele)
             self._job_failed(
                 job,
                 "exception",
@@ -381,6 +402,7 @@ class _Supervisor:
     def _handle_timeout(self, handle: _WorkerHandle) -> None:
         job = handle.job
         self.outcome.timeouts += 1
+        telemetry.counter_add("pool.timeouts")
         self._respawn(handle)
         if job is not None:
             budget = (self.policy.cell_timeout_s or 0.0) * len(job.cells)
@@ -499,9 +521,12 @@ def run_pooled(
         lease.release()
         return None
     try:
-        for job_cells in jobs:
-            supervisor.submit(job_cells)
-        return supervisor.run()
+        with telemetry.span(
+            "pool.run", kind=kind, workers=workers, jobs=len(jobs)
+        ):
+            for job_cells in jobs:
+                supervisor.submit(job_cells)
+            return supervisor.run()
     finally:
         # Pool hygiene: a KeyboardInterrupt (or any exception) mid-sweep
         # must not leak worker processes or shared-memory segments.
@@ -526,6 +551,26 @@ def run_serial(
     """
     outcome = ExecOutcome()
     rng = policy.rng()
+    with telemetry.span("serial.run", kind=kind, cells=len(cells)):
+        _run_serial_cells(
+            kind, compute, cells, traces, policy, faults, validate,
+            on_result, outcome, rng,
+        )
+    return outcome
+
+
+def _run_serial_cells(
+    kind: str,
+    compute: Callable[[Sequence[Trace], Cell], Any],
+    cells: Sequence[Cell],
+    traces: Sequence[Trace],
+    policy: RetryPolicy,
+    faults: Optional[FaultPlan],
+    validate: Optional[Callable[[Cell, Any], None]],
+    on_result: Optional[Callable[[Cell, Any], None]],
+    outcome: ExecOutcome,
+    rng: Any,
+) -> None:
     for cell in cells:
         attempt = 0
         while True:
@@ -543,6 +588,7 @@ def run_serial(
                 attempts_made = attempt + 1
                 if attempts_made < policy.max_attempts:
                     outcome.retries += 1
+                    telemetry.counter_add("pool.retries")
                     time.sleep(policy.backoff_s(attempts_made, rng))
                     attempt += 1
                     continue
@@ -563,4 +609,3 @@ def run_serial(
             if on_result is not None:
                 on_result(cell, result)
             break
-    return outcome

@@ -45,6 +45,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.cache.stats import CacheStats
 from repro.resilience.integrity import AdvisoryLock
 from repro.sim.functional import FunctionalResult
@@ -228,6 +229,7 @@ class SweepJournal:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        telemetry.counter_add("journal.fsyncs")
 
     def sync(self) -> None:
         """Force any flushed-but-unsynced records to stable storage."""
@@ -235,6 +237,7 @@ class SweepJournal:
             self._handle.flush()
             os.fsync(self._handle.fileno())
             self._unsynced = 0
+            telemetry.counter_add("journal.fsyncs")
 
     # -- recording ----------------------------------------------------------
 
@@ -267,6 +270,7 @@ class SweepJournal:
         self._restorable[digest] = (kind, payload)
         self.recorded += 1
         self._unsynced += 1
+        telemetry.counter_add("journal.records")
         if self._unsynced >= FSYNC_EVERY:
             self.sync()
 
@@ -286,6 +290,7 @@ class SweepJournal:
         self._handle.write("".join(lines))
         self.recorded += len(lines)
         self._unsynced += len(lines)
+        telemetry.counter_add("journal.records", len(lines))
         self.sync()
 
     # -- restoring ----------------------------------------------------------
@@ -315,6 +320,10 @@ class SweepJournal:
         and appending resumes on it.  Returns the number of dead records
         dropped.
         """
+        with telemetry.span("journal.compact", live=len(self._restorable)):
+            return self._compact()
+
+    def _compact(self) -> int:
         from repro.resilience.integrity import atomic_writer
 
         self.sync()

@@ -36,6 +36,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.audit import maybe_audit_functional
 from repro.cache.policy import PrefetchKind, WritePolicy
 from repro.cache.stats import CacheStats
@@ -473,78 +474,87 @@ class _ChunkedFront:
         first = config.levels[0]
         first_geometry = first.geometry()
         for index, chunk in enumerate(self.trace.chunks(self.chunk_records)):
-            base = index * self.chunk_records
-            parts = []
-            zero_streams = _level_zero_streams(chunk, config, key_offset=base)
-            for side, (s_blocks, s_write, s_bucket, s_keys) in enumerate(
-                zero_streams
-            ):
-                miss, victims, victim_keys = _simulate_lru_level(
-                    s_blocks, s_write, s_keys,
-                    first_geometry.sets, first.associativity,
-                    state=self._zero_states[side],
+            # The span closes before the yield: it times this chunk's
+            # level simulation, not whatever the consumer does with the
+            # stream (the deepest-level pass times itself).
+            with telemetry.span("fast.chunk", index=index, records=len(chunk)):
+                base = index * self.chunk_records
+                parts = []
+                zero_streams = _level_zero_streams(
+                    chunk, config, key_offset=base
                 )
-                _accumulate_level(
-                    self.level_stats[0], s_write, s_bucket, miss, s_keys,
-                    victim_keys, warmup,
-                )
-                parts.append(
-                    (
-                        victims,
-                        np.ones(len(victims), dtype=bool),
-                        np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
-                        victim_keys * 4 + 1,
+                for side, (s_blocks, s_write, s_bucket, s_keys) in enumerate(
+                    zero_streams
+                ):
+                    miss, victims, victim_keys = _simulate_lru_level(
+                        s_blocks, s_write, s_keys,
+                        first_geometry.sets, first.associativity,
+                        state=self._zero_states[side],
                     )
-                )
-                parts.append(
-                    (
-                        s_blocks[miss],
-                        np.zeros(int(miss.sum()), dtype=bool),
-                        s_bucket[miss],
-                        s_keys[miss] * 4 + 2,
+                    _accumulate_level(
+                        self.level_stats[0], s_write, s_bucket, miss, s_keys,
+                        victim_keys, warmup,
                     )
-                )
-            stream = _merge_parts(parts)
-
-            prev_offset = log2_int(first.block_bytes)
-            for depth_index in range(1, self.levels):
-                level = config.levels[depth_index]
-                offset_bits = log2_int(level.block_bytes)
-                if offset_bits < prev_offset:
-                    raise ValueError(
-                        "deeper levels must have blocks at least as large "
-                        "as their predecessor's"
+                    parts.append(
+                        (
+                            victims,
+                            np.ones(len(victims), dtype=bool),
+                            np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                            victim_keys * 4 + 1,
+                        )
                     )
-                stream_blocks, stream_write, stream_bucket, stream_keys = stream
-                blocks_here = stream_blocks >> (offset_bits - prev_offset)
-                warmup_key = warmup * 4**depth_index
-                miss, victims, victim_keys = _simulate_lru_level(
-                    blocks_here, stream_write, stream_keys,
-                    level.geometry().sets, level.associativity,
-                    state=self._deep_states[depth_index - 1],
-                )
-                _accumulate_level(
-                    self.level_stats[depth_index], stream_write,
-                    stream_bucket, miss, stream_keys, victim_keys, warmup_key,
-                )
-                # Demand fetches enter the next level as clean reads (see
-                # _simulate_front).
-                parts = [
-                    (
-                        victims,
-                        np.ones(len(victims), dtype=bool),
-                        np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
-                        victim_keys * 4 + 1,
-                    ),
-                    (
-                        blocks_here[miss],
-                        np.zeros(int(miss.sum()), dtype=bool),
-                        stream_bucket[miss],
-                        stream_keys[miss] * 4 + 2,
-                    ),
-                ]
+                    parts.append(
+                        (
+                            s_blocks[miss],
+                            np.zeros(int(miss.sum()), dtype=bool),
+                            s_bucket[miss],
+                            s_keys[miss] * 4 + 2,
+                        )
+                    )
                 stream = _merge_parts(parts)
-                prev_offset = offset_bits
+
+                prev_offset = log2_int(first.block_bytes)
+                for depth_index in range(1, self.levels):
+                    level = config.levels[depth_index]
+                    offset_bits = log2_int(level.block_bytes)
+                    if offset_bits < prev_offset:
+                        raise ValueError(
+                            "deeper levels must have blocks at least as large "
+                            "as their predecessor's"
+                        )
+                    stream_blocks, stream_write, stream_bucket, stream_keys = (
+                        stream
+                    )
+                    blocks_here = stream_blocks >> (offset_bits - prev_offset)
+                    warmup_key = warmup * 4**depth_index
+                    miss, victims, victim_keys = _simulate_lru_level(
+                        blocks_here, stream_write, stream_keys,
+                        level.geometry().sets, level.associativity,
+                        state=self._deep_states[depth_index - 1],
+                    )
+                    _accumulate_level(
+                        self.level_stats[depth_index], stream_write,
+                        stream_bucket, miss, stream_keys, victim_keys,
+                        warmup_key,
+                    )
+                    # Demand fetches enter the next level as clean reads
+                    # (see _simulate_front).
+                    parts = [
+                        (
+                            victims,
+                            np.ones(len(victims), dtype=bool),
+                            np.full(len(victims), _BUCKET_WRITE, dtype=np.int8),
+                            victim_keys * 4 + 1,
+                        ),
+                        (
+                            blocks_here[miss],
+                            np.zeros(int(miss.sum()), dtype=bool),
+                            stream_bucket[miss],
+                            stream_keys[miss] * 4 + 2,
+                        ),
+                    ]
+                    stream = _merge_parts(parts)
+                    prev_offset = offset_bits
             yield stream
 
 
@@ -571,11 +581,12 @@ def run_functional_chunked(
     threshold = trace.warmup * 4**config.depth
     memory_reads = 0
     memory_writes = 0
-    for stream in front.streams():
-        _, stream_write, _, stream_keys = stream
-        counted = stream_keys >= threshold
-        memory_writes += int(np.count_nonzero(counted & stream_write))
-        memory_reads += int(np.count_nonzero(counted & ~stream_write))
+    with telemetry.span("fast.run", records=len(trace), chunked=True):
+        for stream in front.streams():
+            _, stream_write, _, stream_keys = stream
+            counted = stream_keys >= threshold
+            memory_writes += int(np.count_nonzero(counted & stream_write))
+            memory_reads += int(np.count_nonzero(counted & ~stream_write))
 
     measured_kinds = trace.kinds[trace.warmup:]
     cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))
@@ -617,7 +628,8 @@ class FastFunctionalSimulator:
         config = self.config
         warmup = trace.warmup
         kinds = trace.kinds
-        level_stats, stream, _ = _simulate_front(trace, config, config.depth)
+        with telemetry.span("fast.run", records=len(trace)):
+            level_stats, stream, _ = _simulate_front(trace, config, config.depth)
 
         # Memory traffic: whatever leaves the deepest level, post-warmup.
         # Writes are the deepest victims; reads are the demand fetches.

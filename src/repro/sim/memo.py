@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+from repro import telemetry
 from repro.cache.policy import PrefetchKind
 from repro.sim.config import LevelConfig, SystemConfig
 from repro.sim.fast import run_functional
@@ -183,9 +184,11 @@ def lookup(key: Tuple) -> Optional[FunctionalResult]:
     result = _cache.get(key)
     if result is None:
         _stats.misses += 1
+        telemetry.counter_add("memo.misses")
         return None
     _cache.move_to_end(key)
     _stats.hits += 1
+    telemetry.counter_add("memo.hits")
     return result
 
 
@@ -213,6 +216,11 @@ def fold_worker_stats(hits: int, misses: int, evictions: int) -> None:
     Worker processes run their own copy of this cache (inherited across
     ``fork``); without folding, manifests recorded under a pooled sweep
     under-report lookups that happened inside workers.
+
+    Deliberately *not* mirrored into telemetry counters: workers ship
+    their own ``memo.*`` totals over the telemetry channel
+    (:func:`repro.telemetry.drain_worker`), so folding here as well
+    would double-count every worker lookup.
     """
     _stats.hits += hits
     _stats.misses += misses
@@ -234,6 +242,8 @@ def store(key: Tuple, result: FunctionalResult) -> None:
     while len(_cache) > MAX_ENTRIES:
         _cache.popitem(last=False)
         _stats.evictions += 1
+        telemetry.counter_add("memo.evictions")
+    telemetry.gauge_set("memo.entries", len(_cache))
 
 
 def run_functional_memo(trace: Trace, config: SystemConfig) -> FunctionalResult:

@@ -44,6 +44,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.audit import maybe_audit_functional
 from repro.cache.stats import CacheStats
 from repro.sim import memo
@@ -347,9 +348,12 @@ def _front(trace: Trace, config: SystemConfig) -> Tuple[List[CacheStats], Tuple,
     key = _front_key(trace, config)
     hit = _front_cache.get(key)
     if hit is None:
-        upstream, stream, prev_offset = _simulate_front(
-            trace, config, config.depth - 1
-        )
+        with telemetry.span(
+            "stackdist.front", records=len(trace), depth=config.depth - 1
+        ):
+            upstream, stream, prev_offset = _simulate_front(
+                trace, config, config.depth - 1
+            )
         hit = (tuple(upstream), stream, prev_offset)
         _front_cache[key] = hit
         while len(_front_cache) > _FRONT_CACHE_ENTRIES:
@@ -429,18 +433,23 @@ def _grid_histograms_chunked(
             for _ in range(2 if deepest.split else 1)
         ]
         for index, chunk in enumerate(trace.chunks(chunk_records)):
-            base = index * chunk_records
-            zero_streams = _level_zero_streams(chunk, config, key_offset=base)
-            for side, (s_blocks, s_write, s_bucket, s_keys) in enumerate(
-                zero_streams
+            with telemetry.span(
+                "stackdist.chunk", index=index, records=len(chunk)
             ):
-                part_read, part_write, part_wb = _stack_pass(
-                    s_blocks, s_write, s_bucket, s_keys, sets, warmup,
-                    state=states[side],
+                base = index * chunk_records
+                zero_streams = _level_zero_streams(
+                    chunk, config, key_offset=base
                 )
-                read_hist += part_read
-                write_hist += part_write
-                writebacks += part_wb
+                for side, (s_blocks, s_write, s_bucket, s_keys) in enumerate(
+                    zero_streams
+                ):
+                    part_read, part_write, part_wb = _stack_pass(
+                        s_blocks, s_write, s_bucket, s_keys, sets, warmup,
+                        state=states[side],
+                    )
+                    read_hist += part_read
+                    write_hist += part_write
+                    writebacks += part_wb
         return read_hist, write_hist, writebacks, []
 
     front = _ChunkedFront(trace, config, depth - 1, chunk_records)
@@ -453,15 +462,16 @@ def _grid_histograms_chunked(
         )
     warmup_key = warmup * 4 ** (depth - 1)
     state = _new_stack_state(sets)
-    for stream in front.streams():
-        s_blocks, s_write, s_bucket, s_keys = stream
-        part_read, part_write, part_wb = _stack_pass(
-            s_blocks >> (offset_bits - prev_offset), s_write, s_bucket,
-            s_keys, sets, warmup_key, state=state,
-        )
-        read_hist += part_read
-        write_hist += part_write
-        writebacks += part_wb
+    for index, stream in enumerate(front.streams()):
+        with telemetry.span("stackdist.chunk", index=index):
+            s_blocks, s_write, s_bucket, s_keys = stream
+            part_read, part_write, part_wb = _stack_pass(
+                s_blocks >> (offset_bits - prev_offset), s_write, s_bucket,
+                s_keys, sets, warmup_key, state=state,
+            )
+            read_hist += part_read
+            write_hist += part_write
+            writebacks += part_wb
     return read_hist, write_hist, writebacks, front.level_stats
 
 
@@ -483,14 +493,21 @@ def run_stackdist_grid(trace: Trace, config: SystemConfig) -> StackdistGridResul
     # Chunked histogram accumulation is count-identical to the one-shot
     # pass (parity tests); REPRO_TRACE_CHUNK tunes residency only.
     chunk = replay_chunk_records()  # repro: noqa RPR008
-    if chunk is not None and chunk < len(trace):
-        read_hist, write_hist, writebacks, upstream = _grid_histograms_chunked(
-            trace, config, chunk
-        )
-    else:
-        read_hist, write_hist, writebacks, upstream = _grid_histograms(
-            trace, config
-        )
+    chunked = chunk is not None and chunk < len(trace)
+    with telemetry.span(
+        "stackdist.pass",
+        sets=config.levels[-1].geometry().sets,
+        records=len(trace),
+        chunked=chunked,
+    ):
+        if chunked:
+            read_hist, write_hist, writebacks, upstream = (
+                _grid_histograms_chunked(trace, config, chunk)
+            )
+        else:
+            read_hist, write_hist, writebacks, upstream = _grid_histograms(
+                trace, config
+            )
 
     measured_kinds = trace.kinds[warmup:]
     cpu_writes = int(np.count_nonzero(measured_kinds == WRITE))

@@ -1,0 +1,88 @@
+"""`mlcache telemetry` -- export and report over telemetry sinks.
+
+Two subcommands over a recorded JSONL sink (``REPRO_TELEMETRY=1`` runs
+write one at ``REPRO_TELEMETRY_PATH``):
+
+* ``export`` converts the sink to Chrome trace-event JSON; drop the
+  output on https://ui.perfetto.dev for a per-process flame view.
+* ``report`` prints the per-phase time/percentage table and the final
+  counter totals in the terminal.
+
+Both tolerate torn sinks from killed runs -- partial telemetry is valid
+telemetry; a skipped-lines note points at ``mlcache doctor --fix``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import envcfg
+from repro.telemetry.export import export_chrome_trace
+from repro.telemetry.report import report_text
+
+__all__ = ["main"]
+
+
+def _default_sink() -> str:
+    return str(envcfg.get("REPRO_TELEMETRY_PATH"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mlcache telemetry",
+        description=(
+            "Inspect a sweep telemetry sink: per-phase attribution in "
+            "the terminal, or a Perfetto-loadable trace export."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    export = sub.add_parser(
+        "export", help="convert a sink to Chrome/Perfetto trace JSON"
+    )
+    export.add_argument(
+        "sink", nargs="?", default=None,
+        help=f"telemetry sink path (default: {_default_sink()})",
+    )
+    export.add_argument(
+        "-o", "--out", default=None,
+        help="output trace path (default: <sink>.perfetto.json)",
+    )
+
+    report = sub.add_parser(
+        "report", help="print the per-phase time/percentage table"
+    )
+    report.add_argument(
+        "sink", nargs="?", default=None,
+        help=f"telemetry sink path (default: {_default_sink()})",
+    )
+
+    args = parser.parse_args(argv)
+    sink = Path(args.sink if args.sink else _default_sink())
+    if not sink.exists():
+        print(
+            f"telemetry sink not found: {sink} "
+            f"(run with REPRO_TELEMETRY=1 to record one)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.command == "export":
+        out = Path(args.out) if args.out else sink.with_suffix(
+            sink.suffix + ".perfetto.json"
+        )
+        spans, skipped = export_chrome_trace(sink, out)
+        note = f", {skipped} line(s) skipped" if skipped else ""
+        print(f"wrote {out} ({spans} span events{note})")
+        print("open it at https://ui.perfetto.dev or chrome://tracing")
+        return 0
+
+    print(report_text(sink))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

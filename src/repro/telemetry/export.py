@@ -1,0 +1,154 @@
+"""Sink parsing and Chrome/Perfetto trace-event export.
+
+:func:`read_sink` is the one parser of the telemetry JSONL format; the
+reporter, the doctor drill and the exporter all go through it.  It is
+deliberately forgiving: a SIGKILLed run leaves a sink whose final line
+may be torn, and partial telemetry is valid telemetry -- unparseable
+trailing bytes are counted, not fatal.
+
+:func:`chrome_trace` converts span events to the Chrome trace-event
+JSON format (``ph: "X"`` complete events, microsecond timestamps)
+that https://ui.perfetto.dev and ``chrome://tracing`` load directly.
+Each originating process becomes its own track (``pid`` from the
+event), with ``process_name`` metadata distinguishing the supervisor
+from its workers, and counter totals become ``ph: "C"`` counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.resilience.integrity import atomic_write_text
+
+__all__ = ["SinkContent", "read_sink", "chrome_trace", "export_chrome_trace"]
+
+
+class SinkContent:
+    """Parsed telemetry sink: events by kind plus tail diagnostics."""
+
+    def __init__(self) -> None:
+        self.meta: List[Dict[str, Any]] = []
+        self.spans: List[Dict[str, Any]] = []
+        self.counts: List[Dict[str, Any]] = []
+        #: Complete lines that failed to parse or had an unknown kind.
+        self.bad_lines: int = 0
+        #: Bytes after the final newline (a torn tail from a kill).
+        self.torn_tail_bytes: int = 0
+
+    @property
+    def total_lines(self) -> int:
+        return (
+            len(self.meta) + len(self.spans) + len(self.counts)
+            + self.bad_lines
+        )
+
+
+def read_sink(path: Path) -> SinkContent:
+    """Parse a telemetry sink, tolerating a torn final line."""
+    content = SinkContent()
+    data = Path(path).read_bytes()
+    body, sep, tail = data.rpartition(b"\n")
+    if not sep:
+        # No newline at all: the whole file is one torn line.
+        content.torn_tail_bytes = len(data)
+        return content
+    content.torn_tail_bytes = len(tail)
+    for raw in body.split(b"\n"):
+        if not raw.strip():
+            continue
+        try:
+            line = json.loads(raw)
+        except ValueError:
+            content.bad_lines += 1
+            continue
+        kind = line.get("k") if isinstance(line, dict) else None
+        if kind == "meta":
+            content.meta.append(line)
+        elif kind == "span":
+            # A span line missing its timing triple is damage (bit rot
+            # or a foreign writer), not partial telemetry -- count it
+            # rather than crash the reporter downstream.
+            if all(field in line for field in ("id", "name", "t0", "t1")):
+                content.spans.append(line)
+            else:
+                content.bad_lines += 1
+        elif kind == "count":
+            content.counts.append(line)
+        else:
+            content.bad_lines += 1
+    return content
+
+
+def _track_names(content: SinkContent) -> Dict[int, str]:
+    """A display name per pid: the sink writer is the supervisor."""
+    supervisor = {line.get("pid") for line in content.meta}
+    names: Dict[int, str] = {}
+    for event in content.spans:
+        pid = int(event["pid"])
+        if pid not in names:
+            role = "supervisor" if pid in supervisor else "worker"
+            names[pid] = f"{role} {pid}"
+    return names
+
+
+def chrome_trace(content: SinkContent) -> Dict[str, Any]:
+    """Span and counter events as a Chrome trace-event JSON object."""
+    trace_events: List[Dict[str, Any]] = []
+    anchor_ns = min(
+        (int(event["t0"]) for event in content.spans),
+        default=0,
+    )
+
+    for pid, name in sorted(_track_names(content).items()):
+        trace_events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        })
+
+    for event in content.spans:
+        pid = int(event["pid"])
+        entry: Dict[str, Any] = {
+            "ph": "X",
+            "name": event["name"],
+            "cat": str(event["name"]).split(".")[0],
+            "pid": pid,
+            "tid": pid,
+            "ts": (int(event["t0"]) - anchor_ns) / 1000.0,
+            "dur": (int(event["t1"]) - int(event["t0"])) / 1000.0,
+        }
+        args = event.get("a")
+        if args:
+            entry["args"] = args
+        trace_events.append(entry)
+
+    for line in content.counts:
+        pid = int(line["pid"])
+        ts = (int(line["t"]) - anchor_ns) / 1000.0
+        for counter, total in sorted(line.get("c", {}).items()):
+            trace_events.append({
+                "ph": "C",
+                "name": counter,
+                "pid": pid,
+                "tid": pid,
+                "ts": ts,
+                "args": {"value": total},
+            })
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(sink: Path, out: Path) -> Tuple[int, int]:
+    """Export a sink to a Perfetto-loadable trace file at ``out``.
+
+    Returns ``(span_events, skipped_lines)`` where skipped lines are
+    unparseable lines plus one for a torn tail, for the CLI summary.
+    """
+    content = read_sink(sink)
+    atomic_write_text(Path(out), json.dumps(chrome_trace(content)))
+    skipped = content.bad_lines + (1 if content.torn_tail_bytes else 0)
+    return len(content.spans), skipped

@@ -1,0 +1,118 @@
+"""The per-phase time/percentage report over a telemetry sink.
+
+Builds the phase tree by resolving parent ids *post-hoc* -- the sink
+records spans in close order (children before parents), and a killed
+run may be missing parents entirely, in which case their orphaned
+children are promoted to roots.  Spans aggregate by name at each tree
+position, so a thousand ``stackdist.pass`` events become one row with a
+summed duration and a count.
+
+Percentages are of the summed root durations (the attributed wall
+clock).  Worker spans run concurrently, so a phase's children can
+legitimately sum past their parent -- the table attributes *busy* time
+across processes, not wall-clock exclusivity.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.counters import CATALOG
+from repro.telemetry.export import SinkContent, read_sink
+
+__all__ = ["build_tree", "render_report", "report_text"]
+
+
+def build_tree(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate span events into ``{name: {ns, count, children}}``.
+
+    Parents are resolved by id; events whose parent never closed (killed
+    runs) root their subtree at the top level.
+    """
+    by_id = {event["id"]: event for event in spans}
+
+    def name_path(event: Dict[str, Any]) -> List[str]:
+        parts: List[str] = []
+        node: Optional[Dict[str, Any]] = event
+        seen = set()
+        while node is not None and node["id"] not in seen:
+            seen.add(node["id"])
+            parts.append(str(node["name"]))
+            parent = node.get("parent")
+            node = by_id.get(parent) if parent is not None else None
+        return parts[::-1]
+
+    tree: Dict[str, Any] = {}
+    for event in spans:
+        node = tree
+        parts = name_path(event)
+        for name in parts[:-1]:
+            node = node.setdefault(name, {"ns": 0, "count": 0})
+            node = node.setdefault("children", {})
+        leaf = node.setdefault(parts[-1], {"ns": 0, "count": 0})
+        leaf["ns"] += int(event["t1"]) - int(event["t0"])
+        leaf["count"] += 1
+    return tree
+
+
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f} ms"
+    return f"{ns / 1e3:.1f} us"
+
+
+def render_report(content: SinkContent) -> str:
+    """The full report: phase table plus the final counter totals."""
+    lines: List[str] = []
+    tree = build_tree(content.spans)
+    total_ns = sum(node["ns"] for node in tree.values()) or 1
+
+    lines.append(f"{'phase':<44} {'total':>12} {'%':>7} {'count':>8}")
+    lines.append("-" * 73)
+
+    def walk(subtree: Dict[str, Any], depth: int) -> None:
+        ranked = sorted(
+            subtree.items(), key=lambda item: -item[1]["ns"]
+        )
+        for name, node in ranked:
+            label = "  " * depth + name
+            lines.append(
+                f"{label:<44} {_fmt_ns(node['ns']):>12} "
+                f"{100.0 * node['ns'] / total_ns:>6.1f}% "
+                f"{node['count']:>8}"
+            )
+            walk(node.get("children", {}), depth + 1)
+
+    walk(tree, 0)
+
+    if content.counts:
+        totals = content.counts[-1].get("c", {})
+        if totals:
+            lines.append("")
+            lines.append(f"{'counter':<44} {'total':>16}  unit")
+            lines.append("-" * 73)
+            for name in sorted(totals):
+                definition = CATALOG.get(name)
+                unit = definition.unit if definition else "?"
+                lines.append(f"{name:<44} {totals[name]:>16,}  {unit}")
+
+    notes: List[str] = []
+    if content.bad_lines:
+        notes.append(f"{content.bad_lines} unparseable line(s) skipped")
+    if content.torn_tail_bytes:
+        notes.append(
+            f"torn tail of {content.torn_tail_bytes} byte(s) ignored "
+            f"(run `mlcache doctor --fix` to trim)"
+        )
+    if notes:
+        lines.append("")
+        lines.append("note: " + "; ".join(notes))
+    return "\n".join(lines)
+
+
+def report_text(sink: Path) -> str:
+    """Render the report for a sink file on disk."""
+    return render_report(read_sink(sink))

@@ -53,6 +53,7 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from repro import telemetry
 from repro.trace.record import Trace, _derived_free_metadata
 
 __all__ = [
@@ -217,13 +218,17 @@ class TraceStore:
         if len(blob) > kinds_offset - 16:
             raise AssertionError("store header overflowed its reserved space")
         blob += b" " * (kinds_offset - 16 - len(blob))
-        with atomic_writer(path) as handle:
-            handle.write(_MAGIC)
-            handle.write(len(blob).to_bytes(8, "little"))
-            handle.write(blob)
-            trace.kinds.tofile(handle)
-            handle.write(b"\0" * (addresses_offset - kinds_offset - len(trace)))
-            trace.addresses.tofile(handle)
+        with telemetry.span("store.save", records=len(trace)):
+            with atomic_writer(path) as handle:
+                handle.write(_MAGIC)
+                handle.write(len(blob).to_bytes(8, "little"))
+                handle.write(blob)
+                trace.kinds.tofile(handle)
+                handle.write(
+                    b"\0" * (addresses_offset - kinds_offset - len(trace))
+                )
+                trace.addresses.tofile(handle)
+        telemetry.counter_add("store.saves")
         return cls(
             path=path,
             records=len(trace),
@@ -333,6 +338,11 @@ class TraceStore:
         naming the first mismatching segment.  Chunked hashing over the
         memmaps keeps residency bounded.
         """
+        with telemetry.span("store.verify", records=self.records):
+            self._verify()
+        telemetry.counter_add("store.verifies")
+
+    def _verify(self) -> None:
         kinds = np.memmap(
             self.path, dtype=np.uint8, mode="r",
             offset=self.kinds_offset, shape=(self.records,),
@@ -379,6 +389,8 @@ class TraceStore:
         metadata = dict(self.metadata)
         metadata[CONTENT_DIGEST_SLOT] = self.digest
         metadata[STORE_PATH_SLOT] = str(self.path)
+        # 1 kinds byte + 8 address bytes per record land as array views.
+        telemetry.counter_add("store.bytes_mapped", self.records * 9)
         return Trace.trusted(kinds, addresses, self.name, self.warmup, metadata)
 
 

@@ -79,6 +79,21 @@ def wreckage(tmp_path, tiny_traces):
         _journal_text([{"x": 1}, {"x": 2}], torn_lines=3)
     )
 
+    paths["healthy_telemetry"] = root / "good.telemetry.jsonl"
+    paths["healthy_telemetry"].write_text(
+        '{"k":"meta","schema":1,"pid":1}\n'
+        '{"k":"span","id":"1:1","parent":null,"pid":1,"name":"sweep.plan",'
+        '"t0":10,"t1":20}\n'
+    )
+
+    paths["torn_telemetry"] = root / "killed.telemetry.jsonl"
+    paths["torn_telemetry"].write_text(
+        '{"k":"meta","schema":1,"pid":1}\n'
+        '{"k":"span","id":"1:1","parent":null,"pid":1,"name":"sweep.plan",'
+        '"t0":10,"t1":20}\n'
+        '{"k":"span","id":"1:2","parent":null,"pid":1,"name":"po'
+    )
+
     # Already-quarantined damage is never re-reported.
     jail = root / "quarantine"
     jail.mkdir()
@@ -105,9 +120,10 @@ class TestScan:
         assert by_path[str(paths["orphan_tmp"])].kind == "orphan_tmp"
         assert by_path[str(paths["stale_lock"])].kind == "stale_lock"
         assert by_path[str(paths["bloated_journal"])].kind == "journal_bloat"
+        assert by_path[str(paths["torn_telemetry"])].kind == "telemetry_torn"
         # Healthy artifacts, clean lock residue and the quarantine
         # directory produce no findings.
-        assert len(by_path) == 6
+        assert len(by_path) == 7
 
     def test_corrupt_store_detail_names_the_damage(self, wreckage):
         root, paths = wreckage
@@ -139,7 +155,7 @@ class TestFix:
         root, _ = wreckage
         assert main([str(root)]) == 1
         out = capsys.readouterr().out
-        assert "6 finding(s), 6 unfixed" in out
+        assert "7 finding(s), 7 unfixed" in out
         assert "re-run with --fix" in out
 
     def test_fix_repairs_the_whole_tree(self, wreckage, capsys):
@@ -150,6 +166,7 @@ class TestFix:
         assert "[compacted] journal_bloat" in out
         assert "[removed] orphan_tmp" in out
         assert "[removed] stale_lock" in out
+        assert "[trimmed] telemetry_torn" in out
 
         # Corrupt artifacts were moved, not deleted: the bytes survive in
         # quarantine with a reason sidecar, and the paths are free.
@@ -172,9 +189,15 @@ class TestFix:
         assert text.count('"t": "cell"') == 2
         assert "torn" not in text
 
+        # The torn telemetry sink kept exactly its clean prefix.
+        tele = paths["torn_telemetry"].read_text()
+        assert tele.endswith('"t1":20}\n')
+        assert tele.count("\n") == 2
+
         # Healthy artifacts are untouched.
         assert paths["healthy_store"].exists()
         assert paths["healthy_json"].read_text() == '{"ok": true}'
+        assert paths["healthy_telemetry"].read_text().count("\n") == 2
 
     def test_fixed_tree_rescans_clean(self, wreckage):
         root, _ = wreckage
@@ -186,9 +209,9 @@ class TestFix:
         assert main([str(root), "--json"]) == 1
         report = json.loads(capsys.readouterr().out)
         assert report["roots"] == [str(root)]
-        assert report["unfixed"] == 6
+        assert report["unfixed"] == 7
         kinds = sorted(f["kind"] for f in report["findings"])
         assert kinds == [
             "corrupt_json", "corrupt_store", "corrupt_store",
-            "journal_bloat", "orphan_tmp", "stale_lock",
+            "journal_bloat", "orphan_tmp", "stale_lock", "telemetry_torn",
         ]

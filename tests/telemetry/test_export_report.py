@@ -1,0 +1,143 @@
+"""Sink parsing, Chrome trace export, the report renderer and the CLI.
+
+These consume a *real* sink written by the runtime (not hand-rolled
+fixtures) so the format contract is pinned end to end, then damage it
+the way a SIGKILL would to pin the tolerance rules.
+"""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.cli import main as telemetry_cli
+from repro.telemetry.export import (
+    chrome_trace,
+    export_chrome_trace,
+    read_sink,
+)
+from repro.telemetry.report import render_report, report_text
+
+
+def write_sink(tmp_path):
+    """Record a small nested run and return the sink path."""
+    with telemetry.span("sweep.functional", configs=2, traces=2):
+        with telemetry.span("sweep.plan"):
+            pass
+        with telemetry.span("pool.run", kind="functional", workers=2):
+            telemetry.counter_add("pool.jobs", 2)
+            telemetry.absorb_worker({
+                "events": [
+                    {"id": "4242:1", "parent": None, "pid": 4242,
+                     "name": "worker.functional",
+                     "path": "worker.functional", "t0": 5, "t1": 9},
+                ],
+                "counters": {"memo.misses": 2},
+                "gauges": {},
+            })
+    telemetry.close_sink()
+    return tmp_path / "run.telemetry.jsonl"
+
+
+class TestReadSink:
+    def test_clean_sink_parses_fully(self, tmp_path):
+        content = read_sink(write_sink(tmp_path))
+        assert len(content.meta) == 1
+        assert len(content.spans) == 4
+        assert len(content.counts) == 1
+        assert content.bad_lines == 0
+        assert content.torn_tail_bytes == 0
+
+    def test_torn_tail_is_counted_not_fatal(self, tmp_path):
+        sink = write_sink(tmp_path)
+        with open(sink, "a", encoding="utf-8") as handle:
+            handle.write('{"k":"span","id":"9:9","name":"tor')
+        content = read_sink(sink)
+        assert len(content.spans) == 4  # the complete lines all survive
+        assert content.torn_tail_bytes > 0
+
+    def test_malformed_span_line_is_a_bad_line(self, tmp_path):
+        sink = write_sink(tmp_path)
+        with open(sink, "a", encoding="utf-8") as handle:
+            handle.write('{"k":"span","id":"9:9"}\n')  # no name/t0/t1
+            handle.write("not json either\n")
+        content = read_sink(sink)
+        assert len(content.spans) == 4
+        assert content.bad_lines == 2
+
+
+class TestChromeTrace:
+    def test_export_shape(self, tmp_path):
+        content = read_sink(write_sink(tmp_path))
+        trace = chrome_trace(content)
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4
+        assert all(e["ts"] >= 0 for e in complete)  # anchored at min t0
+        names = {e["name"] for e in complete}
+        assert {"sweep.functional", "worker.functional"} <= names
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["sweep.functional"]["cat"] == "sweep"
+        assert by_name["sweep.functional"]["args"]["configs"] == 2
+        # Two process tracks: the supervisor and the (fake) worker.
+        meta = [e for e in events if e["ph"] == "M"]
+        track_names = {e["args"]["name"] for e in meta}
+        assert any(n.startswith("supervisor") for n in track_names)
+        assert any(n.startswith("worker") for n in track_names)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {"pool.jobs", "memo.misses"} <= {e["name"] for e in counters}
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        sink = write_sink(tmp_path)
+        out = tmp_path / "trace.perfetto.json"
+        spans, skipped = export_chrome_trace(sink, out)
+        assert (spans, skipped) == (4, 0)
+        assert json.loads(out.read_text(encoding="utf-8"))["traceEvents"]
+
+
+class TestReport:
+    def test_phase_table_and_counters(self, tmp_path):
+        text = report_text(write_sink(tmp_path))
+        assert "sweep.functional" in text
+        assert "worker.functional" in text
+        # Indentation shows the tree; percentages are of the root total.
+        assert "100.0" in text
+        assert "pool.jobs" in text
+        assert "memo.misses" in text
+
+    def test_torn_sink_report_points_at_the_doctor(self, tmp_path):
+        sink = write_sink(tmp_path)
+        with open(sink, "a", encoding="utf-8") as handle:
+            handle.write('{"k":"span","id":"9:9","name":"tor')
+        text = render_report(read_sink(sink))
+        assert "doctor" in text
+
+    def test_orphan_spans_are_promoted_to_roots(self, tmp_path):
+        sink = tmp_path / "orphan.telemetry.jsonl"
+        sink.write_text(
+            '{"k":"span","id":"7:2","parent":"7:1","pid":7,'
+            '"name":"fast.run","t0":100,"t1":200}\n'
+        )
+        text = report_text(sink)  # parent 7:1 never closed (SIGKILL)
+        assert "fast.run" in text
+
+
+class TestCli:
+    def test_report_and_export_commands(self, tmp_path, capsys):
+        sink = write_sink(tmp_path)
+        assert telemetry_cli(["report", str(sink)]) == 0
+        out = tmp_path / "out.json"
+        assert telemetry_cli(["export", str(sink), "-o", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "sweep.functional" in captured.out
+        assert str(out) in captured.out
+        assert out.exists()
+
+    def test_default_output_name(self, tmp_path, capsys):
+        sink = write_sink(tmp_path)
+        assert telemetry_cli(["export", str(sink)]) == 0
+        assert sink.with_suffix(".jsonl.perfetto.json").exists()
+
+    def test_missing_sink_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.telemetry.jsonl"
+        assert telemetry_cli(["report", str(missing)]) == 2
+        assert "telemetry sink not found" in capsys.readouterr().err

@@ -1,0 +1,84 @@
+"""Recording must never change results; spans must account for time.
+
+Two acceptance-grade properties: the disabled path is a true no-op (a
+sweep digests identically with telemetry on, off, or unset), and an
+enabled sweep's root spans account for essentially all of its wall
+clock -- including time spent inside worker processes, which reaches
+the tree only via the re-parenting channel.
+"""
+
+import hashlib
+
+from repro import telemetry
+from repro.core import clock
+from repro.core.sweep import sweep_functional
+from repro.sim import memo
+
+
+def grid_digest(grid):
+    hasher = hashlib.sha256()
+    for row in grid:
+        for cell in row:
+            hasher.update(repr((
+                cell.cpu_reads, cell.cpu_writes,
+                tuple(
+                    (s.reads, s.read_misses, s.writes, s.write_misses,
+                     s.writebacks)
+                    for s in cell.level_stats
+                ),
+                cell.memory_reads, cell.memory_writes,
+            )).encode())
+    return hasher.hexdigest()
+
+
+def test_sweep_digest_identical_on_off_unset(
+    tiny_traces, config_grid, monkeypatch
+):
+    digests = {}
+    for mode in ("1", "0", None):
+        if mode is None:
+            monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_TELEMETRY", mode)
+        telemetry.reset()
+        memo.clear_memo_cache()
+        digests[mode] = grid_digest(sweep_functional(tiny_traces, config_grid))
+    assert digests["1"] == digests["0"] == digests[None]
+
+
+def test_root_spans_account_for_wall_clock(tiny_traces, config_grid):
+    """The 32-cell acceptance sweep: the phase tree's root totals must
+    land within 5% of the measured wall clock, worker time included."""
+    configs = config_grid + [
+        config.with_level(1, cycle_cpu_cycles=5) for config in config_grid
+    ]
+    cells = len(configs) * len(tiny_traces)
+    assert cells == 32
+
+    watch = clock.Stopwatch()
+    sweep_functional(tiny_traces, configs, workers=2)
+    wall_ns = watch.elapsed_ns()
+
+    events = list(telemetry.iter_events())
+    root_ns = sum(
+        event["t1"] - event["t0"]
+        for event in events
+        if event["parent"] is None
+    )
+    assert root_ns > 0
+    # The sweep.functional span opens on entry and closes on return, so
+    # its total may differ from our stopwatch only by call glue.
+    assert abs(root_ns - wall_ns) / wall_ns <= 0.05, (
+        f"root spans {root_ns}ns vs wall {wall_ns}ns"
+    )
+    # Worker time is inside the tree, not lost: when the pool ran, the
+    # worker spans hang off pool.run in the aggregated phase tree.
+    tree = telemetry.phase_tree(events)
+    assert "sweep.functional" in tree
+    pool = tree["sweep.functional"].get("children", {}).get("pool.run")
+    if pool is not None:  # pool may be skipped on 1-CPU fallbacks
+        workers = [
+            name for name in pool.get("children", {})
+            if name.startswith("worker.")
+        ]
+        assert workers, "pooled sweep produced no worker spans"
